@@ -1,0 +1,117 @@
+"""Ablation A1/D1 — is the second level of scheduling worth it?
+
+The paper's abstract claims the middleware adds "a second layer of
+scheduling after the main HPC resource manager in order to improve the
+utilization of the QPU".  This ablation removes exactly one thing —
+the daemon's priority logic — while keeping everything else identical:
+
+* **without** — tasks flow to the QPU in pure arrival order (what a
+  site gets if jobs talk to the vendor queue directly),
+* **with**    — the daemon's class-priority queue + shot caps.
+
+Measured on the same Poisson arrival trace: per-class waits, QPU
+utilization, and the production-job experience.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.daemon import SharingMode
+from repro.daemon.queue import ShotCapPolicy
+from repro.qpu import Register
+from repro.sdk import AnalogCircuit
+from repro.simkernel import RngRegistry, Timeout
+
+from .harness import build_stack
+
+HORIZON = 6000.0
+
+
+def program(shots):
+    return (
+        AnalogCircuit(Register.chain(2, spacing=6.0), name="ablation-task")
+        .rx_global(np.pi / 2, duration=0.3)
+        .measure_all()
+        .transpile(shots=shots)
+    )
+
+
+#: one fixed arrival trace replayed under both policies:
+#: (arrival_gap_s, user, class, shots)
+def arrival_trace(seed=0, n=18):
+    rng = RngRegistry(seed).get("arrivals")
+    classes = ["development"] * 3 + ["test"] + ["production"]
+    trace = []
+    for i in range(n):
+        cls = classes[int(rng.integers(len(classes)))]
+        shots = {"development": 400, "test": 250, "production": 150}[cls]
+        trace.append((float(rng.exponential(250.0)), f"user-{i}", cls, shots))
+    return trace
+
+
+def run(second_level: bool, seed=0):
+    if second_level:
+        stack = build_stack(
+            shot_rate_hz=1.0,
+            mode=SharingMode.SHOT_CAP,
+            shot_cap=ShotCapPolicy(test_max_shots=150, dev_max_shots=80),
+            seed=seed,
+        )
+        class_map = lambda c: c  # noqa: E731
+    else:
+        stack = build_stack(shot_rate_hz=1.0, mode=SharingMode.SHOT_CAP, seed=seed)
+        class_map = lambda c: "development"  # noqa: E731 - no priority layer
+
+    trace = arrival_trace(seed)
+    submitted_class: dict[str, str] = {}
+
+    def submitter():
+        for gap, user, cls, shots in trace:
+            yield Timeout(gap)
+            client = stack.client_for(user, class_map(cls))
+            task = stack.daemon.submit_task(client.token, program(shots), "onprem", shots=shots)
+            submitted_class[task.task_id] = cls
+
+    stack.sim.spawn(submitter(), name="submitter")
+    stack.sim.run(until=HORIZON)
+    stack.sim.run(until=3 * HORIZON)
+
+    waits: dict[str, list[float]] = {"production": [], "test": [], "development": []}
+    for task in stack.daemon.queue.all_tasks():
+        wait = task.wait_time()
+        if wait is not None and task.task_id in submitted_class:
+            waits[submitted_class[task.task_id]].append(wait)
+    return stack, waits
+
+
+def test_ablation_second_level_scheduling(benchmark):
+    def run_both():
+        rows = []
+        results = {}
+        for label, enabled in (("slurm-only", False), ("with-daemon", True)):
+            stack, waits = run(enabled)
+            metrics = stack.metrics()
+            prod = waits["production"]
+            dev = waits["development"]
+            rows.append(
+                {
+                    "scenario": label,
+                    "prod_wait_mean": round(float(np.mean(prod)), 1) if prod else None,
+                    "prod_wait_max": round(float(np.max(prod)), 1) if prod else None,
+                    "dev_wait_mean": round(float(np.mean(dev)), 1) if dev else None,
+                    "qpu_util_%": round(100 * metrics.qpu_utilization, 1),
+                    "completed": metrics.tasks_completed,
+                }
+            )
+            results[label] = (waits, metrics)
+        return rows, results
+
+    rows, results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="A1 — second-level scheduling ablation"))
+
+    baseline_prod = results["slurm-only"][0]["production"]
+    daemon_prod = results["with-daemon"][0]["production"]
+    assert np.mean(daemon_prod) < np.mean(baseline_prod)
+    assert np.max(daemon_prod) < np.max(baseline_prod)
+    # both completed the full trace
+    assert results["slurm-only"][1].tasks_completed == results["with-daemon"][1].tasks_completed

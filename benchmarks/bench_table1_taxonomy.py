@@ -1,0 +1,122 @@
+"""Experiment T1 — regenerate Table 1 (workload taxonomy + hint effect).
+
+The paper's Table 1 is qualitative: three workload patterns and the
+scheduler hints that reduce idle time.  This bench makes it
+quantitative:
+
+1. regenerates the taxonomy rows themselves (classification of
+   synthetic jobs must land in the claimed classes),
+2. executes a mixed job stream under the pattern-blind sequential
+   baseline vs the hint-driven pattern-aware interleaver, reporting the
+   metrics Table 1's caption promises to improve: QPU utilization,
+   idle time, and makespan.
+
+Shape claims checked: interleaving wins on mixed and CC-heavy streams;
+sequential is (near-)optimal on pure QC-heavy streams — exactly the
+per-row hints of Table 1.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.scheduling import PatternAwarePlanner, SequentialPlanner, WorkloadPattern
+from repro.scheduling.patterns import PATTERN_TABLE
+from repro.workloads import HybridJobFactory
+
+from .harness import run_interleave_plan
+
+
+def make_jobs(mix: dict[WorkloadPattern, int]):
+    factory = HybridJobFactory(n_atoms=3)
+    jobs = []
+    for pattern, count in mix.items():
+        for i in range(count):
+            jobs.append(factory.make(pattern, user=f"user-{pattern.value}{i}"))
+    return jobs
+
+
+def run_scenario(mix, shot_rate_hz=1.0):
+    jobs = make_jobs(mix)
+    estimates = [j.estimate(shot_period_s=1.0 / shot_rate_hz) for j in jobs]
+    by_name = {j.name: j for j in jobs}
+    rows = []
+    for planner in (SequentialPlanner(), PatternAwarePlanner(target_load=1.0)):
+        plan = planner.plan(estimates)
+        metrics = run_interleave_plan(plan, by_name, shot_rate_hz=shot_rate_hz)
+        rows.append((planner.name, metrics))
+    return rows
+
+
+MIXED = {
+    WorkloadPattern.HIGH_QC_LOW_CC: 2,
+    WorkloadPattern.LOW_QC_HIGH_CC: 2,
+    WorkloadPattern.BALANCED: 2,
+}
+PURE_QC = {WorkloadPattern.HIGH_QC_LOW_CC: 4}
+CC_HEAVY = {WorkloadPattern.LOW_QC_HIGH_CC: 4}
+
+
+def test_table1_taxonomy_rows(benchmark):
+    """The taxonomy itself: synthetic jobs of each class classify into
+    the paper's three rows, with the paper's hints attached."""
+
+    def classify_all():
+        factory = HybridJobFactory()
+        rows = []
+        for table_row in PATTERN_TABLE:
+            job = factory.make(table_row.pattern)
+            estimate = job.estimate(shot_period_s=1.0)
+            rows.append(
+                {
+                    "pattern": table_row.pattern.description,
+                    "quantum_load": table_row.quantum_load,
+                    "classical_load": table_row.classical_load,
+                    "scheduler_hint": table_row.scheduler_hint,
+                    "example_qpu_s": round(estimate.qpu_seconds),
+                    "example_cc_s": round(estimate.classical_seconds),
+                    "classified_as": estimate.pattern.value,
+                }
+            )
+        return rows
+
+    rows = benchmark(classify_all)
+    print("\n" + format_table(rows, title="Table 1 — hybrid workload taxonomy (regenerated)"))
+    for row, table_row in zip(rows, PATTERN_TABLE):
+        assert row["classified_as"] == table_row.pattern.value
+
+
+def test_table1_mixed_stream_interleaving_wins(benchmark):
+    """Pattern-B/C hint: interleaving kills QPU idle time on mixed streams."""
+    rows = benchmark.pedantic(lambda: run_scenario(MIXED), rounds=1, iterations=1)
+    table = [m.row(name) for name, m in rows]
+    print("\n" + format_table(table, title="T1a — mixed stream (2xA + 2xB + 2xC)"))
+    sequential = rows[0][1]
+    interleaved = rows[1][1]
+    assert interleaved.qpu_utilization > sequential.qpu_utilization
+    assert interleaved.makespan < sequential.makespan
+    assert interleaved.tasks_completed == sequential.tasks_completed
+
+
+def test_table1_cc_heavy_stream(benchmark):
+    """Pattern-B row: CC-heavy streams benefit the most from interleaving."""
+    rows = benchmark.pedantic(lambda: run_scenario(CC_HEAVY), rounds=1, iterations=1)
+    table = [m.row(name) for name, m in rows]
+    print("\n" + format_table(table, title="T1b — CC-heavy stream (4xB)"))
+    sequential, interleaved = rows[0][1], rows[1][1]
+    # idle time must drop by a large factor
+    assert interleaved.qpu_idle_seconds < 0.7 * sequential.qpu_idle_seconds
+    assert interleaved.makespan < 0.7 * sequential.makespan
+
+
+def test_table1_pure_qc_stream_sequential_is_fine(benchmark):
+    """Pattern-A row: 'Sequential QPU queue' — interleaving cannot help a
+    stream that is already QPU-bound (the QPU is serial)."""
+    rows = benchmark.pedantic(lambda: run_scenario(PURE_QC), rounds=1, iterations=1)
+    table = [m.row(name) for name, m in rows]
+    print("\n" + format_table(table, title="T1c — QC-heavy stream (4xA)"))
+    sequential, interleaved = rows[0][1], rows[1][1]
+    # no meaningful makespan gain is available
+    assert interleaved.makespan >= 0.85 * sequential.makespan
+    assert sequential.qpu_utilization == pytest.approx(
+        interleaved.qpu_utilization, abs=0.15
+    )

@@ -1,0 +1,125 @@
+"""Shared experiment builders for the benchmark suite.
+
+Every benchmark builds its stack through here so scenarios differ only
+in the parameter under study.  Conventions:
+
+* all randomness flows from one ``RngRegistry(seed)``,
+* metrics come from :mod:`repro.scheduling.metrics` (uniform
+  definitions),
+* each bench prints paper-style rows via
+  :func:`repro.analysis.tables.format_table` and asserts the *shape*
+  claims from DESIGN.md's experiment index (who wins, monotonicity),
+  not absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.daemon import MiddlewareDaemon, SharingMode, build_router
+from repro.daemon.queue import ShotCapPolicy
+from repro.qpu import QPUDevice, ShotClock
+from repro.qrmi import LocalEmulatorResource, OnPremQPUResource
+from repro.runtime import DaemonClient
+from repro.scheduling import SchedulingMetrics
+from repro.scheduling.interleave import InterleavePlan
+from repro.simkernel import RngRegistry, Simulator
+from repro.workloads.generator import SyntheticHybridJob
+
+__all__ = ["Stack", "build_stack", "run_interleave_plan"]
+
+
+@dataclass
+class Stack:
+    """One assembled HPC-QC stack instance."""
+
+    sim: Simulator
+    daemon: MiddlewareDaemon
+    device: QPUDevice
+    router: object
+
+    def client_for(self, user: str, priority_class: str = "production") -> DaemonClient:
+        client = DaemonClient(self.router)
+        client.open_session(user, priority_class=priority_class)
+        return client
+
+    def metrics(self, classical_utilization: float | None = None) -> SchedulingMetrics:
+        return SchedulingMetrics.from_traces(
+            self.device.trace,
+            self.daemon.trace,
+            classical_utilization=classical_utilization,
+        )
+
+
+def build_stack(
+    shot_rate_hz: float = 1.0,
+    mode: SharingMode = SharingMode.SHOT_CAP,
+    shot_cap: ShotCapPolicy | None = None,
+    selection_policy=None,
+    seed: int = 0,
+    setup_overhead_s: float = 0.0,
+    scrape_interval: float = 60.0,
+    with_emulator: bool = False,
+) -> Stack:
+    """QPU + daemon + REST router, fully wired."""
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    device = QPUDevice(
+        clock=ShotClock(
+            shot_rate_hz=shot_rate_hz,
+            setup_overhead_s=setup_overhead_s,
+            batch_overhead_s=0.0,
+        ),
+        rng=rng.get("device"),
+    )
+    resources = {"onprem": OnPremQPUResource("onprem", device)}
+    if with_emulator:
+        resources["emu"] = LocalEmulatorResource("emu", emulator="emu-sv", seed=seed)
+    daemon = MiddlewareDaemon(
+        sim,
+        resources,
+        mode=mode,
+        shot_cap=shot_cap if shot_cap is not None else ShotCapPolicy(
+            test_max_shots=10**9, dev_max_shots=10**9,
+            disable_batching_below_production=False,
+        ),
+        selection_policy=selection_policy,
+        scrape_interval=scrape_interval,
+    )
+    return Stack(sim=sim, daemon=daemon, device=device, router=build_router(daemon))
+
+
+def run_interleave_plan(
+    plan: InterleavePlan,
+    jobs_by_name: dict[str, SyntheticHybridJob],
+    shot_rate_hz: float = 1.0,
+    seed: int = 0,
+) -> SchedulingMetrics:
+    """Execute an interleave plan wave-by-wave on a fresh stack.
+
+    All jobs in a wave run concurrently (the planner's co-scheduling
+    decision); the next wave starts when the whole wave finishes —
+    modeling the cluster admitting the planned batch.
+    """
+    stack = build_stack(shot_rate_hz=shot_rate_hz, seed=seed)
+
+    def driver():
+        for wave in plan.waves:
+            procs = []
+            for estimate in wave:
+                job = jobs_by_name[estimate.job_name]
+
+                def client_factory(user=job.user):
+                    return stack.client_for(user, priority_class="production")
+
+                payload = job.payload(client_factory, "onprem")
+                procs.append(stack.sim.spawn(payload(None), name=job.name))
+            for proc in procs:
+                if proc.alive:
+                    yield proc
+
+    driver_proc = stack.sim.spawn(driver(), name="wave-driver")
+    stack.sim.run_until_process(driver_proc)
+    return stack.metrics()

@@ -1,0 +1,51 @@
+"""repro — reproduction of *Towards a user-centric HPC-QC environment* (SC'25 workshops).
+
+Top-level convenience re-exports cover the public API a downstream user
+needs for the quickstart path:
+
+>>> from repro import RuntimeEnvironment, DictConfig
+>>> env = RuntimeEnvironment.from_config(DictConfig({...}))
+>>> result = env.run(program, qpu="local-emulator")
+
+Subpackages (bottom-up):
+
+``simkernel``       discrete-event simulation substrate
+``cluster``         Slurm-like batch resource manager
+``qpu``             neutral-atom QPU device model (specs, drift, telemetry)
+``emulators``       state-vector + MPS emulator suite
+``qrmi``            vendor-neutral Quantum Resource Management Interface
+``sdk``             multi-SDK frontends (pulser-like, qiskit-like) + shared IR
+``daemon``          middleware REST daemon with second-level scheduling
+``runtime``         THE core contribution: portable hybrid runtime
+``scheduling``      workload-pattern taxonomy, interleaving, malleability
+``observability``   metrics / TSDB / dashboards / alerting / drift detection
+``workloads``       synthetic hybrid workload generators
+``analysis``        statistics + report tables for the benchmark harness
+"""
+
+from .config import DictConfig, EnvConfig, LayeredConfig, ResourceConfig
+from .errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DictConfig",
+    "EnvConfig",
+    "LayeredConfig",
+    "ReproError",
+    "ResourceConfig",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy import of the heavier layers so `import repro` stays cheap.
+    if name == "RuntimeEnvironment":
+        from .runtime.environment import RuntimeEnvironment
+
+        return RuntimeEnvironment
+    if name == "HybridProgram":
+        from .runtime.executor import HybridProgram
+
+        return HybridProgram
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,6 @@
+"""Analysis helpers for the benchmark harness: statistics + tables."""
+
+from .stats import bootstrap_ci, summary_stats
+from .tables import format_table, markdown_table
+
+__all__ = ["bootstrap_ci", "format_table", "markdown_table", "summary_stats"]

@@ -1,0 +1,46 @@
+"""Statistics utilities for experiment reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["bootstrap_ci", "summary_stats"]
+
+
+def summary_stats(values) -> dict[str, float]:
+    """Mean / std / quantiles of a sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ReproError("cannot summarize an empty sample")
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }
+
+
+def bootstrap_ci(
+    values,
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval, vectorized resampling."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ReproError("cannot bootstrap an empty sample")
+    if not (0 < confidence < 1):
+        raise ReproError("confidence must be in (0,1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    stats = statistic(arr[idx], axis=1)
+    alpha = (1 - confidence) / 2
+    lo, hi = np.percentile(stats, [100 * alpha, 100 * (1 - alpha)])
+    return float(lo), float(hi)

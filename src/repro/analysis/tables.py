@@ -1,0 +1,51 @@
+"""Table rendering for benchmark output (paper-style rows)."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+__all__ = ["format_table", "markdown_table"]
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: list[dict], title: str = "") -> str:
+    """Fixed-width text table from a list of uniform dicts."""
+    if not rows:
+        raise ReproError("no rows to format")
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(col), *(len(_stringify(r.get(col, ""))) for r in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(_stringify(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def markdown_table(rows: list[dict], title: str = "") -> str:
+    """GitHub-markdown table (for EXPERIMENTS.md)."""
+    if not rows:
+        raise ReproError("no rows to format")
+    columns = list(rows[0].keys())
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(row.get(col, "")) for col in columns) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Accounting database (sacct-like).
+
+Records one immutable :class:`JobRecord` per terminal job, plus
+aggregate queries used by the benchmark harness: per-user/partition
+CPU-seconds, wait-time distributions, utilization over a horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchedulerError
+from .job import Job, JobState
+
+__all__ = ["AccountingDB", "JobRecord"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable accounting row written when a job terminates."""
+
+    job_id: int
+    name: str
+    user: str
+    partition: str
+    state: str
+    submit_time: float
+    start_time: float | None
+    end_time: float | None
+    cpus: int
+    num_nodes: int
+    preempt_count: int
+    requeue_count: int
+    exit_info: str
+
+    @property
+    def wait_time(self) -> float | None:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> float | None:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def cpu_seconds(self) -> float:
+        run = self.run_time
+        if run is None:
+            return 0.0
+        return run * self.cpus * self.num_nodes
+
+
+class AccountingDB:
+    """Append-only store of job records with aggregate queries."""
+
+    def __init__(self) -> None:
+        self._records: list[JobRecord] = []
+
+    def record(self, job: Job) -> JobRecord:
+        if not job.is_terminal:
+            raise SchedulerError(
+                f"cannot account non-terminal job {job.job_id} ({job.state.value})"
+            )
+        rec = JobRecord(
+            job_id=job.job_id,
+            name=job.spec.name,
+            user=job.spec.user,
+            partition=job.spec.partition,
+            state=job.state.value,
+            submit_time=job.submit_time,
+            start_time=job.start_time,
+            end_time=job.end_time,
+            cpus=job.spec.cpus,
+            num_nodes=job.spec.num_nodes,
+            preempt_count=job.preempt_count,
+            requeue_count=job.requeue_count,
+            exit_info=job.exit_info,
+        )
+        self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all(self) -> list[JobRecord]:
+        return list(self._records)
+
+    def by_user(self, user: str) -> list[JobRecord]:
+        return [r for r in self._records if r.user == user]
+
+    def by_partition(self, partition: str) -> list[JobRecord]:
+        return [r for r in self._records if r.partition == partition]
+
+    def by_state(self, state: JobState | str) -> list[JobRecord]:
+        value = state.value if isinstance(state, JobState) else state
+        return [r for r in self._records if r.state == value]
+
+    # -- aggregates ---------------------------------------------------------
+
+    def wait_times(self, partition: str | None = None) -> np.ndarray:
+        records = self._records if partition is None else self.by_partition(partition)
+        waits = [r.wait_time for r in records if r.wait_time is not None]
+        return np.asarray(waits, dtype=float)
+
+    def wait_percentiles(
+        self, percentiles: tuple[float, ...] = (50.0, 95.0), partition: str | None = None
+    ) -> dict[float, float]:
+        waits = self.wait_times(partition)
+        if waits.size == 0:
+            return {p: float("nan") for p in percentiles}
+        values = np.percentile(waits, percentiles)
+        return dict(zip(percentiles, map(float, values)))
+
+    def total_cpu_seconds(self, user: str | None = None) -> float:
+        records = self._records if user is None else self.by_user(user)
+        return float(sum(r.cpu_seconds for r in records))
+
+    def throughput(self, horizon: float) -> float:
+        """Completed jobs per simulated hour over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        completed = sum(
+            1
+            for r in self._records
+            if r.state == JobState.COMPLETED.value
+            and r.end_time is not None
+            and r.end_time <= horizon
+        )
+        return completed / (horizon / 3600.0)

@@ -1,0 +1,108 @@
+"""Generic resources (GRES) — Slurm's mechanism for non-CPU resources.
+
+The paper (§3.5) proposes assigning *partial QPU resources* via GRES:
+"we could ... assign 10 licenses/GRES units, corresponding to timeshares
+of the QPU in increments of 10 percentage points".  We therefore model
+GRES as named counted pools attached to nodes, with conservation
+enforced (a :class:`~repro.errors.GresError` on over-allocation or
+double-free), and string syntax compatible with Slurm's
+``name:count`` / ``name`` requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GresError
+
+__all__ = ["GresPool", "GresRequest", "parse_gres"]
+
+
+@dataclass(frozen=True)
+class GresRequest:
+    """A job's request for ``count`` units of GRES ``name``."""
+
+    name: str
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GresError("GRES name must be non-empty")
+        if self.count < 1:
+            raise GresError(f"GRES count must be >= 1, got {self.count}")
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.count}"
+
+
+def parse_gres(spec: str) -> list[GresRequest]:
+    """Parse a Slurm-style GRES string: ``"qpu:1,qpu_share:3"``.
+
+    A bare name means count 1.  Empty string parses to no requests.
+    """
+    requests: list[GresRequest] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if ":" in chunk:
+            name, _, count_str = chunk.partition(":")
+            try:
+                count = int(count_str)
+            except ValueError as exc:
+                raise GresError(f"bad GRES count in {chunk!r}") from exc
+            requests.append(GresRequest(name.strip(), count))
+        else:
+            requests.append(GresRequest(chunk))
+    return requests
+
+
+class GresPool:
+    """Counted pool of one GRES type on one node.
+
+    Tracks which job holds how many units so release is verified against
+    the original allocation (catching scheduler bugs early).
+    """
+
+    def __init__(self, name: str, total: int) -> None:
+        if total < 0:
+            raise GresError(f"GRES total must be >= 0, got {total}")
+        self.name = name
+        self.total = total
+        self._allocations: dict[int, int] = {}  # job_id -> units
+
+    @property
+    def allocated(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def available(self) -> int:
+        return self.total - self.allocated
+
+    def can_allocate(self, count: int) -> bool:
+        return count <= self.available
+
+    def allocate(self, job_id: int, count: int) -> None:
+        if count < 1:
+            raise GresError(f"cannot allocate {count} units of {self.name}")
+        if job_id in self._allocations:
+            raise GresError(f"job {job_id} already holds GRES {self.name}")
+        if count > self.available:
+            raise GresError(
+                f"GRES {self.name} exhausted: requested {count}, available {self.available}"
+            )
+        self._allocations[job_id] = count
+
+    def release(self, job_id: int) -> int:
+        if job_id not in self._allocations:
+            raise GresError(f"job {job_id} holds no GRES {self.name}")
+        return self._allocations.pop(job_id)
+
+    def holder_count(self, job_id: int) -> int:
+        return self._allocations.get(job_id, 0)
+
+    def holders(self) -> dict[int, int]:
+        return dict(self._allocations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GresPool({self.name!r}, {self.allocated}/{self.total})"

@@ -1,0 +1,180 @@
+"""Jobs: specification, state machine, and lifecycle bookkeeping.
+
+``JobSpec`` is what a user submits (immutable); ``Job`` is the
+controller's mutable record.  The state machine enforces legal
+transitions only — an invalid transition raises
+:class:`~repro.errors.InvalidJobTransition` rather than silently
+corrupting accounting, because scheduler-policy experiments depend on
+trustworthy per-state timestamps.
+
+Hybrid jobs carry a ``payload``: a generator factory ``(context) ->
+generator`` run as a simulated process when the job starts.  Pure
+classical jobs just specify ``duration`` and sleep for it.  The payload
+mechanism is how the runtime layer (the paper's contribution) executes
+real hybrid programs *inside* the simulated cluster.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import InvalidJobTransition, JobError
+from .gres import GresRequest
+
+__all__ = ["Job", "JobSpec", "JobState"]
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+    PREEMPTED = "preempted"  # transient; requeued jobs go back to PENDING
+
+
+# Legal transitions of the job state machine.
+_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.PENDING: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset(
+        {
+            JobState.COMPLETED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMEOUT,
+            JobState.PREEMPTED,
+        }
+    ),
+    JobState.PREEMPTED: frozenset({JobState.PENDING, JobState.CANCELLED}),
+    JobState.COMPLETED: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+    JobState.TIMEOUT: frozenset(),
+}
+
+TERMINAL_STATES = frozenset(
+    {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED, JobState.TIMEOUT}
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """User-facing job description (the ``sbatch`` arguments).
+
+    ``duration`` — simulated run time for classical jobs; ignored when a
+    ``payload`` generator drives the job.
+    ``qpu_seconds`` / ``classical_seconds`` — optional workload-pattern
+    metadata consumed by the pattern-aware scheduler (Table 1 hints).
+    ``hint`` — the paper's ``--hint=qc-balanced`` style annotation.
+    ``qpu_resource`` — the ``--qpu=<resource>`` switch from §3.2.
+    """
+
+    name: str
+    user: str = "user"
+    partition: str = "batch"
+    cpus: int = 1
+    memory_mb: int = 1_000
+    num_nodes: int = 1
+    duration: float = 60.0
+    time_limit: float | None = None
+    gres: tuple[GresRequest, ...] = ()
+    licenses: tuple[tuple[str, int], ...] = ()
+    priority: int = 0
+    hint: str = ""
+    qpu_resource: str = ""
+    qpu_seconds: float = 0.0
+    classical_seconds: float = 0.0
+    payload: Callable[[Any], Generator[Any, Any, Any]] | None = None
+    env: dict[str, str] = field(default_factory=dict)
+    requeue_on_preempt: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise JobError(f"job {self.name!r}: cpus must be >= 1")
+        if self.num_nodes < 1:
+            raise JobError(f"job {self.name!r}: num_nodes must be >= 1")
+        if self.duration < 0:
+            raise JobError(f"job {self.name!r}: duration must be >= 0")
+        if self.memory_mb < 0:
+            raise JobError(f"job {self.name!r}: memory must be >= 0")
+        for _, count in self.licenses:
+            if count < 1:
+                raise JobError(f"job {self.name!r}: license counts must be >= 1")
+
+
+class Job:
+    """The controller's record of a submitted job."""
+
+    def __init__(self, job_id: int, spec: JobSpec, submit_time: float) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.state = JobState.PENDING
+        self.submit_time = submit_time
+        self.start_time: float | None = None
+        self.end_time: float | None = None
+        self.allocated_nodes: list[str] = []
+        self.effective_time_limit: float = spec.time_limit or 0.0
+        self.preempt_count = 0
+        self.requeue_count = 0
+        self.exit_info: str = ""
+        self.env: dict[str, str] = dict(spec.env)
+        self.result: Any = None
+
+    # -- state machine -----------------------------------------------------
+
+    def transition(self, new_state: JobState, now: float) -> None:
+        allowed = _TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise InvalidJobTransition(
+                f"job {self.job_id}: illegal transition {self.state.value} -> {new_state.value}",
+                job_id=self.job_id,
+            )
+        previous = self.state
+        self.state = new_state
+        if new_state is JobState.RUNNING:
+            self.start_time = now
+        elif new_state in TERMINAL_STATES:
+            self.end_time = now
+        elif new_state is JobState.PREEMPTED:
+            self.preempt_count += 1
+        elif new_state is JobState.PENDING and previous is JobState.PREEMPTED:
+            self.requeue_count += 1
+            self.start_time = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def is_pending(self) -> bool:
+        return self.state is JobState.PENDING
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is JobState.RUNNING
+
+    def wait_time(self) -> float | None:
+        """Queue wait: submit -> (latest) start. None while pending."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    def run_time(self, now: float | None = None) -> float | None:
+        if self.start_time is None:
+            return None
+        end = self.end_time if self.end_time is not None else now
+        if end is None:
+            return None
+        return end - self.start_time
+
+    def turnaround(self) -> float | None:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.submit_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job({self.job_id}, {self.spec.name!r}, {self.state.value})"

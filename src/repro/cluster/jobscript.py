@@ -1,0 +1,131 @@
+"""Batch-script front end: parse ``#SBATCH`` headers into a JobSpec.
+
+The paper's user workflow (Figure 1) submits programs "via Slurm"; in
+practice that means a batch script whose header carries the resource
+request, including the new ``--qpu=<resource>`` switch (§3.2) and
+``--hint=<pattern>`` (§3.5).  This module parses exactly that dialect
+so the examples can show realistic submission files.
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from ..errors import JobError
+from .gres import parse_gres
+from .job import JobSpec
+
+__all__ = ["JobScript"]
+
+
+_FLAG_ALIASES = {
+    "-J": "--job-name",
+    "-p": "--partition",
+    "-c": "--cpus-per-task",
+    "-N": "--nodes",
+    "-t": "--time",
+}
+
+
+def _parse_time(value: str) -> float:
+    """Parse Slurm time syntax: ``MM``, ``MM:SS``, ``HH:MM:SS``, ``D-HH:MM:SS``."""
+    days = 0
+    if "-" in value:
+        day_str, _, rest = value.partition("-")
+        try:
+            days = int(day_str)
+        except ValueError as exc:
+            raise JobError(f"bad time spec {value!r}") from exc
+        value = rest
+    parts = value.split(":")
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError as exc:
+        raise JobError(f"bad time spec {value!r}") from exc
+    if len(numbers) == 1:  # minutes
+        seconds = numbers[0] * 60
+    elif len(numbers) == 2:  # MM:SS
+        seconds = numbers[0] * 60 + numbers[1]
+    elif len(numbers) == 3:  # HH:MM:SS
+        seconds = numbers[0] * 3600 + numbers[1] * 60 + numbers[2]
+    else:
+        raise JobError(f"bad time spec {value!r}")
+    return float(days * 86_400 + seconds)
+
+
+class JobScript:
+    """A parsed batch script: SBATCH options + body lines."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.options: dict[str, str] = {}
+        self.body: list[str] = []
+        self._parse(text)
+
+    def _parse(self, text: str) -> None:
+        lines = text.splitlines()
+        if not lines or not lines[0].startswith("#!"):
+            raise JobError("job script must start with a shebang line")
+        for line in lines[1:]:
+            stripped = line.strip()
+            if stripped.startswith("#SBATCH"):
+                self._parse_sbatch_line(stripped)
+            elif stripped.startswith("#") or not stripped:
+                continue
+            else:
+                self.body.append(stripped)
+
+    def _parse_sbatch_line(self, line: str) -> None:
+        tokens = shlex.split(line)[1:]  # drop '#SBATCH'
+        i = 0
+        while i < len(tokens):
+            token = tokens[i]
+            if "=" in token and token.startswith("--"):
+                flag, _, value = token.partition("=")
+            else:
+                flag = token
+                if flag in _FLAG_ALIASES or flag.startswith("--"):
+                    if i + 1 >= len(tokens):
+                        raise JobError(f"flag {flag!r} missing value in {line!r}")
+                    i += 1
+                    value = tokens[i]
+                else:
+                    raise JobError(f"unrecognized SBATCH token {token!r}")
+            flag = _FLAG_ALIASES.get(flag, flag)
+            self.options[flag.lstrip("-")] = value
+            i += 1
+
+    def to_spec(self, user: str = "user", duration: float | None = None) -> JobSpec:
+        """Build a JobSpec from the parsed options.
+
+        ``duration`` is the simulated runtime (scripts do not really
+        execute shell commands); defaults to the time limit or 60 s.
+        """
+        opts = self.options
+        licenses: list[tuple[str, int]] = []
+        for chunk in opts.get("licenses", "").split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if ":" in chunk:
+                lname, _, lcount = chunk.partition(":")
+                licenses.append((lname, int(lcount)))
+            else:
+                licenses.append((chunk, 1))
+        time_limit = _parse_time(opts["time"]) if "time" in opts else None
+        if duration is None:
+            duration = time_limit if time_limit is not None else 60.0
+        return JobSpec(
+            name=opts.get("job-name", "script-job"),
+            user=user,
+            partition=opts.get("partition", "batch"),
+            cpus=int(opts.get("cpus-per-task", "1")),
+            num_nodes=int(opts.get("nodes", "1")),
+            memory_mb=int(opts.get("mem", "1000").removesuffix("M").removesuffix("MB")),
+            time_limit=time_limit,
+            duration=duration,
+            gres=tuple(parse_gres(opts.get("gres", ""))),
+            licenses=tuple(licenses),
+            hint=opts.get("hint", ""),
+            qpu_resource=opts.get("qpu", ""),
+        )

@@ -1,0 +1,87 @@
+"""Cluster-wide license pools.
+
+Slurm licenses are the paper's second proposed mechanism for partial
+QPU shares (§3.5): "we could in both cases assign 10 licenses/GRES
+units, corresponding to timeshares of the QPU in increments of 10
+percentage points."  A license pool is a counted resource not attached
+to any node; jobs list ``(name, count)`` requirements and the scheduler
+only dispatches a job when all its license counts are available.
+"""
+
+from __future__ import annotations
+
+from ..errors import LicenseError
+
+__all__ = ["LicensePool"]
+
+
+class LicensePool:
+    """All license types for a cluster, with per-job tracking."""
+
+    def __init__(self, totals: dict[str, int] | None = None) -> None:
+        self._totals: dict[str, int] = {}
+        self._held: dict[str, dict[int, int]] = {}
+        for name, total in (totals or {}).items():
+            self.add_license(name, total)
+
+    def add_license(self, name: str, total: int) -> None:
+        if total < 0:
+            raise LicenseError(f"license total must be >= 0, got {total}")
+        if name in self._totals:
+            raise LicenseError(f"license {name!r} already defined")
+        self._totals[name] = total
+        self._held[name] = {}
+
+    def total(self, name: str) -> int:
+        self._check_known(name)
+        return self._totals[name]
+
+    def in_use(self, name: str) -> int:
+        self._check_known(name)
+        return sum(self._held[name].values())
+
+    def available(self, name: str) -> int:
+        return self.total(name) - self.in_use(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._totals)
+
+    def can_acquire(self, requirements: dict[str, int]) -> bool:
+        for name, count in requirements.items():
+            if name not in self._totals:
+                return False
+            if count > self.available(name):
+                return False
+        return True
+
+    def acquire(self, job_id: int, requirements: dict[str, int]) -> None:
+        """Atomically acquire all requirements or raise without side effects."""
+        for name, count in requirements.items():
+            self._check_known(name)
+            if count < 1:
+                raise LicenseError(f"license count must be >= 1, got {count}")
+            if job_id in self._held[name]:
+                raise LicenseError(f"job {job_id} already holds license {name!r}")
+        if not self.can_acquire(requirements):
+            raise LicenseError(f"insufficient licenses for job {job_id}: {requirements}")
+        for name, count in requirements.items():
+            self._held[name][job_id] = count
+
+    def release(self, job_id: int) -> dict[str, int]:
+        """Release everything the job holds; returns what was released."""
+        released: dict[str, int] = {}
+        for name, holders in self._held.items():
+            if job_id in holders:
+                released[name] = holders.pop(job_id)
+        return released
+
+    def held_by(self, job_id: int) -> dict[str, int]:
+        return {
+            name: holders[job_id]
+            for name, holders in self._held.items()
+            if job_id in holders
+        }
+
+    def _check_known(self, name: str) -> None:
+        if name not in self._totals:
+            raise LicenseError(f"unknown license {name!r}")

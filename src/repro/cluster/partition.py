@@ -1,0 +1,79 @@
+"""Partitions — named groups of nodes with scheduling policy.
+
+The paper's priority classes map onto partitions (§3.3): "The different
+job priorities also correspond to Slurm partitions, which should be
+assigned different priorities."  We model:
+
+* ``priority_tier`` — higher tier schedules first and may preempt lower
+  tiers (when ``preempt_mode`` allows),
+* ``preempt_mode`` — OFF / REQUEUE / CANCEL, the Slurm subset the
+  experiments need,
+* per-partition default and maximum time limits.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+from ..errors import PartitionError
+from .node import Node
+
+__all__ = ["Partition", "PreemptMode"]
+
+
+class PreemptMode(enum.Enum):
+    OFF = "off"            # never preempt jobs in this partition
+    REQUEUE = "requeue"    # preempted jobs go back to PENDING
+    CANCEL = "cancel"      # preempted jobs are cancelled
+
+
+class Partition:
+    """A named set of nodes plus scheduling policy knobs."""
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Iterable[Node],
+        priority_tier: int = 0,
+        preempt_mode: PreemptMode = PreemptMode.OFF,
+        default_time_limit: float = 3600.0,
+        max_time_limit: float = 86_400.0,
+    ) -> None:
+        self.name = name
+        self.nodes = list(nodes)
+        if not self.nodes:
+            raise PartitionError(f"partition {name!r} must contain at least one node")
+        if default_time_limit <= 0 or max_time_limit <= 0:
+            raise PartitionError(f"partition {name!r}: time limits must be positive")
+        if default_time_limit > max_time_limit:
+            raise PartitionError(
+                f"partition {name!r}: default limit exceeds max limit"
+            )
+        self.priority_tier = priority_tier
+        self.preempt_mode = preempt_mode
+        self.default_time_limit = default_time_limit
+        self.max_time_limit = max_time_limit
+
+    def node_names(self) -> list[str]:
+        return [node.name for node in self.nodes]
+
+    def schedulable_nodes(self) -> list[Node]:
+        return [node for node in self.nodes if node.is_schedulable()]
+
+    def total_cpus(self) -> int:
+        return sum(node.schedulable_cpus for node in self.nodes)
+
+    def clamp_time_limit(self, requested: float | None) -> float:
+        """Apply partition default/max to a job's requested time limit."""
+        if requested is None:
+            return self.default_time_limit
+        if requested <= 0:
+            raise PartitionError(f"time limit must be positive, got {requested}")
+        return min(requested, self.max_time_limit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Partition({self.name!r}, {len(self.nodes)} nodes, "
+            f"tier={self.priority_tier}, preempt={self.preempt_mode.value})"
+        )

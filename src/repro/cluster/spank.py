@@ -1,0 +1,88 @@
+"""SPANK-style plugin hooks.
+
+Slurm's SPANK API lets plugins observe and mutate jobs at fixed points
+of the lifecycle.  The paper relies on this ("QRMI already supports ...
+Slurm Spank plugins", §3.4) to translate the ``--qpu=<resource>``
+option into environment variables the runtime reads inside the job.
+
+We reproduce the subset needed: named hooks at submit / start / end /
+preempt, each receiving the :class:`~repro.cluster.job.Job` and the
+controller, able to veto submission by raising.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+from ..errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .job import Job
+
+__all__ = ["SpankHook", "SpankPlugin", "SpankRegistry"]
+
+
+class SpankHook(enum.Enum):
+    """Lifecycle points at which plugins run (subset of real SPANK)."""
+
+    JOB_SUBMIT = "job_submit"   # may validate / mutate / veto
+    JOB_START = "job_start"     # environment is set up here
+    JOB_END = "job_end"
+    JOB_PREEMPT = "job_preempt"
+
+
+class SpankPlugin:
+    """Base plugin: override the hooks you care about.
+
+    Methods receive ``(job, controller)``; raising from ``job_submit``
+    vetoes the submission (the controller surfaces the error to the
+    submitter).
+    """
+
+    name = "spank-plugin"
+
+    def job_submit(self, job: "Job", controller: Any) -> None:  # noqa: B027
+        """Called at submission, before queueing."""
+
+    def job_start(self, job: "Job", controller: Any) -> None:  # noqa: B027
+        """Called when the job is dispatched, before the payload runs."""
+
+    def job_end(self, job: "Job", controller: Any) -> None:  # noqa: B027
+        """Called when the job reaches a terminal state."""
+
+    def job_preempt(self, job: "Job", controller: Any) -> None:  # noqa: B027
+        """Called when the job is preempted."""
+
+
+class SpankRegistry:
+    """Ordered plugin chain; also accepts bare callables per hook."""
+
+    def __init__(self) -> None:
+        self._plugins: list[SpankPlugin] = []
+        self._callables: dict[SpankHook, list[Callable[["Job", Any], None]]] = {
+            hook: [] for hook in SpankHook
+        }
+
+    def register(self, plugin: SpankPlugin) -> None:
+        if any(p.name == plugin.name for p in self._plugins):
+            raise SchedulerError(f"SPANK plugin {plugin.name!r} already registered")
+        self._plugins.append(plugin)
+
+    def register_callable(self, hook: SpankHook, fn: Callable[["Job", Any], None]) -> None:
+        self._callables[hook].append(fn)
+
+    def plugins(self) -> list[SpankPlugin]:
+        return list(self._plugins)
+
+    def fire(self, hook: SpankHook, job: "Job", controller: Any) -> None:
+        """Run all plugins for ``hook`` in registration order.
+
+        Exceptions propagate (submission veto semantics); callers decide
+        how to handle them per hook.
+        """
+        for plugin in self._plugins:
+            getattr(plugin, hook.value)(job, controller)
+        for fn in self._callables[hook]:
+            fn(job, controller)

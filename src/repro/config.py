@@ -1,0 +1,232 @@
+"""Environment-variable driven configuration, QRMI style.
+
+The paper (section 3.4) states: *"Since QRMI is configured through
+environment variables, it is natural to rely on configuration files and
+environment settings."*  This module implements that convention for the
+whole stack:
+
+* every QRMI resource is described by ``QRMI_<NAME>_<FIELD>`` variables,
+* the set of resources visible to a runtime is listed in
+  ``QRMI_RESOURCES`` (comma separated),
+* the daemon reads ``REPRO_DAEMON_*`` variables,
+* a :class:`ConfigSource` can wrap ``os.environ``, a plain ``dict`` (for
+  tests and simulations), or a layered chain (developer overrides < IDE <
+  scheduler-injected), mirroring the paper's "defined at different levels"
+  remark.
+
+Nothing in the stack reads ``os.environ`` directly; everything goes
+through a :class:`ConfigSource` so that simulated multi-user setups can
+hold several independent "environments" in one process.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator, Mapping, MutableMapping
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+__all__ = [
+    "ConfigSource",
+    "DictConfig",
+    "EnvConfig",
+    "LayeredConfig",
+    "ResourceConfig",
+    "parse_bool",
+    "parse_resource_list",
+]
+
+
+def parse_bool(value: str) -> bool:
+    """Parse a boolean environment value (``1/true/yes/on`` case-insensitive)."""
+    lowered = value.strip().lower()
+    if lowered in {"1", "true", "yes", "on"}:
+        return True
+    if lowered in {"0", "false", "no", "off", ""}:
+        return False
+    raise ConfigError(f"cannot parse boolean from {value!r}")
+
+
+class ConfigSource(Mapping[str, str]):
+    """Read-only mapping of configuration variables.
+
+    Subclasses provide the storage; the base class provides typed getters
+    used across the stack.
+    """
+
+    def get_str(self, key: str, default: str | None = None) -> str:
+        value = self.get(key)
+        if value is None:
+            if default is None:
+                raise ConfigError(f"missing required configuration variable {key!r}")
+            return default
+        return value
+
+    def get_int(self, key: str, default: int | None = None) -> int:
+        value = self.get(key)
+        if value is None:
+            if default is None:
+                raise ConfigError(f"missing required configuration variable {key!r}")
+            return default
+        try:
+            return int(value)
+        except ValueError as exc:
+            raise ConfigError(f"{key}={value!r} is not an integer") from exc
+
+    def get_float(self, key: str, default: float | None = None) -> float:
+        value = self.get(key)
+        if value is None:
+            if default is None:
+                raise ConfigError(f"missing required configuration variable {key!r}")
+            return default
+        try:
+            return float(value)
+        except ValueError as exc:
+            raise ConfigError(f"{key}={value!r} is not a number") from exc
+
+    def get_bool(self, key: str, default: bool | None = None) -> bool:
+        value = self.get(key)
+        if value is None:
+            if default is None:
+                raise ConfigError(f"missing required configuration variable {key!r}")
+            return default
+        return parse_bool(value)
+
+
+class DictConfig(ConfigSource, MutableMapping[str, str]):
+    """Mutable in-memory configuration, used heavily by tests and simulations."""
+
+    def __init__(self, values: Mapping[str, str] | None = None) -> None:
+        self._values: dict[str, str] = dict(values or {})
+
+    def __getitem__(self, key: str) -> str:
+        return self._values[key]
+
+    def __setitem__(self, key: str, value: str) -> None:
+        self._values[key] = str(value)
+
+    def __delitem__(self, key: str) -> None:
+        del self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def copy(self) -> "DictConfig":
+        return DictConfig(self._values)
+
+
+class EnvConfig(ConfigSource):
+    """Configuration backed by the real process environment."""
+
+    def __getitem__(self, key: str) -> str:
+        return os.environ[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(os.environ)
+
+    def __len__(self) -> int:
+        return len(os.environ)
+
+
+class LayeredConfig(ConfigSource):
+    """Chain of sources; later layers override earlier ones.
+
+    Mirrors the paper's configuration levels: site defaults, then IDE /
+    developer settings, then values injected by the HPC scheduler at job
+    launch (highest precedence).
+    """
+
+    def __init__(self, *layers: ConfigSource) -> None:
+        if not layers:
+            raise ConfigError("LayeredConfig requires at least one layer")
+        self._layers = list(layers)
+
+    def __getitem__(self, key: str) -> str:
+        for layer in reversed(self._layers):
+            if key in layer:
+                return layer[key]
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        seen: set[str] = set()
+        for layer in self._layers:
+            for key in layer:
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def push_layer(self, layer: ConfigSource) -> None:
+        """Add a new highest-precedence layer."""
+        self._layers.append(layer)
+
+
+@dataclass(frozen=True)
+class ResourceConfig:
+    """Parsed ``QRMI_<NAME>_*`` block describing one quantum resource.
+
+    Fields follow the QRMI convention from the paper (resource *type*
+    selects the backend implementation; endpoint/credentials configure the
+    transport; extra keys are passed through to the backend).
+    """
+
+    name: str
+    resource_type: str
+    endpoint: str = ""
+    credentials: str = ""
+    extras: Mapping[str, str] = field(default_factory=dict)
+
+    @staticmethod
+    def prefix(name: str) -> str:
+        return f"QRMI_{name.upper()}_"
+
+    @classmethod
+    def from_config(cls, config: ConfigSource, name: str) -> "ResourceConfig":
+        prefix = cls.prefix(name)
+        type_key = prefix + "TYPE"
+        if type_key not in config:
+            raise ConfigError(
+                f"resource {name!r} is not configured ({type_key} missing)"
+            )
+        extras = {
+            key[len(prefix) :].lower(): value
+            for key, value in config.items()
+            if key.startswith(prefix)
+            and key not in {type_key, prefix + "ENDPOINT", prefix + "CREDENTIALS"}
+        }
+        return cls(
+            name=name,
+            resource_type=config[type_key],
+            endpoint=config.get(prefix + "ENDPOINT", ""),
+            credentials=config.get(prefix + "CREDENTIALS", ""),
+            extras=extras,
+        )
+
+    def to_env(self) -> dict[str, str]:
+        """Serialize back to ``QRMI_*`` variables (inverse of ``from_config``)."""
+        prefix = self.prefix(self.name)
+        env = {prefix + "TYPE": self.resource_type}
+        if self.endpoint:
+            env[prefix + "ENDPOINT"] = self.endpoint
+        if self.credentials:
+            env[prefix + "CREDENTIALS"] = self.credentials
+        for key, value in self.extras.items():
+            env[prefix + key.upper()] = value
+        return env
+
+
+def parse_resource_list(config: ConfigSource) -> list[str]:
+    """Return the resource names listed in ``QRMI_RESOURCES``.
+
+    An absent variable means "no resources configured" rather than an
+    error, matching QRMI behaviour where an empty environment simply
+    exposes nothing.
+    """
+    raw = config.get("QRMI_RESOURCES", "")
+    return [item.strip() for item in raw.split(",") if item.strip()]

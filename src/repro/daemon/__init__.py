@@ -1,0 +1,51 @@
+"""Middleware daemon: the paper's second-level scheduling service.
+
+Paper §3.3: "By introducing a simple service exposed as a RESTful API,
+limited to managing the currently running jobs and sessions of the
+QPU, we insert an abstraction layer between user sessions and the QPU
+task queue."
+
+Components:
+
+* :mod:`http`      — transport-agnostic REST substrate (requests,
+  responses, router); exercised in-process, no sockets,
+* :mod:`auth`      — tokens + roles (user / admin),
+* :mod:`sessions`  — per-user sessions ("a unique session is created,
+  and a session token is returned"),
+* :mod:`queue`     — the priority queue with the paper's three classes
+  (production > test > development),
+* :mod:`scheduler` — the second-level scheduler draining the queue
+  into the QPU, with both sharing modes from §3.3 (preemption, and the
+  initial implementation's shot-capping of non-production jobs),
+* :mod:`service`   — the daemon object wiring everything,
+* :mod:`api`       — REST route table over the daemon,
+* :mod:`admin`     — admin operations (drain, maintenance, stats),
+* :mod:`lowlevel`  — guarded low-level device controls (§2.5).
+"""
+
+from .api import build_router
+from .auth import Role, TokenStore
+from .http import HttpError, Request, Response, Router
+from .queue import MiddlewareQueue, PriorityClass, QueuedTask, TaskState
+from .scheduler import SecondLevelScheduler, SharingMode
+from .service import MiddlewareDaemon
+from .sessions import Session, SessionManager
+
+__all__ = [
+    "HttpError",
+    "MiddlewareDaemon",
+    "MiddlewareQueue",
+    "PriorityClass",
+    "QueuedTask",
+    "Request",
+    "Response",
+    "Role",
+    "Router",
+    "SecondLevelScheduler",
+    "Session",
+    "SessionManager",
+    "SharingMode",
+    "TaskState",
+    "TokenStore",
+    "build_router",
+]

@@ -1,0 +1,176 @@
+"""Cloud job intake gateway (paper §3.3 extension).
+
+"Although not part of this work, the system could be extended to also
+accept jobs via a cloud interface, similar to how it is handled in the
+JHPC-Quantum project."  This module is that extension: an external
+intake in front of the daemon for users who are *not* on the HPC system.
+
+Differences from the internal surface:
+
+* authentication by **API key** (provisioned by the site) instead of a
+  Slurm-derived session,
+* cloud jobs enter at a configurable priority class (default TEST —
+  external users never outrank the site's production runs),
+* per-key **rate limiting** (a token bucket on submissions) and a
+  per-key quota of total shots, since cloud users don't consume their
+  own cluster allocation,
+* a simplified job model: submit -> poll -> fetch, no sessions exposed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import AuthError, DaemonError
+from .queue import PriorityClass
+from .service import MiddlewareDaemon
+
+__all__ = ["CloudGateway", "CloudTenant"]
+
+
+@dataclass
+class CloudTenant:
+    """One external organization's access grant."""
+
+    name: str
+    api_key: str
+    priority_class: PriorityClass = PriorityClass.TEST
+    max_submissions_per_hour: float = 30.0
+    shot_quota: int = 100_000
+    shots_used: int = 0
+    bucket_tokens: float = field(default=0.0)
+    bucket_updated_at: float = 0.0
+
+    def refill(self, now: float) -> None:
+        rate = self.max_submissions_per_hour / 3600.0
+        elapsed = max(0.0, now - self.bucket_updated_at)
+        cap = max(1.0, self.max_submissions_per_hour / 6.0)  # 10-min burst
+        self.bucket_tokens = min(cap, self.bucket_tokens + elapsed * rate)
+        self.bucket_updated_at = now
+
+
+class CloudGateway:
+    """External intake in front of a MiddlewareDaemon."""
+
+    def __init__(self, daemon: MiddlewareDaemon, seed: int = 0) -> None:
+        self.daemon = daemon
+        self._seed = seed
+        self._key_counter = itertools.count(1)
+        self._tenants: dict[str, CloudTenant] = {}      # api_key -> tenant
+        self._sessions: dict[str, str] = {}             # tenant -> session token
+        self._task_owner: dict[str, str] = {}           # task_id -> tenant
+
+    # -- provisioning (site admin) ------------------------------------------
+
+    def provision_tenant(
+        self,
+        name: str,
+        priority_class: PriorityClass = PriorityClass.TEST,
+        max_submissions_per_hour: float = 30.0,
+        shot_quota: int = 100_000,
+    ) -> str:
+        """Create a tenant; returns its API key."""
+        if any(t.name == name for t in self._tenants.values()):
+            raise DaemonError(f"tenant {name!r} already provisioned")
+        if priority_class is PriorityClass.PRODUCTION:
+            raise DaemonError("cloud tenants cannot be granted production priority")
+        raw = f"cloud:{self._seed}:{next(self._key_counter)}:{name}"
+        api_key = "ck_" + hashlib.sha256(raw.encode()).hexdigest()[:28]
+        tenant = CloudTenant(
+            name=name,
+            api_key=api_key,
+            priority_class=priority_class,
+            max_submissions_per_hour=max_submissions_per_hour,
+            shot_quota=shot_quota,
+            bucket_tokens=max(1.0, max_submissions_per_hour / 6.0),
+            bucket_updated_at=self.daemon.now,
+        )
+        self._tenants[api_key] = tenant
+        return api_key
+
+    def revoke_tenant(self, name: str) -> None:
+        for key, tenant in list(self._tenants.items()):
+            if tenant.name == name:
+                del self._tenants[key]
+                self._sessions.pop(name, None)
+                return
+        raise DaemonError(f"unknown tenant {name!r}")
+
+    def tenants(self) -> list[str]:
+        return sorted(t.name for t in self._tenants.values())
+
+    # -- intake ------------------------------------------------------------
+
+    def _authenticate(self, api_key: str) -> CloudTenant:
+        if api_key not in self._tenants:
+            raise AuthError("invalid API key")
+        return self._tenants[api_key]
+
+    def _session_token(self, tenant: CloudTenant) -> str:
+        token = self._sessions.get(tenant.name)
+        if token is not None:
+            try:
+                self.daemon.resolve_session(token)
+                return token
+            except Exception:
+                pass  # expired: open a fresh one
+        session = self.daemon.create_session(
+            f"cloud:{tenant.name}", tenant.priority_class
+        )
+        self._sessions[tenant.name] = session.token
+        return session.token
+
+    def submit(
+        self, api_key: str, program: Any, resource: str, shots: int | None = None
+    ) -> str:
+        tenant = self._authenticate(api_key)
+        now = self.daemon.now
+        tenant.refill(now)
+        if tenant.bucket_tokens < 1.0:
+            raise DaemonError(
+                f"rate limit: tenant {tenant.name!r} exceeded "
+                f"{tenant.max_submissions_per_hour}/hour"
+            )
+        requested = shots if shots is not None else 100
+        if tenant.shots_used + requested > tenant.shot_quota:
+            raise DaemonError(
+                f"quota: tenant {tenant.name!r} has "
+                f"{tenant.shot_quota - tenant.shots_used} shots left, "
+                f"requested {requested}"
+            )
+        token = self._session_token(tenant)
+        task = self.daemon.submit_task(token, program, resource, shots=shots)
+        tenant.bucket_tokens -= 1.0
+        tenant.shots_used += task.program.shots
+        self._task_owner[task.task_id] = tenant.name
+        return task.task_id
+
+    def status(self, api_key: str, task_id: str) -> dict[str, Any]:
+        tenant = self._authenticate(api_key)
+        self._check_owner(tenant, task_id)
+        token = self._session_token(tenant)
+        return self.daemon.task_status(token, task_id)
+
+    def result(self, api_key: str, task_id: str) -> Any:
+        tenant = self._authenticate(api_key)
+        self._check_owner(tenant, task_id)
+        token = self._session_token(tenant)
+        return self.daemon.task_result(token, task_id)
+
+    def usage(self, api_key: str) -> dict[str, Any]:
+        tenant = self._authenticate(api_key)
+        return {
+            "tenant": tenant.name,
+            "priority_class": tenant.priority_class.name.lower(),
+            "shots_used": tenant.shots_used,
+            "shot_quota": tenant.shot_quota,
+            "submissions_available": int(tenant.bucket_tokens),
+        }
+
+    def _check_owner(self, tenant: CloudTenant, task_id: str) -> None:
+        owner = self._task_owner.get(task_id)
+        if owner != tenant.name:
+            raise AuthError(f"task {task_id!r} does not belong to tenant {tenant.name!r}")

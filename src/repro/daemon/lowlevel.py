@@ -1,0 +1,112 @@
+"""Guarded low-level device controls.
+
+Paper §2.5: "Exposing low-level controls of QPUs is not always safe ...
+Exposing a subset of these low-level APIs and having the ability to
+implement increased safeguards should be performed at the daemon
+level. This indirection provides a natural point to define
+interoperable APIs and integrate third-party components, enhancing QPU
+calibration, performance, and runtime features."
+
+Implementation: a whitelist of calibration parameters with safety
+bounds; reads are free (admin), writes are clamped-or-rejected; and a
+registration point for third-party *calibration routines* (optimal
+control, error mitigation) that run against the device under the same
+guard.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..errors import DaemonError
+from ..qpu.device import QPUDevice
+
+__all__ = ["LowLevelControl", "ParameterGuard"]
+
+
+@dataclass(frozen=True)
+class ParameterGuard:
+    """Safety envelope for one writable calibration parameter."""
+
+    name: str
+    min_value: float
+    max_value: float
+
+    def check(self, value: float) -> None:
+        if not (self.min_value <= value <= self.max_value):
+            raise DaemonError(
+                f"value {value} for {self.name!r} outside safety bounds "
+                f"[{self.min_value}, {self.max_value}]"
+            )
+
+
+#: Default whitelist: what third-party calibration tools may touch.
+DEFAULT_GUARDS: dict[str, ParameterGuard] = {
+    guard.name: guard
+    for guard in (
+        ParameterGuard("rabi_calibration_error", 0.0, 0.2),
+        ParameterGuard("detuning_offset", -1.0, 1.0),
+        ParameterGuard("detection_epsilon", 0.0, 0.2),
+        ParameterGuard("detection_epsilon_prime", 0.0, 0.2),
+    )
+}
+
+
+class LowLevelControl:
+    """The daemon's guarded window onto device internals."""
+
+    def __init__(self, device: QPUDevice, guards: dict[str, ParameterGuard] | None = None) -> None:
+        self.device = device
+        self.guards = dict(guards if guards is not None else DEFAULT_GUARDS)
+        self._routines: dict[str, Callable[[QPUDevice, float], dict]] = {}
+        self.audit_log: list[tuple[float, str, str, float | None]] = []
+
+    # -- parameter access ------------------------------------------------------
+
+    def readable_parameters(self) -> dict[str, float]:
+        """All calibration parameters (reads are safe)."""
+        return self.device.calibration.snapshot()
+
+    def writable_parameters(self) -> list[str]:
+        return sorted(self.guards)
+
+    def read(self, name: str) -> float:
+        params = self.readable_parameters()
+        if name not in params:
+            raise DaemonError(f"unknown parameter {name!r}")
+        return params[name]
+
+    def write(self, name: str, value: float, now: float, actor: str = "admin") -> None:
+        """Guarded write: parameter must be whitelisted AND in bounds."""
+        if name not in self.guards:
+            raise DaemonError(
+                f"parameter {name!r} is not writable through the daemon "
+                f"(writable: {self.writable_parameters()})"
+            )
+        self.guards[name].check(value)
+        setattr(self.device.calibration, name, float(value))
+        self.audit_log.append((now, actor, f"write:{name}", value))
+
+    # -- third-party routines --------------------------------------------------
+
+    def register_routine(self, name: str, routine: Callable[[QPUDevice, float], dict]) -> None:
+        """Register a third-party calibration/optimization routine.
+
+        The routine receives (device, now) and returns a report dict;
+        it must go through :meth:`write` for any parameter changes —
+        direct device access from routines is a programming-model
+        convention enforced by review, as in the paper's design.
+        """
+        if name in self._routines:
+            raise DaemonError(f"routine {name!r} already registered")
+        self._routines[name] = routine
+
+    def routines(self) -> list[str]:
+        return sorted(self._routines)
+
+    def run_routine(self, name: str, now: float, actor: str = "admin") -> dict:
+        if name not in self._routines:
+            raise DaemonError(f"unknown routine {name!r}")
+        self.audit_log.append((now, actor, f"routine:{name}", None))
+        return self._routines[name](self.device, now)

@@ -1,0 +1,211 @@
+"""The middleware task queue with the paper's priority classes.
+
+Paper §3.3 — "A priority queue is implemented, for example we can
+envision several classes of user jobs:
+
+    (1) production jobs (top priority)
+    (2) test runs / scalability tests (medium priority)
+    (3) development runs (low priority)"
+
+Pops follow (class, FIFO) order.  The queue also implements the
+initial-implementation sharing policy from the same section:
+non-production tasks get their shot counts capped and their batching
+disabled so "the waiting time for production jobs will be low".
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import QueueError
+from ..sdk.ir import AnalogProgram
+
+__all__ = ["MiddlewareQueue", "PriorityClass", "QueuedTask", "TaskState"]
+
+
+class PriorityClass(enum.IntEnum):
+    """Lower value = higher priority (heap order)."""
+
+    PRODUCTION = 0
+    TEST = 1
+    DEVELOPMENT = 2
+
+    @classmethod
+    def parse(cls, value: str) -> "PriorityClass":
+        try:
+            return cls[value.upper()]
+        except KeyError:
+            raise QueueError(
+                f"unknown priority class {value!r}; "
+                f"valid: {[m.name.lower() for m in cls]}"
+            ) from None
+
+    @classmethod
+    def from_partition(cls, partition: str) -> "PriorityClass":
+        """Paper §3.3: 'The daemon retrieves the job's priority from
+        Slurm' — partition names map onto classes."""
+        lowered = partition.lower()
+        if "prod" in lowered:
+            return cls.PRODUCTION
+        if "test" in lowered:
+            return cls.TEST
+        return cls.DEVELOPMENT
+
+
+class TaskState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    PREEMPTED = "preempted"  # transient: returns to QUEUED
+
+
+@dataclass
+class QueuedTask:
+    """One task in the middleware queue."""
+
+    task_id: str
+    session_id: str
+    user: str
+    program: AnalogProgram
+    priority: PriorityClass
+    resource: str
+    enqueued_at: float
+    state: TaskState = TaskState.QUEUED
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: Any = None
+    error: str = ""
+    preempt_count: int = 0
+    batched: bool = True
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def wait_time(self) -> float | None:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.enqueued_at
+
+
+@dataclass(frozen=True)
+class ShotCapPolicy:
+    """The §3.3 initial sharing policy: 'non-production jobs configured
+    with a low number of shots and without batched submission'."""
+
+    test_max_shots: int = 500
+    dev_max_shots: int = 100
+    disable_batching_below_production: bool = True
+
+    def apply(self, task: QueuedTask) -> None:
+        if task.priority is PriorityClass.PRODUCTION:
+            return
+        cap = (
+            self.test_max_shots
+            if task.priority is PriorityClass.TEST
+            else self.dev_max_shots
+        )
+        if task.program.shots > cap:
+            task.metadata["shots_capped_from"] = task.program.shots
+            task.program = task.program.with_shots(cap)
+        if self.disable_batching_below_production:
+            task.batched = False
+
+
+class MiddlewareQueue:
+    """Priority queue over :class:`QueuedTask`."""
+
+    def __init__(self, shot_cap: ShotCapPolicy | None = None) -> None:
+        self._heap: list[tuple[int, int, str]] = []
+        self._tasks: dict[str, QueuedTask] = {}
+        self._seq = itertools.count(1)
+        self._id_counter = itertools.count(1)
+        self.shot_cap = shot_cap
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        session_id: str,
+        user: str,
+        program: AnalogProgram,
+        priority: PriorityClass,
+        resource: str,
+        now: float,
+    ) -> QueuedTask:
+        task = QueuedTask(
+            task_id=f"mw-task-{next(self._id_counter)}",
+            session_id=session_id,
+            user=user,
+            program=program,
+            priority=priority,
+            resource=resource,
+            enqueued_at=now,
+        )
+        if self.shot_cap is not None:
+            self.shot_cap.apply(task)
+        self._tasks[task.task_id] = task
+        self._push(task)
+        return task
+
+    def _push(self, task: QueuedTask) -> None:
+        heapq.heappush(self._heap, (int(task.priority), next(self._seq), task.task_id))
+
+    # -- consumption -----------------------------------------------------------
+
+    def pop(self) -> QueuedTask | None:
+        """Highest-priority queued task, or None."""
+        while self._heap:
+            _, _, task_id = heapq.heappop(self._heap)
+            task = self._tasks[task_id]
+            if task.state is TaskState.QUEUED:
+                return task
+        return None
+
+    def peek_priority(self) -> PriorityClass | None:
+        for prio, _, task_id in sorted(self._heap):
+            if self._tasks[task_id].state is TaskState.QUEUED:
+                return PriorityClass(prio)
+        return None
+
+    def requeue(self, task: QueuedTask, now: float) -> None:
+        """Return a preempted task to the queue (keeps original class)."""
+        if task.state is not TaskState.PREEMPTED:
+            raise QueueError(
+                f"only preempted tasks can be requeued, {task.task_id} is {task.state.value}"
+            )
+        task.state = TaskState.QUEUED
+        task.started_at = None
+        self._push(task)
+
+    def cancel(self, task_id: str) -> None:
+        task = self.get(task_id)
+        if task.state in (TaskState.QUEUED, TaskState.PREEMPTED):
+            task.state = TaskState.CANCELLED
+
+    # -- queries ------------------------------------------------------------------
+
+    def get(self, task_id: str) -> QueuedTask:
+        if task_id not in self._tasks:
+            raise QueueError(f"unknown task {task_id!r}")
+        return self._tasks[task_id]
+
+    def queued_count(self, priority: PriorityClass | None = None) -> int:
+        return sum(
+            1
+            for t in self._tasks.values()
+            if t.state is TaskState.QUEUED
+            and (priority is None or t.priority is priority)
+        )
+
+    def depth_by_class(self) -> dict[str, int]:
+        return {p.name.lower(): self.queued_count(p) for p in PriorityClass}
+
+    def all_tasks(self) -> list[QueuedTask]:
+        return list(self._tasks.values())
+
+    def tasks_for_session(self, session_id: str) -> list[QueuedTask]:
+        return [t for t in self._tasks.values() if t.session_id == session_id]

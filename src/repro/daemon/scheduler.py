@@ -1,0 +1,208 @@
+"""The second-level scheduler: daemon queue -> QPU.
+
+This is the layer the paper inserts *between* Slurm and the QPU
+(abstract: "a second layer of scheduling after the main HPC resource
+manager in order to improve the utilization of the QPU").  One worker
+process drains the :class:`~repro.daemon.queue.MiddlewareQueue` in
+priority order into a QRMI resource.
+
+Two sharing modes, both from §3.3:
+
+* :attr:`SharingMode.SHOT_CAP` — the paper's initial implementation:
+  non-production tasks run with capped shots and unbatched submission,
+  so the QPU frees up quickly for production arrivals (no preemption
+  machinery needed),
+* :attr:`SharingMode.PREEMPT` — "the production job should always be
+  able to pre-empt running jobs of lower priority automatically": an
+  arriving production task interrupts a running test/dev task, which is
+  requeued and restarted later.
+
+An optional *selection policy* hook lets the pattern-aware interleaving
+experiments (Table 1) reorder eligible tasks without forking the
+scheduler.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+
+from ..errors import DaemonError
+from ..qrmi.interface import QuantumResource
+from ..simkernel import Interrupt, Simulator, Store, TraceRecorder
+from .queue import MiddlewareQueue, PriorityClass, QueuedTask, TaskState
+
+__all__ = ["SecondLevelScheduler", "SharingMode"]
+
+
+class SharingMode(enum.Enum):
+    SHOT_CAP = "shot-cap"
+    PREEMPT = "preempt"
+
+
+class SecondLevelScheduler:
+    """Single-QPU worker draining the middleware queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        queue: MiddlewareQueue,
+        resources: dict[str, QuantumResource],
+        mode: SharingMode = SharingMode.SHOT_CAP,
+        trace: TraceRecorder | None = None,
+        selection_policy: Callable[[list[QueuedTask], float], QueuedTask | None] | None = None,
+        on_task_done: Callable[[QueuedTask], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.queue = queue
+        self.resources = resources
+        self.mode = mode
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.selection_policy = selection_policy
+        self.on_task_done = on_task_done
+        self.current: QueuedTask | None = None
+        self._wake = Store(name="scheduler-wake")
+        self._worker = sim.spawn(self._run(), name="second-level-scheduler")
+        self.tasks_completed = 0
+        self.tasks_preempted = 0
+
+    # -- notification -----------------------------------------------------------
+
+    def notify_submit(self, task: QueuedTask) -> None:
+        """Called by the daemon after each queue submission."""
+        self.trace.emit(
+            self.sim.now,
+            "daemon",
+            "task_enqueued",
+            task_id=task.task_id,
+            priority=task.priority.name.lower(),
+        )
+        if (
+            self.mode is SharingMode.PREEMPT
+            and self.current is not None
+            and task.priority < self.current.priority
+        ):
+            # production arrival preempts the running lower-class task
+            self._worker.interrupt(cause=("mw-preempt", task.task_id))
+        self._wake.put("task")
+
+    # -- the worker -----------------------------------------------------------
+
+    def _select(self) -> QueuedTask | None:
+        if self.selection_policy is not None:
+            eligible = [
+                t for t in self.queue.all_tasks() if t.state is TaskState.QUEUED
+            ]
+            if not eligible:
+                return None
+            chosen = self.selection_policy(eligible, self.sim.now)
+            if chosen is None:
+                return None
+            if chosen.state is not TaskState.QUEUED:
+                raise DaemonError("selection policy returned a non-queued task")
+            # consume it from the heap lazily by marking then popping equals
+            chosen.state = TaskState.RUNNING
+            return chosen
+        task = self.queue.pop()
+        if task is not None:
+            task.state = TaskState.RUNNING
+        return task
+
+    def _run(self):
+        while True:
+            yield self._wake.get()
+            while True:
+                task = self._select()
+                if task is None:
+                    break
+                yield from self._run_task(task)
+
+    def _run_task(self, task: QueuedTask):
+        task.started_at = self.sim.now
+        self.current = task
+        self.trace.emit(
+            self.sim.now,
+            "daemon",
+            "task_start",
+            task_id=task.task_id,
+            priority=task.priority.name.lower(),
+            wait=task.wait_time(),
+        )
+        resource = self.resources.get(task.resource)
+        try:
+            if resource is None:
+                raise DaemonError(f"task routed to unknown resource {task.resource!r}")
+            if hasattr(resource, "execute_in_sim"):
+                result = yield from resource.execute_in_sim(
+                    self.sim, task.program, **self._exec_kwargs(resource, task)
+                )
+            else:
+                # local emulator: synchronous, zero simulated QPU time
+                result = resource._execute(task.program)
+        except Interrupt as intr:
+            cause = intr.cause if isinstance(intr.cause, tuple) else (intr.cause,)
+            if cause and cause[0] == "mw-preempt":
+                task.state = TaskState.PREEMPTED
+                task.preempt_count += 1
+                self.tasks_preempted += 1
+                self.trace.emit(
+                    self.sim.now,
+                    "daemon",
+                    "task_preempted",
+                    task_id=task.task_id,
+                    by=cause[1],
+                )
+                self.queue.requeue(task, self.sim.now)
+                self.current = None
+                return
+            task.state = TaskState.FAILED
+            task.error = f"interrupted: {intr.cause!r}"
+            task.finished_at = self.sim.now
+            self.current = None
+            self._finish(task)
+            return
+        except Exception as err:
+            task.state = TaskState.FAILED
+            task.error = f"{type(err).__name__}: {err}"
+            task.finished_at = self.sim.now
+            self.current = None
+            self._finish(task)
+            return
+        task.state = TaskState.COMPLETED
+        task.result = result
+        task.finished_at = self.sim.now
+        self.current = None
+        self.tasks_completed += 1
+        self._finish(task)
+
+    def _exec_kwargs(self, resource: QuantumResource, task: QueuedTask) -> dict:
+        # only QPU-backed resources understand batching
+        if hasattr(resource, "device"):
+            return {"batched": task.batched}
+        return {}
+
+    def _finish(self, task: QueuedTask) -> None:
+        self.trace.emit(
+            self.sim.now,
+            "daemon",
+            "task_end",
+            task_id=task.task_id,
+            state=task.state.value,
+            priority=task.priority.name.lower(),
+        )
+        if self.on_task_done is not None:
+            self.on_task_done(task)
+
+    # -- introspection ----------------------------------------------------------
+
+    def wait_times_by_class(self) -> dict[str, list[float]]:
+        """Observed queue waits per priority class (finished tasks only)."""
+        out: dict[str, list[float]] = {p.name.lower(): [] for p in PriorityClass}
+        for task in self.queue.all_tasks():
+            wait = task.wait_time()
+            if wait is not None and task.state in (
+                TaskState.COMPLETED,
+                TaskState.RUNNING,
+            ):
+                out[task.priority.name.lower()].append(wait)
+        return out

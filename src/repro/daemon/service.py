@@ -1,0 +1,323 @@
+"""The middleware daemon object.
+
+Owns every subsystem of the paper's quantum-access-node service
+(Figure 2): sessions, the priority queue, the second-level scheduler,
+the QRMI resource table, observability (metrics registry + TSDB +
+scraper + alerts + per-job metadata), admin operations and guarded
+low-level controls.
+
+The REST router (:func:`repro.daemon.api.build_router`) maps paths onto
+the public methods here; the runtime client
+(:class:`repro.runtime.environment.RuntimeEnvironment`) talks to either
+the router (full REST surface) or the daemon object directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import DaemonError, SessionError
+from ..observability import (
+    AlertManager,
+    JobMetadataStore,
+    MetricRegistry,
+    Scraper,
+    TimeSeriesDB,
+    render_exposition,
+)
+from ..qpu.device import QPUDevice
+from ..qrmi.interface import QuantumResource
+from ..sdk.ir import AnalogProgram
+from ..sdk.registry import SDKRegistry, default_registry
+from ..simkernel import Simulator, TraceRecorder
+from .admin import AdminOperations
+from .auth import Role, TokenStore
+from .lowlevel import LowLevelControl
+from .queue import MiddlewareQueue, PriorityClass, QueuedTask, ShotCapPolicy, TaskState
+from .scheduler import SecondLevelScheduler, SharingMode
+from .sessions import Session, SessionManager
+
+__all__ = ["MiddlewareDaemon"]
+
+
+class MiddlewareDaemon:
+    """The quantum-access-node middleware service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        resources: dict[str, QuantumResource],
+        mode: SharingMode = SharingMode.SHOT_CAP,
+        shot_cap: ShotCapPolicy | None = None,
+        sdk_registry: SDKRegistry | None = None,
+        trace: TraceRecorder | None = None,
+        scrape_interval: float = 15.0,
+        session_idle_timeout: float = 3600.0,
+        selection_policy=None,
+    ) -> None:
+        if not resources:
+            raise DaemonError("daemon needs at least one QRMI resource")
+        self.sim = sim
+        self.resources = dict(resources)
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.tokens = TokenStore()
+        self.sessions = SessionManager(self.tokens, idle_timeout=session_idle_timeout)
+        self.queue = MiddlewareQueue(
+            shot_cap=shot_cap if shot_cap is not None else ShotCapPolicy()
+        )
+        self.sdk_registry = sdk_registry or default_registry()
+        self.jobmeta = JobMetadataStore()
+        self.scheduler = SecondLevelScheduler(
+            sim,
+            self.queue,
+            self.resources,
+            mode=mode,
+            trace=self.trace,
+            selection_policy=selection_policy,
+            on_task_done=self._record_task_metadata,
+        )
+        # observability stack
+        self.metrics = MetricRegistry()
+        self.tsdb = TimeSeriesDB()
+        self.scraper = Scraper(sim, self.tsdb, interval=scrape_interval)
+        self._m_tasks = self.metrics.counter(
+            "daemon_tasks_total", "Tasks by terminal state", label_names=("state",)
+        )
+        self._m_queue = self.metrics.gauge(
+            "daemon_queue_depth", "Queued tasks per class", label_names=("class",)
+        )
+        self._m_wait = self.metrics.histogram(
+            "daemon_task_wait_seconds",
+            "Queue wait per class",
+            buckets=(1.0, 5.0, 15.0, 60.0, 300.0, 1800.0, 7200.0),
+            label_names=("class",),
+        )
+        self._m_sessions = self.metrics.gauge("daemon_active_sessions", "Live sessions")
+        self.alerts: AlertManager | None = None
+        self._lowlevel: dict[str, LowLevelControl] = {}
+        for name, resource in self.resources.items():
+            device = getattr(resource, "device", None)
+            if isinstance(device, QPUDevice):
+                self.scraper.add_qpu(device, name=name)
+                self._lowlevel[name] = LowLevelControl(device)
+                if self.alerts is None:
+                    self.alerts = AlertManager.with_default_qpu_rules(self.tsdb, name)
+        if self.alerts is not None:
+            # evaluate alert rules on the scrape cadence so for_seconds
+            # windows progress without an external ticker
+            manager = self.alerts
+
+            def evaluate_alerts(now: float) -> dict[str, float]:
+                return {"alerts_firing": float(len(manager.evaluate(now)))}
+
+            self.scraper.add_target("alert-evaluator", evaluate_alerts)
+        self.scraper.start()
+        self.admin_ops = AdminOperations(self)
+        self.admin_token = self.tokens.issue("site-admin", Role.ADMIN)
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- sessions ---------------------------------------------------------------
+
+    def create_session(
+        self,
+        user: str,
+        priority_class: str | PriorityClass = PriorityClass.DEVELOPMENT,
+        slurm_partition: str | None = None,
+        slurm_job_id: int | None = None,
+    ) -> Session:
+        """Open a session; priority comes from the Slurm partition when
+        given (paper §3.3: "The daemon retrieves the job's priority from
+        Slurm"), else from the explicit class."""
+        if slurm_partition is not None:
+            priority = PriorityClass.from_partition(slurm_partition)
+        elif isinstance(priority_class, str):
+            priority = PriorityClass.parse(priority_class)
+        else:
+            priority = priority_class
+        session = self.sessions.create(
+            user, priority, now=self.now, slurm_job_id=slurm_job_id
+        )
+        self._m_sessions.set(float(len(self.sessions.active())))
+        self.trace.emit(
+            self.now,
+            "daemon",
+            "session_create",
+            session_id=session.session_id,
+            user=user,
+            priority=priority.name.lower(),
+        )
+        return session
+
+    def resolve_session(self, token: str) -> Session:
+        return self.sessions.resolve(token, self.now)
+
+    # -- task submission ----------------------------------------------------------
+
+    def submit_task(
+        self,
+        token: str,
+        program: Any,
+        resource: str,
+        shots: int | None = None,
+    ) -> QueuedTask:
+        """Validate and enqueue a program for the session behind ``token``.
+
+        ``program`` may be any registered SDK object, an
+        :class:`AnalogProgram`, or an IR dict (as arriving over REST).
+        """
+        session = self.resolve_session(token)
+        if resource not in self.resources:
+            raise DaemonError(
+                f"unknown resource {resource!r}; available: {sorted(self.resources)}"
+            )
+        if isinstance(program, dict):
+            program = AnalogProgram.from_dict(program)
+        else:
+            program = self.sdk_registry.translate(program, shots=shots or 100)
+        if shots is not None and program.shots != shots:
+            program = program.with_shots(shots)
+        task = self.queue.submit(
+            session_id=session.session_id,
+            user=session.user,
+            program=program,
+            priority=session.priority_class,
+            resource=resource,
+            now=self.now,
+        )
+        # point-of-submission validation against the resource's current
+        # target, on the *effective* program (after shot-cap policy).
+        try:
+            self._validate_against_target(task.program, resource)
+        except Exception:
+            self.queue.cancel(task.task_id)
+            raise
+        session.task_ids.append(task.task_id)
+        self._update_queue_gauges()
+        self.scheduler.notify_submit(task)
+        return task
+
+    def _validate_against_target(self, program: AnalogProgram, resource: str) -> None:
+        from ..qpu.specs import DeviceSpecs
+
+        target = self.resources[resource].target()
+        specs = DeviceSpecs.from_dict(target)
+        specs.check(program.register, list(program.segments), program.shots)
+
+    def task_status(self, token: str, task_id: str) -> dict[str, Any]:
+        session = self.resolve_session(token)
+        task = self.queue.get(task_id)
+        if task.session_id != session.session_id:
+            raise SessionError("task belongs to a different session")
+        return {
+            "task_id": task.task_id,
+            "state": task.state.value,
+            "priority": task.priority.name.lower(),
+            "enqueued_at": task.enqueued_at,
+            "started_at": task.started_at,
+            "finished_at": task.finished_at,
+            "preempt_count": task.preempt_count,
+            "metadata": dict(task.metadata),
+        }
+
+    def task_result(self, token: str, task_id: str) -> Any:
+        session = self.resolve_session(token)
+        task = self.queue.get(task_id)
+        if task.session_id != session.session_id:
+            raise SessionError("task belongs to a different session")
+        if task.state is TaskState.FAILED:
+            raise DaemonError(f"task failed: {task.error}")
+        if task.state is not TaskState.COMPLETED:
+            raise DaemonError(f"task not finished (state {task.state.value})")
+        return task.result
+
+    # -- discovery ---------------------------------------------------------------
+
+    def list_resources(self) -> list[dict[str, Any]]:
+        return [res.metadata() for res in self.resources.values()]
+
+    def resource_target(self, resource: str) -> dict[str, Any]:
+        if resource not in self.resources:
+            raise DaemonError(f"unknown resource {resource!r}")
+        return self.resources[resource].target()
+
+    def supported_sdks(self) -> list[str]:
+        return self.sdk_registry.names()
+
+    # -- observability -------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        self._update_queue_gauges()
+        return render_exposition(self.metrics)
+
+    def telemetry(self, resource: str) -> dict[str, Any]:
+        device = self.hardware_device(resource)
+        snap = device.telemetry(self.now)
+        return snap.to_metrics() | {"status": snap.status}
+
+    def evaluate_alerts(self) -> list[dict[str, Any]]:
+        if self.alerts is None:
+            return []
+        firing = self.alerts.evaluate(self.now)
+        return [
+            {"name": a.rule.name, "severity": a.rule.severity, "since": a.fired_at}
+            for a in firing
+        ]
+
+    def _record_task_metadata(self, task: QueuedTask) -> None:
+        state = task.state.value
+        self._m_tasks.inc(labels={"state": state})
+        wait = task.wait_time()
+        if wait is not None:
+            self._m_wait.observe(wait, labels={"class": task.priority.name.lower()})
+        self._update_queue_gauges()
+        if task.state is TaskState.COMPLETED and task.result is not None:
+            try:
+                self.jobmeta.record_from_result(
+                    task.task_id,
+                    self.now,
+                    task.result,
+                    user=task.user,
+                    priority_class=task.priority.name.lower(),
+                    queue_wait_s=wait or 0.0,
+                )
+            except Exception:
+                pass  # metadata is best-effort; never fail the task for it
+
+    def job_metadata(self, token: str, task_id: str) -> dict[str, Any]:
+        session = self.resolve_session(token)
+        task = self.queue.get(task_id)
+        if task.session_id != session.session_id:
+            raise SessionError("task belongs to a different session")
+        record = self.jobmeta.get(task_id)
+        return {
+            "task_id": record.task_id,
+            "backend": record.backend,
+            "shots": record.shots,
+            "queue_wait_s": record.queue_wait_s,
+            "calibration": dict(record.calibration),
+            "diagnostics": dict(record.diagnostics),
+        }
+
+    def _update_queue_gauges(self) -> None:
+        for cls, depth in self.queue.depth_by_class().items():
+            self._m_queue.set(float(depth), labels={"class": cls})
+
+    # -- internals used by admin/lowlevel --------------------------------------------
+
+    def hardware_device(self, resource: str) -> QPUDevice:
+        if resource not in self.resources:
+            raise DaemonError(f"unknown resource {resource!r}")
+        device = getattr(self.resources[resource], "device", None)
+        if not isinstance(device, QPUDevice):
+            raise DaemonError(f"resource {resource!r} is not hardware-backed")
+        return device
+
+    def lowlevel_for(self, resource: str) -> LowLevelControl:
+        if resource not in self._lowlevel:
+            raise DaemonError(f"no low-level control for resource {resource!r}")
+        return self._lowlevel[resource]

@@ -1,0 +1,44 @@
+"""Emulator suite for the analog neutral-atom QPU.
+
+Reimplementation of the role played by ``pasqal-io/emulators`` (paper
+ref [5]): a ladder of backends trading accuracy for reach, all behind
+one interface so the runtime can swap them for the QPU transparently
+(paper §3.2):
+
+* :class:`StateVectorEmulator` — exact dense evolution, small qubit
+  counts ("run their program locally on their laptop"),
+* :class:`MPSEmulator` — tensor-network (matrix-product-state) TEBD
+  with a bond-dimension cap; the "large tensor network emulators" run
+  on HPC nodes,
+* ``MPSEmulator(max_bond_dim=1)`` — the paper's product-state trick
+  (footnote 3): "it can be used for mocking the QPU in end-to-end
+  tests",
+* :class:`NoiseModel` — SPAM + amplitude/detuning fluctuation noise,
+  shared with the QPU device model so emulator-vs-QPU discrepancies
+  come only from calibration drift, exactly the failure mode the paper
+  wants surfaced.
+"""
+
+from .base import EmulationResult, EmulatorBackend
+from .faults import FaultInjectingBackend, FaultPolicy, ProfilingBackend
+from .mps import MPSEmulator
+from .noise import NoiseModel
+from .resources import EMULATOR_CATALOG, EmulatorSpec, make_emulator
+from .sampling import counts_from_samples, sample_bitstrings
+from .statevector import StateVectorEmulator
+
+__all__ = [
+    "EMULATOR_CATALOG",
+    "EmulationResult",
+    "EmulatorBackend",
+    "EmulatorSpec",
+    "FaultInjectingBackend",
+    "FaultPolicy",
+    "ProfilingBackend",
+    "MPSEmulator",
+    "NoiseModel",
+    "StateVectorEmulator",
+    "counts_from_samples",
+    "make_emulator",
+    "sample_bitstrings",
+]

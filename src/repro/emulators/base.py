@@ -1,0 +1,88 @@
+"""Common emulator interface and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import EmulatorError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, breaks a cycle
+    from ..qpu.hamiltonian import RydbergHamiltonian
+from .noise import NoiseModel
+
+__all__ = ["EmulationResult", "EmulatorBackend"]
+
+
+@dataclass
+class EmulationResult:
+    """Outcome of one emulated execution.
+
+    ``counts`` maps bitstrings (``'0110'``, qubit 0 leftmost) to shot
+    counts.  ``metadata`` carries backend-specific diagnostics (e.g.
+    accumulated MPS truncation error) surfaced to the user as per-job
+    metadata by the observability layer.
+    """
+
+    counts: dict[str, int]
+    shots: int
+    backend: str
+    duration_us: float
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def probabilities(self) -> dict[str, float]:
+        if self.shots == 0:
+            return {}
+        return {bits: c / self.shots for bits, c in self.counts.items()}
+
+    def expectation_occupation(self) -> np.ndarray:
+        """Mean Rydberg occupation per qubit, estimated from counts."""
+        if not self.counts:
+            raise EmulatorError("no counts to compute occupations from")
+        n = len(next(iter(self.counts)))
+        occ = np.zeros(n)
+        for bits, count in self.counts.items():
+            digits = np.frombuffer(bits.encode(), dtype=np.uint8).astype(np.float64)
+            occ += count * (digits - ord("0"))
+        return occ / max(1, self.shots)
+
+    def most_frequent(self) -> str:
+        if not self.counts:
+            raise EmulatorError("no counts recorded")
+        return max(self.counts.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+
+class EmulatorBackend:
+    """Abstract emulator: evolve a Rydberg Hamiltonian and sample.
+
+    Subclasses implement :meth:`final_state_probabilities` (or override
+    :meth:`run` wholesale for backends that sample without forming the
+    full distribution, like the MPS emulator).
+    """
+
+    name = "abstract"
+    max_qubits = 0
+
+    def check_size(self, ham: "RydbergHamiltonian") -> None:
+        if ham.num_qubits > self.max_qubits:
+            raise EmulatorError(
+                f"{self.name} supports up to {self.max_qubits} qubits, "
+                f"got {ham.num_qubits}"
+            )
+
+    def run(
+        self,
+        ham: "RydbergHamiltonian",
+        shots: int,
+        rng: np.random.Generator,
+        noise: NoiseModel | None = None,
+    ) -> EmulationResult:
+        raise NotImplementedError
+
+    def fidelity_estimate(self) -> float:
+        """Backend's own estimate of result fidelity for the last run
+        (1.0 = numerically exact)."""
+        return 1.0

@@ -1,0 +1,208 @@
+"""Fault injection and profiling for emulator backends (paper §4).
+
+"Future efforts could enrich the emulator interface with profiling,
+fault injection, or simulated QPU timing to enable more realistic
+development."  This module implements that future-work item:
+
+* :class:`FaultInjectingBackend` — wraps any backend and injects the
+  failure modes a real QPU service exhibits: task failures, transient
+  errors that succeed on retry, result corruption (bit flips beyond the
+  physical noise model), and latency spikes (exposed as metadata so the
+  daemon's timing model can consume it),
+* :class:`ProfilingBackend` — wraps any backend and records per-run
+  wall-clock, qubit count and shot count, aggregated into a profile
+  report developers can read before moving to scarce hardware.
+
+Both wrappers preserve the :class:`~repro.emulators.base.EmulatorBackend`
+interface, so they compose with QRMI resources transparently — the
+whole point of the paper's "same interface everywhere" design.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import EmulatorError
+from .base import EmulationResult, EmulatorBackend
+from .noise import NoiseModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..qpu.hamiltonian import RydbergHamiltonian
+
+__all__ = ["FaultInjectingBackend", "FaultPolicy", "ProfilingBackend"]
+
+
+class InjectedFault(EmulatorError):
+    """Raised when the fault policy decides this run fails."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Probabilities of each injected failure mode, per run."""
+
+    failure_rate: float = 0.0            # hard task failure
+    transient_rate: float = 0.0          # fails, but a retry succeeds
+    corruption_rate: float = 0.0         # result bits scrambled
+    latency_spike_rate: float = 0.0      # slow response
+    latency_spike_seconds: float = 30.0
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("failure_rate", "transient_rate", "corruption_rate", "latency_spike_rate"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise EmulatorError(f"{name} must be a probability, got {value}")
+        if self.max_retries < 0:
+            raise EmulatorError("max_retries must be >= 0")
+
+
+class FaultInjectingBackend(EmulatorBackend):
+    """Backend decorator injecting service-level failures."""
+
+    def __init__(
+        self,
+        inner: EmulatorBackend,
+        policy: FaultPolicy,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy
+        self.fault_rng = rng if rng is not None else np.random.default_rng(0)
+        self.name = f"faulty({inner.name})"
+        self.max_qubits = inner.max_qubits
+        self.injected: dict[str, int] = {
+            "failure": 0, "transient": 0, "corruption": 0, "latency_spike": 0,
+        }
+
+    def run(
+        self,
+        ham: "RydbergHamiltonian",
+        shots: int,
+        rng: np.random.Generator,
+        noise: NoiseModel | None = None,
+    ) -> EmulationResult:
+        policy = self.policy
+        attempts = 0
+        while True:
+            attempts += 1
+            roll = self.fault_rng.random()
+            if roll < policy.failure_rate:
+                self.injected["failure"] += 1
+                raise InjectedFault(f"{self.name}: injected hard failure")
+            if roll < policy.failure_rate + policy.transient_rate:
+                self.injected["transient"] += 1
+                if attempts <= policy.max_retries:
+                    continue  # the retry path: next attempt may succeed
+                raise InjectedFault(
+                    f"{self.name}: transient fault persisted past "
+                    f"{policy.max_retries} retries"
+                )
+            break
+        result = self.inner.run(ham, shots, rng, noise=noise)
+        result.metadata["fault_attempts"] = attempts
+        if self.fault_rng.random() < policy.corruption_rate:
+            self.injected["corruption"] += 1
+            result = self._corrupt(result, ham.num_qubits)
+            result.metadata["injected_corruption"] = True
+        if self.fault_rng.random() < policy.latency_spike_rate:
+            self.injected["latency_spike"] += 1
+            result.metadata["injected_latency_s"] = policy.latency_spike_seconds
+        return result
+
+    def _corrupt(self, result: EmulationResult, n: int) -> EmulationResult:
+        """Scramble the counts: redistribute a third of the shots uniformly.
+
+        Models a mis-labeled detector image — recognizably wrong results,
+        the failure drift detection and QA are supposed to catch."""
+        corrupted: dict[str, int] = dict(result.counts)
+        to_move = result.shots // 3
+        keys = sorted(corrupted, key=lambda k: -corrupted[k])
+        moved = 0
+        for key in keys:
+            take = min(corrupted[key], to_move - moved)
+            corrupted[key] -= take
+            moved += take
+            if moved >= to_move:
+                break
+        random_states = self.fault_rng.integers(0, 1 << n, size=moved)
+        for state in random_states:
+            bits = format(int(state), f"0{n}b")
+            corrupted[bits] = corrupted.get(bits, 0) + 1
+        corrupted = {k: v for k, v in corrupted.items() if v > 0}
+        return EmulationResult(
+            counts=corrupted,
+            shots=result.shots,
+            backend=result.backend,
+            duration_us=result.duration_us,
+            metadata=dict(result.metadata),
+        )
+
+    def fidelity_estimate(self) -> float:
+        return self.inner.fidelity_estimate()
+
+
+@dataclass
+class _ProfileEntry:
+    num_qubits: int
+    shots: int
+    wall_seconds: float
+    backend: str
+
+
+class ProfilingBackend(EmulatorBackend):
+    """Backend decorator recording per-run performance."""
+
+    def __init__(self, inner: EmulatorBackend) -> None:
+        self.inner = inner
+        self.name = f"profiled({inner.name})"
+        self.max_qubits = inner.max_qubits
+        self.entries: list[_ProfileEntry] = []
+
+    def run(
+        self,
+        ham: "RydbergHamiltonian",
+        shots: int,
+        rng: np.random.Generator,
+        noise: NoiseModel | None = None,
+    ) -> EmulationResult:
+        start = time.perf_counter()
+        result = self.inner.run(ham, shots, rng, noise=noise)
+        elapsed = time.perf_counter() - start
+        self.entries.append(
+            _ProfileEntry(
+                num_qubits=ham.num_qubits,
+                shots=shots,
+                wall_seconds=elapsed,
+                backend=result.backend,
+            )
+        )
+        result.metadata["profile_wall_seconds"] = elapsed
+        return result
+
+    def report(self) -> dict:
+        """Aggregate profile: totals and per-size breakdown."""
+        if not self.entries:
+            return {"runs": 0}
+        by_size: dict[int, list[float]] = {}
+        for entry in self.entries:
+            by_size.setdefault(entry.num_qubits, []).append(entry.wall_seconds)
+        return {
+            "runs": len(self.entries),
+            "total_wall_seconds": sum(e.wall_seconds for e in self.entries),
+            "total_shots": sum(e.shots for e in self.entries),
+            "by_qubits": {
+                n: {
+                    "runs": len(times),
+                    "mean_wall_seconds": float(np.mean(times)),
+                    "max_wall_seconds": float(np.max(times)),
+                }
+                for n, times in sorted(by_size.items())
+            },
+        }
+
+    def fidelity_estimate(self) -> float:
+        return self.inner.fidelity_estimate()

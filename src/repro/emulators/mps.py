@@ -1,0 +1,280 @@
+"""Matrix-product-state (tensor network) emulator — EMU-MPS analogue.
+
+TEBD evolution of the Rydberg Hamiltonian with a hard bond-dimension
+cap ``max_bond_dim`` (chi).  This is the emulator the paper leans on
+for the portability story (§3.2):
+
+* large chi on HPC nodes — accurate results for 1-D-like registers far
+  beyond state-vector reach,
+* **chi = 1** — a pure product state: "it can be used for mocking the
+  QPU in end-to-end tests" (paper footnote 3).  Results are physically
+  wrong but every code path (validation, scheduling, telemetry) runs.
+
+Approximations (documented, and measured by
+``benchmarks/bench_ablation_bond_dimension.py``):
+
+1. bond-dimension truncation (tracked as accumulated discarded weight,
+   reported via :meth:`fidelity_estimate`),
+2. interactions are kept only between atoms *adjacent in the MPS
+   ordering* (atoms sorted by position); longer-range tails of the
+   1/r^6 potential are dropped.  For chain registers this keeps the
+   dominant nearest-neighbour blockade physics.
+
+Algorithm per Trotter step (second order):
+
+    U1(dt/2) on every site  ->  diagonal bond gates (dt)  ->  U1(dt/2)
+
+where ``U1 = exp(-i dt (Omega/2 (cos phi X - sin phi Y) - delta n))`` is
+an exact 2x2 exponential and the bond gates
+``exp(-i dt U_ij n (x) n)`` are diagonal, hence mutually commuting — no
+even/odd sublattice split is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BondDimensionError, EmulatorError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, breaks a cycle
+    from ..qpu.hamiltonian import RydbergHamiltonian
+from .base import EmulationResult, EmulatorBackend
+from .noise import NoiseModel
+from .sampling import counts_from_samples
+
+__all__ = ["MPSEmulator"]
+
+
+class MPSEmulator(EmulatorBackend):
+    """TEBD tensor-network emulator with capped bond dimension."""
+
+    name = "emu-mps"
+
+    def __init__(self, max_bond_dim: int = 16, max_qubits: int = 128) -> None:
+        if max_bond_dim < 1:
+            raise BondDimensionError(f"max_bond_dim must be >= 1, got {max_bond_dim}")
+        self.max_bond_dim = max_bond_dim
+        self.max_qubits = max_qubits
+        self._last_discarded_weight = 0.0
+
+    # -- state initialisation ------------------------------------------------
+
+    @staticmethod
+    def _initial_state(n: int) -> list[np.ndarray]:
+        """Product state |0...0> as trivial chi=1 MPS."""
+        tensor = np.zeros((1, 2, 1), dtype=np.complex128)
+        tensor[0, 0, 0] = 1.0
+        return [tensor.copy() for _ in range(n)]
+
+    @staticmethod
+    def _site_order(ham: "RydbergHamiltonian") -> np.ndarray:
+        """Map MPS position -> atom index, ordering atoms along their
+        dominant spatial axis so neighbours in space are neighbours in
+        the chain."""
+        pos = ham.register.positions
+        spread = pos.max(axis=0) - pos.min(axis=0)
+        axis = int(np.argmax(spread))
+        other = 1 - axis
+        keys = np.lexsort((pos[:, other], pos[:, axis]))
+        return keys
+
+    def _bond_strengths(self, ham: "RydbergHamiltonian", order: np.ndarray) -> np.ndarray:
+        """U_{k,k+1} between MPS-adjacent atoms."""
+        n = ham.num_qubits
+        strengths = np.empty(max(0, n - 1))
+        for k in range(n - 1):
+            strengths[k] = ham.interactions[order[k], order[k + 1]]
+        return strengths
+
+    # -- gates -----------------------------------------------------------------
+
+    @staticmethod
+    def _single_site_gate(omega: float, delta: float, phase: float, dt: float) -> np.ndarray:
+        """Exact 2x2 exponential of the single-site generator.
+
+        H1 = (omega/2)(cos(phi) X - sin(phi) Y) - delta n
+           = -delta/2 I + hx X + hy Y + (delta/2) Z  with
+        hx = (omega/2) cos(phi), hy = -(omega/2) sin(phi).
+        exp(-i dt H1) computed from the su(2) decomposition.
+        """
+        hx = 0.5 * omega * np.cos(phase)
+        hy = -0.5 * omega * np.sin(phase)
+        hz = 0.5 * delta
+        h0 = -0.5 * delta
+        r = np.sqrt(hx * hx + hy * hy + hz * hz)
+        if r < 1e-300:
+            return np.exp(-1j * dt * h0) * np.eye(2, dtype=np.complex128)
+        c = np.cos(r * dt)
+        s = np.sin(r * dt) / r
+        x = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+        y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+        z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+        u = c * np.eye(2) - 1j * s * (hx * x + hy * y + hz * z)
+        return np.exp(-1j * dt * h0) * u
+
+    def _apply_single_site(self, mps: list[np.ndarray], gate: np.ndarray) -> None:
+        for k, tensor in enumerate(mps):
+            mps[k] = np.einsum("ab,ibj->iaj", gate, tensor)
+
+    def _apply_bond_gate(
+        self, mps: list[np.ndarray], k: int, coupling: float, dt: float
+    ) -> None:
+        """Apply exp(-i dt U n(x)n) to sites (k, k+1) with SVD truncation."""
+        a, b = mps[k], mps[k + 1]
+        dl, _, dm = a.shape
+        _, _, dr = b.shape
+        theta = np.einsum("iaj,jbk->iabk", a, b)
+        # Diagonal gate: phase only on the |11> component.
+        theta[:, 1, 1, :] *= np.exp(-1j * dt * coupling)
+        matrix = theta.reshape(dl * 2, 2 * dr)
+        u, s, vh = np.linalg.svd(matrix, full_matrices=False)
+        keep = min(self.max_bond_dim, s.shape[0])
+        total = float((s**2).sum())
+        discarded = float((s[keep:] ** 2).sum())
+        if total > 0:
+            self._last_discarded_weight += discarded / total
+        u, s, vh = u[:, :keep], s[:keep], vh[:keep]
+        norm = np.sqrt(float((s**2).sum()))
+        if norm > 0:
+            s = s / norm
+        mps[k] = u.reshape(dl, 2, keep)
+        mps[k + 1] = (s[:, None] * vh).reshape(keep, 2, dr)
+
+    # -- evolution -----------------------------------------------------------
+
+    def evolve(
+        self,
+        ham: "RydbergHamiltonian",
+        rabi_scale: float = 1.0,
+        detuning_offset: float = 0.0,
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Evolve |0...0>; returns (mps, site_order)."""
+        self.check_size(ham)
+        n = ham.num_qubits
+        order = self._site_order(ham)
+        bonds = self._bond_strengths(ham, order)
+        mps = self._initial_state(n)
+        self._last_discarded_weight = 0.0
+
+        omega = ham.omega * rabi_scale
+        delta = ham.delta + detuning_offset
+        phase = ham.phase
+        steps = ham.steps
+        for step_idx in range(ham.num_steps):
+            dt = steps[step_idx]
+            half = self._single_site_gate(
+                omega[step_idx], delta[step_idx], phase[step_idx], dt / 2.0
+            )
+            self._apply_single_site(mps, half)
+            for k in range(n - 1):
+                if bonds[k] != 0.0:
+                    self._apply_bond_gate(mps, k, bonds[k], dt)
+            self._apply_single_site(mps, half)
+        _normalize(mps)
+        return mps, order
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(
+        self, mps: list[np.ndarray], order: np.ndarray, shots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sequential conditional sampling; returns (shots, n) bits in
+        *atom* order (inverse of the MPS site permutation)."""
+        n = len(mps)
+        right_env = _right_environments(mps)
+        samples_chain = np.empty((shots, n), dtype=np.uint8)
+        for shot in range(shots):
+            v = np.ones((1,), dtype=np.complex128)
+            for k, tensor in enumerate(mps):
+                # amplitude vectors for bit 0 / 1 given the prefix
+                v0 = v @ tensor[:, 0, :]
+                v1 = v @ tensor[:, 1, :]
+                r = right_env[k + 1]
+                # P(prefix + b) = v_b R v_b^dagger (v_b is a row vector).
+                p0 = float(np.real(v0 @ r @ v0.conj()))
+                p1 = float(np.real(v1 @ r @ v1.conj()))
+                total = p0 + p1
+                if total <= 0:
+                    bit = 0
+                    v = v0
+                else:
+                    bit = int(rng.random() < (p1 / total))
+                    v = v1 if bit else v0
+                    v = v / np.sqrt(max(p1, 1e-300) if bit else max(p0, 1e-300))
+                samples_chain[shot, k] = bit
+        # un-permute chain positions back to atom indices
+        samples = np.empty_like(samples_chain)
+        samples[:, order] = samples_chain
+        return samples
+
+    def run(
+        self,
+        ham: "RydbergHamiltonian",
+        shots: int,
+        rng: np.random.Generator,
+        noise: NoiseModel | None = None,
+    ) -> EmulationResult:
+        self.check_size(ham)
+        if shots < 0:
+            raise EmulatorError(f"shots must be >= 0, got {shots}")
+        n = ham.num_qubits
+        if noise is None or not noise.has_coherent_noise:
+            mps, order = self.evolve(ham)
+            samples = self.sample(mps, order, shots, rng)
+        else:
+            reals = min(noise.noise_realizations, max(1, shots))
+            base, extra = divmod(shots, reals)
+            chunks = []
+            for r in range(reals):
+                chunk_shots = base + (1 if r < extra else 0)
+                if chunk_shots == 0:
+                    continue
+                scale, offset = noise.draw_realization(rng)
+                mps, order = self.evolve(ham, scale, offset)
+                chunks.append(self.sample(mps, order, chunk_shots, rng))
+            samples = (
+                np.concatenate(chunks) if chunks else np.zeros((0, n), dtype=np.uint8)
+            )
+        if noise is not None:
+            samples = noise.apply_spam(samples, rng)
+        return EmulationResult(
+            counts=counts_from_samples(samples),
+            shots=shots,
+            backend=self.name,
+            duration_us=ham.total_duration,
+            metadata={
+                "max_bond_dim": self.max_bond_dim,
+                "discarded_weight": self._last_discarded_weight,
+                "product_state_mode": self.max_bond_dim == 1,
+            },
+        )
+
+    def fidelity_estimate(self) -> float:
+        """Crude fidelity proxy: product of kept weights across truncations."""
+        return float(np.exp(-self._last_discarded_weight))
+
+
+def _right_environments(mps: list[np.ndarray]) -> list[np.ndarray]:
+    """R[k] = contraction of sites k..n-1 with their conjugates.
+
+    R[n] = [[1]]; R[k] = sum_b A_k[b] R[k+1] A_k[b]^dagger.
+    """
+    n = len(mps)
+    envs: list[np.ndarray] = [np.zeros((0, 0))] * (n + 1)
+    envs[n] = np.ones((1, 1), dtype=np.complex128)
+    for k in range(n - 1, -1, -1):
+        tensor = mps[k]
+        r = envs[k + 1]
+        # sum over physical index: (Dl,2,Dr) x (Dr,Dr') x conj(Dl',2,Dr')
+        tmp = np.einsum("ibj,jk->ibk", tensor, r)
+        envs[k] = np.einsum("ibk,lbk->il", tmp, tensor.conj())
+    return envs
+
+
+def _normalize(mps: list[np.ndarray]) -> None:
+    """Scale the MPS to unit norm (global factor on the first tensor)."""
+    env = _right_environments(mps)[0]
+    norm2 = float(np.real(env[0, 0])) if env.size else 1.0
+    if norm2 > 0:
+        mps[0] = mps[0] / np.sqrt(norm2)

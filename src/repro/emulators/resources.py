@@ -1,0 +1,93 @@
+"""Catalog of emulator configurations advertised through QRMI.
+
+The paper exposes emulators as QRMI devices next to real QPUs
+("Additionally, we implement as a QRMIBackend the emulator suite from
+Ref. [5]. The user-exposed backend module will default to using the
+tensor network backend, if installed.", §3.2).  This module is that
+catalog: named configurations with spec documents the runtime can
+compare against QPU specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EmulatorError
+from .base import EmulatorBackend
+from .mps import MPSEmulator
+from .statevector import StateVectorEmulator
+
+__all__ = ["EMULATOR_CATALOG", "EmulatorSpec", "make_emulator"]
+
+
+@dataclass(frozen=True)
+class EmulatorSpec:
+    """Descriptor of one catalog entry."""
+
+    name: str
+    kind: str              # "statevector" | "mps"
+    max_qubits: int
+    max_bond_dim: int = 0  # 0 = n/a
+    description: str = ""
+
+    def build(self) -> EmulatorBackend:
+        if self.kind == "statevector":
+            return StateVectorEmulator(max_qubits=self.max_qubits)
+        if self.kind == "mps":
+            return MPSEmulator(max_bond_dim=self.max_bond_dim, max_qubits=self.max_qubits)
+        raise EmulatorError(f"unknown emulator kind {self.kind!r}")
+
+
+#: Default catalog: the fidelity ladder from laptop to HPC to mock.
+EMULATOR_CATALOG: dict[str, EmulatorSpec] = {
+    spec.name: spec
+    for spec in (
+        EmulatorSpec(
+            name="emu-sv",
+            kind="statevector",
+            max_qubits=14,
+            description="Exact dense state-vector emulator (laptop scale).",
+        ),
+        EmulatorSpec(
+            name="emu-mps",
+            kind="mps",
+            max_qubits=128,
+            max_bond_dim=16,
+            description="Tensor-network emulator, the HPC default backend.",
+        ),
+        EmulatorSpec(
+            name="emu-mps-large",
+            kind="mps",
+            max_qubits=128,
+            max_bond_dim=64,
+            description="High-accuracy tensor-network emulator for HPC nodes.",
+        ),
+        EmulatorSpec(
+            name="emu-product",
+            kind="mps",
+            max_qubits=1024,
+            max_bond_dim=1,
+            description=(
+                "Product-state (chi=1) mock: wrong physics, full code path; "
+                "for end-to-end tests against arbitrarily large registers."
+            ),
+        ),
+    )
+}
+
+
+def make_emulator(name: str, **overrides) -> EmulatorBackend:
+    """Instantiate a catalog emulator, optionally overriding fields.
+
+    >>> emu = make_emulator("emu-mps", max_bond_dim=32)
+    """
+    if name not in EMULATOR_CATALOG:
+        raise EmulatorError(
+            f"unknown emulator {name!r}; available: {sorted(EMULATOR_CATALOG)}"
+        )
+    spec = EMULATOR_CATALOG[name]
+    if overrides:
+        from dataclasses import replace
+
+        spec = replace(spec, **overrides)
+    return spec.build()

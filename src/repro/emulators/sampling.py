@@ -1,0 +1,71 @@
+"""Measurement sampling utilities (vectorized)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EmulatorError
+
+__all__ = ["bits_to_strings", "counts_from_samples", "sample_bitstrings"]
+
+
+def sample_bitstrings(
+    probabilities: np.ndarray, shots: int, rng: np.random.Generator, num_qubits: int
+) -> np.ndarray:
+    """Draw ``shots`` basis states from a 2^n distribution.
+
+    Returns an (shots, n) uint8 array of bits (qubit 0 = MSB = column 0).
+    Uses a single multinomial draw + repeat expansion instead of
+    per-shot choice calls (one RNG call, no Python loop).
+    """
+    if shots < 0:
+        raise EmulatorError(f"shots must be >= 0, got {shots}")
+    dim = probabilities.shape[0]
+    if dim != 1 << num_qubits:
+        raise EmulatorError(
+            f"distribution has {dim} entries, expected {1 << num_qubits}"
+        )
+    p = np.clip(probabilities.real, 0.0, None)
+    total = p.sum()
+    if total <= 0:
+        raise EmulatorError("probability vector sums to zero")
+    p = p / total
+    if shots == 0:
+        return np.zeros((0, num_qubits), dtype=np.uint8)
+    counts = rng.multinomial(shots, p)
+    states = np.repeat(np.arange(dim, dtype=np.uint64), counts)
+    rng.shuffle(states)
+    shifts = np.arange(num_qubits - 1, -1, -1, dtype=np.uint64)
+    return ((states[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
+
+
+def bits_to_strings(samples: np.ndarray) -> list[str]:
+    """Convert an (shots, n) bit array to '0101' strings, vectorized."""
+    if samples.ndim != 2:
+        raise EmulatorError(f"samples must be 2-D, got shape {samples.shape}")
+    if samples.shape[0] == 0:
+        return []
+    chars = (samples + ord("0")).astype(np.uint8)
+    return [row.tobytes().decode("ascii") for row in chars]
+
+
+def counts_from_samples(samples: np.ndarray) -> dict[str, int]:
+    """Histogram an (shots, n) bit array into a counts dict."""
+    if samples.shape[0] == 0:
+        return {}
+    # Pack rows into integers for fast unique counting.
+    n = samples.shape[1]
+    if n <= 63:
+        weights = (1 << np.arange(n - 1, -1, -1)).astype(np.uint64)
+        keys = samples.astype(np.uint64) @ weights
+        unique, counts = np.unique(keys, return_counts=True)
+        result: dict[str, int] = {}
+        for key, count in zip(unique.tolist(), counts.tolist()):
+            bits = format(int(key), f"0{n}b")
+            result[bits] = count
+        return result
+    strings = bits_to_strings(samples)
+    result = {}
+    for s in strings:
+        result[s] = result.get(s, 0) + 1
+    return result

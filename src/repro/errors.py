@@ -1,0 +1,184 @@
+"""Exception hierarchy for the repro HPC-QC stack.
+
+Every layer raises subclasses of :class:`ReproError` so callers can catch
+layer-specific failures (``SchedulerError``, ``DeviceError`` ...) or the
+whole family at once.  Error classes deliberately carry structured fields
+(job ids, resource names) so the middleware daemon can serialize them into
+REST error bodies without string parsing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro stack."""
+
+
+class ConfigError(ReproError):
+    """Invalid or missing configuration (environment variables, files)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation kernel errors."""
+
+
+class ClockError(SimulationError):
+    """Attempt to move simulated time backwards or schedule in the past."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process misbehaved (e.g. yielded an unknown command)."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster / resource manager
+# ---------------------------------------------------------------------------
+
+
+class SchedulerError(ReproError):
+    """Base class for resource-manager errors."""
+
+
+class JobError(SchedulerError):
+    """Problem with a job definition or lifecycle transition."""
+
+    def __init__(self, message: str, job_id: int | None = None) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+
+
+class InvalidJobTransition(JobError):
+    """A job state machine transition that is not allowed."""
+
+
+class ResourceUnavailable(SchedulerError):
+    """Requested resources can never be satisfied by the cluster."""
+
+
+class PartitionError(SchedulerError):
+    """Unknown partition or partition misconfiguration."""
+
+
+class GresError(SchedulerError):
+    """Generic-resource (GRES) accounting violation."""
+
+
+class LicenseError(SchedulerError):
+    """License pool accounting violation."""
+
+
+# ---------------------------------------------------------------------------
+# QPU device / emulators
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """Base class for QPU device errors."""
+
+
+class CalibrationError(DeviceError):
+    """Device is out of calibration or a calibration run failed."""
+
+
+class RegisterError(DeviceError):
+    """Invalid atom register geometry for the device."""
+
+
+class PulseError(DeviceError):
+    """Pulse/waveform violates device constraints."""
+
+
+class EmulatorError(ReproError):
+    """Base class for emulator backend errors."""
+
+
+class BondDimensionError(EmulatorError):
+    """Requested bond dimension is invalid for the MPS emulator."""
+
+
+# ---------------------------------------------------------------------------
+# QRMI / runtime / daemon
+# ---------------------------------------------------------------------------
+
+
+class QRMIError(ReproError):
+    """Base class for Quantum Resource Management Interface errors."""
+
+
+class ResourceNotFound(QRMIError):
+    """The named QRMI resource is not configured in the environment."""
+
+
+class AcquisitionError(QRMIError):
+    """Resource could not be acquired (busy, offline, unauthorized)."""
+
+
+class TaskError(QRMIError):
+    """A QRMI task failed or was addressed with an unknown id."""
+
+
+class ValidationError(ReproError):
+    """A program failed validation against current device specs."""
+
+    def __init__(self, message: str, violations: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
+class DaemonError(ReproError):
+    """Base class for middleware daemon errors."""
+
+
+class AuthError(DaemonError):
+    """Missing/invalid session token or insufficient privilege."""
+
+
+class SessionError(DaemonError):
+    """Unknown or expired session."""
+
+
+class QueueError(DaemonError):
+    """Middleware queue misuse (unknown job, bad priority class)."""
+
+
+# ---------------------------------------------------------------------------
+# SDK / IR
+# ---------------------------------------------------------------------------
+
+
+class SDKError(ReproError):
+    """Base class for front-end SDK errors."""
+
+
+class IRError(SDKError):
+    """Malformed intermediate representation."""
+
+
+class TranslationError(SDKError):
+    """A program could not be lowered between SDK and IR."""
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+class ObservabilityError(ReproError):
+    """Base class for telemetry stack errors."""
+
+
+class TSDBError(ObservabilityError):
+    """Time-series database misuse (bad timestamps, unknown series)."""
+
+
+class MetricError(ObservabilityError):
+    """Metric registry misuse (duplicate registration, bad labels)."""
+
+
+class AlertError(ObservabilityError):
+    """Alert rule configuration error."""

@@ -1,0 +1,53 @@
+"""Observability stack: metrics, time series, dashboards, alerts, drift.
+
+Paper §3.6: "we build a native observability stack, exposing QPU state
+through standard telemetry tools such as Prometheus, with plans to
+integrate dashboards via Grafana, all built on the InfluxDB time
+series database."
+
+The stack is rebuilt from scratch with the same division of labour:
+
+* :mod:`metrics`   — Prometheus-style metric registry (counters,
+  gauges, histograms with labels),
+* :mod:`exporter`  — the text exposition format,
+* :mod:`tsdb`      — InfluxDB-style time-series store (monotone
+  append, range queries, downsampling, retention),
+* :mod:`scrape`    — the scraper process polling collectors into the
+  TSDB on a cadence (runs on the simulated clock),
+* :mod:`dashboard` — Grafana-style panel definitions evaluated
+  against the TSDB,
+* :mod:`alerts`    — threshold/absence alert rules with firing state,
+* :mod:`drift`     — QPU calibration drift detectors (EWMA + CUSUM)
+  for the paper's "automated drift detection" future-work item,
+* :mod:`jobmeta`   — per-job metadata ("per-job metadata on qubit
+  performance can assist in interpreting noisy results").
+"""
+
+from .alerts import Alert, AlertManager, AlertRule, AlertState
+from .dashboard import Dashboard, Panel
+from .drift import CusumDetector, DriftDetector, EwmaDetector
+from .exporter import render_exposition
+from .jobmeta import JobMetadataStore
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .scrape import Scraper
+from .tsdb import TimeSeriesDB
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "AlertRule",
+    "AlertState",
+    "Counter",
+    "CusumDetector",
+    "Dashboard",
+    "DriftDetector",
+    "EwmaDetector",
+    "Gauge",
+    "Histogram",
+    "JobMetadataStore",
+    "MetricRegistry",
+    "Panel",
+    "Scraper",
+    "TimeSeriesDB",
+    "render_exposition",
+]

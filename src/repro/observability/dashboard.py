@@ -1,0 +1,83 @@
+"""Grafana-style dashboards: named panels over TSDB queries.
+
+A panel binds a measurement + aggregation + window; a dashboard
+evaluates all panels at a point in time and renders a text table.
+This is the admin's "track current and historical device status using
+familiar tools" surface (paper §1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..errors import ObservabilityError, TSDBError
+from .tsdb import TimeSeriesDB
+
+__all__ = ["Dashboard", "Panel"]
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One dashboard cell: an aggregation over a trailing window."""
+
+    title: str
+    measurement: str
+    func: str = "last"
+    window_seconds: float | None = 3600.0
+    labels: Mapping[str, str] | None = None
+    unit: str = ""
+
+    def evaluate(self, tsdb: TimeSeriesDB, now: float) -> float:
+        since = None if self.window_seconds is None else now - self.window_seconds
+        try:
+            return tsdb.aggregate(
+                self.measurement, self.func, labels=self.labels, since=since, until=now
+            )
+        except TSDBError:
+            return float("nan")
+
+
+@dataclass
+class Dashboard:
+    """Named collection of panels."""
+
+    title: str
+    panels: list[Panel] = field(default_factory=list)
+
+    def add_panel(self, panel: Panel) -> None:
+        if any(p.title == panel.title for p in self.panels):
+            raise ObservabilityError(f"panel {panel.title!r} already on dashboard")
+        self.panels.append(panel)
+
+    def evaluate(self, tsdb: TimeSeriesDB, now: float) -> dict[str, float]:
+        return {panel.title: panel.evaluate(tsdb, now) for panel in self.panels}
+
+    def render_text(self, tsdb: TimeSeriesDB, now: float) -> str:
+        """Plain-text rendering (the terminal-Grafana of this testbed)."""
+        values = self.evaluate(tsdb, now)
+        width = max((len(t) for t in values), default=10)
+        lines = [f"== {self.title} (t={now:.0f}s) =="]
+        for panel in self.panels:
+            value = values[panel.title]
+            shown = "n/a" if value != value else f"{value:.4g}{panel.unit}"
+            lines.append(f"  {panel.title:<{width}}  {shown}")
+        return "\n".join(lines)
+
+    @classmethod
+    def qpu_overview(cls, device_label: str) -> "Dashboard":
+        """The default QPU health dashboard shipped with the stack."""
+        labels = {"device": device_label}
+        dash = cls(title=f"QPU overview: {device_label}")
+        for panel in (
+            Panel("fidelity", "qpu_fidelity_proxy", "last", None, labels),
+            Panel("fidelity 1h min", "qpu_fidelity_proxy", "min", 3600.0, labels),
+            Panel("online", "qpu_online", "last", None, labels),
+            Panel("queue length", "qpu_queue_length", "last", None, labels),
+            Panel("shots/s (1h)", "qpu_shots_served_total", "rate", 3600.0, labels),
+            Panel("tasks done", "qpu_tasks_completed_total", "last", None, labels),
+            Panel("busy seconds", "qpu_busy_seconds_total", "last", None, labels),
+            Panel("eps detection", "qpu_calibration_detection_epsilon", "last", None, labels),
+        ):
+            dash.add_panel(panel)
+        return dash

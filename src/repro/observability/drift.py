@@ -1,0 +1,145 @@
+"""Calibration-drift detectors.
+
+The paper's future-work item made concrete (§4: "extending beyond
+basic telemetry toward per-job metadata and automated drift detection
+would further improve system reliability").  Two standard online
+change detectors over a telemetry series:
+
+* :class:`EwmaDetector` — exponentially weighted moving average with a
+  control band; robust to noise, detects sustained drift,
+* :class:`CusumDetector` — cumulative-sum test; faster on abrupt
+  changes (the jump events in :class:`~repro.qpu.calibration.DriftModel`).
+
+Both consume points one at a time (online), so the scraper can feed
+them live; both report the detection time for the latency experiment
+(C6 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ObservabilityError
+
+__all__ = ["CusumDetector", "DriftDetector", "EwmaDetector"]
+
+
+@dataclass
+class Detection:
+    """One detected drift event."""
+
+    time: float
+    value: float
+    statistic: float
+
+
+class DriftDetector:
+    """Base online detector: feed points, collect detections."""
+
+    def __init__(self) -> None:
+        self.detections: list[Detection] = []
+        self._armed = True
+
+    def update(self, time: float, value: float) -> bool:
+        """Feed one point; returns True if drift is signalled at this point."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Re-arm after maintenance/recalibration."""
+        self._armed = True
+
+    def first_detection_after(self, t0: float) -> float | None:
+        for det in self.detections:
+            if det.time >= t0:
+                return det.time
+        return None
+
+
+class EwmaDetector(DriftDetector):
+    """EWMA control chart, one-sided (drift = value falling).
+
+    Signal when the smoothed value falls below ``baseline - k * sigma``.
+    Baseline and sigma are learned from the first ``warmup`` points.
+    """
+
+    def __init__(self, alpha: float = 0.2, k: float = 4.0, warmup: int = 10) -> None:
+        super().__init__()
+        if not (0 < alpha <= 1):
+            raise ObservabilityError(f"alpha must be in (0,1], got {alpha}")
+        if warmup < 2:
+            raise ObservabilityError("warmup must be >= 2")
+        self.alpha = alpha
+        self.k = k
+        self.warmup = warmup
+        self._ewma: float | None = None
+        self._warm: list[float] = []
+        self._baseline = 0.0
+        self._sigma = 0.0
+
+    def update(self, time: float, value: float) -> bool:
+        if len(self._warm) < self.warmup:
+            self._warm.append(value)
+            if len(self._warm) == self.warmup:
+                arr = np.asarray(self._warm)
+                self._baseline = float(arr.mean())
+                # sigma floor avoids zero-variance warmups triggering on noise
+                self._sigma = max(float(arr.std()), 1e-4)
+                self._ewma = self._baseline
+            return False
+        assert self._ewma is not None
+        self._ewma = self.alpha * value + (1 - self.alpha) * self._ewma
+        # EWMA variance correction factor
+        sigma_ewma = self._sigma * np.sqrt(self.alpha / (2 - self.alpha))
+        threshold = self._baseline - self.k * sigma_ewma
+        if self._armed and self._ewma < threshold:
+            self.detections.append(Detection(time, value, self._ewma))
+            self._armed = False
+            return True
+        if not self._armed and self._ewma >= self._baseline - sigma_ewma:
+            self._armed = True  # recovered; re-arm automatically
+        return False
+
+
+class CusumDetector(DriftDetector):
+    """One-sided CUSUM for downward shifts.
+
+    S_t = max(0, S_{t-1} + (baseline - x_t - slack)); signal when
+    S_t > h.  Baseline learned over ``warmup`` points; ``slack`` and
+    ``h`` in units of the learned sigma.
+    """
+
+    def __init__(self, slack: float = 0.5, h: float = 8.0, warmup: int = 10) -> None:
+        super().__init__()
+        if warmup < 2:
+            raise ObservabilityError("warmup must be >= 2")
+        self.slack = slack
+        self.h = h
+        self.warmup = warmup
+        self._warm: list[float] = []
+        self._baseline = 0.0
+        self._sigma = 0.0
+        self._s = 0.0
+
+    def update(self, time: float, value: float) -> bool:
+        if len(self._warm) < self.warmup:
+            self._warm.append(value)
+            if len(self._warm) == self.warmup:
+                arr = np.asarray(self._warm)
+                self._baseline = float(arr.mean())
+                self._sigma = max(float(arr.std()), 1e-4)
+            return False
+        z = (self._baseline - value) / self._sigma  # positive when degraded
+        self._s = max(0.0, self._s + z - self.slack)
+        if self._armed and self._s > self.h:
+            self.detections.append(Detection(time, value, self._s))
+            self._armed = False
+            return True
+        if not self._armed and self._s == 0.0:
+            self._armed = True
+        return False
+
+    def reset(self) -> None:
+        super().reset()
+        self._s = 0.0

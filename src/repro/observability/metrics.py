@@ -1,0 +1,227 @@
+"""Prometheus-style metric registry.
+
+Three instrument types with label support:
+
+* :class:`Counter` — monotone; ``inc(value)``,
+* :class:`Gauge` — arbitrary; ``set`` / ``inc`` / ``dec``,
+* :class:`Histogram` — fixed buckets; ``observe`` feeds bucket counts,
+  a running sum and count (enough for mean and quantile estimates).
+
+A :class:`MetricRegistry` owns instruments; the exporter renders it in
+the Prometheus text exposition format; the scraper snapshots it into
+the TSDB.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import MetricError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
+
+
+def _label_key(labels: Mapping[str, str] | None) -> tuple:
+    return tuple(sorted((labels or {}).items()))
+
+
+class _Instrument:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Iterable[str] = ()) -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise MetricError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self.label_names = frozenset(label_names)
+
+    def _check_labels(self, labels: Mapping[str, str] | None) -> None:
+        given = frozenset((labels or {}).keys())
+        if given != self.label_names:
+            raise MetricError(
+                f"metric {self.name!r} expects labels {sorted(self.label_names)}, "
+                f"got {sorted(given)}"
+            )
+
+    def samples(self) -> list[tuple[str, dict, float]]:
+        """(suffix, labels, value) triples for exposition."""
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "", label_names: Iterable[str] = ()) -> None:
+        super().__init__(name, help_text, label_names)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, value: float = 1.0, labels: Mapping[str, str] | None = None) -> None:
+        if value < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        self._check_labels(labels)
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, labels: Mapping[str, str] | None = None) -> float:
+        self._check_labels(labels)
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> list[tuple[str, dict, float]]:
+        if not self._values:
+            return [("", {}, 0.0)] if not self.label_names else []
+        return [("", dict(k), v) for k, v in sorted(self._values.items())]
+
+
+class Gauge(_Instrument):
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "", label_names: Iterable[str] = ()) -> None:
+        super().__init__(name, help_text, label_names)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, labels: Mapping[str, str] | None = None) -> None:
+        self._check_labels(labels)
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, value: float = 1.0, labels: Mapping[str, str] | None = None) -> None:
+        self._check_labels(labels)
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def dec(self, value: float = 1.0, labels: Mapping[str, str] | None = None) -> None:
+        self.inc(-value, labels)
+
+    def value(self, labels: Mapping[str, str] | None = None) -> float:
+        self._check_labels(labels)
+        key = _label_key(labels)
+        if key not in self._values:
+            raise MetricError(f"gauge {self.name!r} has no value for {labels}")
+        return self._values[key]
+
+    def samples(self) -> list[tuple[str, dict, float]]:
+        return [("", dict(k), v) for k, v in sorted(self._values.items())]
+
+
+DEFAULT_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0)
+
+
+class Histogram(_Instrument):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        label_names: Iterable[str] = (),
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise MetricError("histogram buckets must be sorted and non-empty")
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts: dict[tuple, np.ndarray] = {}
+        self._sums: dict[tuple, float] = {}
+        self._totals: dict[tuple, int] = {}
+
+    def observe(self, value: float, labels: Mapping[str, str] | None = None) -> None:
+        self._check_labels(labels)
+        key = _label_key(labels)
+        if key not in self._counts:
+            self._counts[key] = np.zeros(len(self.buckets) + 1, dtype=np.int64)
+            self._sums[key] = 0.0
+            self._totals[key] = 0
+        idx = int(np.searchsorted(self.buckets, value, side="left"))
+        self._counts[key][idx] += 1
+        self._sums[key] += value
+        self._totals[key] += 1
+
+    def count(self, labels: Mapping[str, str] | None = None) -> int:
+        return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, labels: Mapping[str, str] | None = None) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def mean(self, labels: Mapping[str, str] | None = None) -> float:
+        total = self.count(labels)
+        return self.sum(labels) / total if total else float("nan")
+
+    def quantile(self, q: float, labels: Mapping[str, str] | None = None) -> float:
+        """Bucket-interpolated quantile estimate (Prometheus-style)."""
+        if not (0.0 <= q <= 1.0):
+            raise MetricError(f"quantile must be in [0,1], got {q}")
+        key = _label_key(labels)
+        if key not in self._counts or self._totals[key] == 0:
+            return float("nan")
+        cumulative = np.cumsum(self._counts[key])
+        target = q * self._totals[key]
+        idx = int(np.searchsorted(cumulative, target, side="left"))
+        if idx >= len(self.buckets):
+            return self.buckets[-1]
+        return self.buckets[idx]
+
+    def samples(self) -> list[tuple[str, dict, float]]:
+        out: list[tuple[str, dict, float]] = []
+        for key in sorted(self._counts):
+            labels = dict(key)
+            cumulative = 0
+            for bucket, count in zip(self.buckets, self._counts[key][:-1]):
+                cumulative += int(count)
+                out.append(("_bucket", {**labels, "le": repr(bucket)}, float(cumulative)))
+            out.append(("_bucket", {**labels, "le": "+Inf"}, float(self._totals[key])))
+            out.append(("_sum", labels, self._sums[key]))
+            out.append(("_count", labels, float(self._totals[key])))
+        return out
+
+
+class MetricRegistry:
+    """Owns instruments; one per process/daemon."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+
+    def counter(self, name: str, help_text: str = "", label_names: Iterable[str] = ()) -> Counter:
+        return self._register(Counter(name, help_text, label_names))
+
+    def gauge(self, name: str, help_text: str = "", label_names: Iterable[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help_text, label_names))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        label_names: Iterable[str] = (),
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, buckets, label_names))
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        if instrument.name in self._instruments:
+            raise MetricError(f"metric {instrument.name!r} already registered")
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def get(self, name: str) -> _Instrument:
+        if name not in self._instruments:
+            raise MetricError(f"unknown metric {name!r}")
+        return self._instruments[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def instruments(self) -> list[_Instrument]:
+        return [self._instruments[n] for n in self.names()]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat name->value map (label-less view for quick scraping);
+        labeled samples get their labels folded into the name."""
+        flat: dict[str, float] = {}
+        for instrument in self.instruments():
+            for suffix, labels, value in instrument.samples():
+                if labels:
+                    label_str = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                    flat[f"{instrument.name}{suffix}{{{label_str}}}"] = value
+                else:
+                    flat[f"{instrument.name}{suffix}"] = value
+        return flat

@@ -1,0 +1,206 @@
+"""Time-series database (InfluxDB-style).
+
+Series are identified by ``(measurement, labels)``.  Points are
+``(time, value)`` with per-series monotone time enforced (out-of-order
+writes raise — catching simulation clock bugs early).  Storage is
+append-only Python lists converted lazily to NumPy arrays for queries;
+queries never copy more than the selected window (views where
+possible, per the hpc-parallel guide).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..errors import TSDBError
+
+__all__ = ["TimeSeriesDB"]
+
+
+def _series_key(measurement: str, labels: Mapping[str, str] | None) -> tuple:
+    return (measurement, tuple(sorted((labels or {}).items())))
+
+
+class _Series:
+    __slots__ = ("times", "values", "_cache_len", "_t_arr", "_v_arr")
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.values: list[float] = []
+        self._cache_len = 0
+        self._t_arr = np.empty(0)
+        self._v_arr = np.empty(0)
+
+    def append(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise TSDBError(
+                f"out-of-order write: t={t} after t={self.times[-1]}"
+            )
+        self.times.append(float(t))
+        self.values.append(float(v))
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._cache_len != len(self.times):
+            self._t_arr = np.asarray(self.times)
+            self._v_arr = np.asarray(self.values)
+            self._cache_len = len(self.times)
+        return self._t_arr, self._v_arr
+
+
+class TimeSeriesDB:
+    """In-memory TSDB with range queries, aggregation and retention."""
+
+    def __init__(self, retention_seconds: float | None = None) -> None:
+        if retention_seconds is not None and retention_seconds <= 0:
+            raise TSDBError("retention must be positive (or None)")
+        self.retention_seconds = retention_seconds
+        self._series: dict[tuple, _Series] = {}
+
+    # -- writes ---------------------------------------------------------------
+
+    def write(
+        self,
+        measurement: str,
+        time: float,
+        value: float,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        key = _series_key(measurement, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _Series()
+        series.append(time, value)
+
+    def write_many(
+        self,
+        values: Mapping[str, float],
+        time: float,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        for measurement, value in values.items():
+            self.write(measurement, time, value, labels)
+
+    # -- queries ----------------------------------------------------------------
+
+    def measurements(self) -> list[str]:
+        return sorted({key[0] for key in self._series})
+
+    def series_labels(self, measurement: str) -> list[dict[str, str]]:
+        return [
+            dict(key[1]) for key in self._series if key[0] == measurement
+        ]
+
+    def query(
+        self,
+        measurement: str,
+        labels: Mapping[str, str] | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) in the window; unknown series raises."""
+        key = _series_key(measurement, labels)
+        if key not in self._series:
+            raise TSDBError(f"unknown series {measurement!r} labels={dict(key[1])}")
+        t, v = self._series[key].arrays()
+        lo = 0 if since is None else int(np.searchsorted(t, since, side="left"))
+        hi = len(t) if until is None else int(np.searchsorted(t, until, side="right"))
+        return t[lo:hi], v[lo:hi]
+
+    def has_series(self, measurement: str, labels: Mapping[str, str] | None = None) -> bool:
+        return _series_key(measurement, labels) in self._series
+
+    def latest(
+        self, measurement: str, labels: Mapping[str, str] | None = None
+    ) -> tuple[float, float]:
+        key = _series_key(measurement, labels)
+        if key not in self._series or not self._series[key].times:
+            raise TSDBError(f"no points in series {measurement!r}")
+        series = self._series[key]
+        return series.times[-1], series.values[-1]
+
+    # -- aggregations -------------------------------------------------------------
+
+    def aggregate(
+        self,
+        measurement: str,
+        func: str,
+        labels: Mapping[str, str] | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> float:
+        t, v = self.query(measurement, labels, since, until)
+        if v.size == 0:
+            return float("nan")
+        if func == "mean":
+            return float(v.mean())
+        if func == "max":
+            return float(v.max())
+        if func == "min":
+            return float(v.min())
+        if func == "sum":
+            return float(v.sum())
+        if func == "last":
+            return float(v[-1])
+        if func == "rate":
+            # per-second increase of a (possibly resetting) counter
+            if v.size < 2 or t[-1] == t[0]:
+                return 0.0
+            increases = np.diff(v)
+            increases[increases < 0] = 0.0  # counter reset
+            return float(increases.sum() / (t[-1] - t[0]))
+        raise TSDBError(f"unknown aggregation {func!r}")
+
+    def downsample(
+        self,
+        measurement: str,
+        bucket_seconds: float,
+        func: str = "mean",
+        labels: Mapping[str, str] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bucketed aggregation: returns (bucket_start_times, values)."""
+        if bucket_seconds <= 0:
+            raise TSDBError("bucket size must be positive")
+        t, v = self.query(measurement, labels)
+        if t.size == 0:
+            return np.empty(0), np.empty(0)
+        buckets = np.floor(t / bucket_seconds).astype(np.int64)
+        unique, inverse = np.unique(buckets, return_inverse=True)
+        out = np.zeros(unique.size)
+        if func == "mean":
+            sums = np.bincount(inverse, weights=v)
+            counts = np.bincount(inverse)
+            out = sums / counts
+        elif func == "max":
+            out = np.full(unique.size, -np.inf)
+            np.maximum.at(out, inverse, v)
+        elif func == "min":
+            out = np.full(unique.size, np.inf)
+            np.minimum.at(out, inverse, v)
+        elif func == "sum":
+            out = np.bincount(inverse, weights=v)
+        else:
+            raise TSDBError(f"unknown downsample func {func!r}")
+        return unique * bucket_seconds, out
+
+    # -- retention ---------------------------------------------------------------
+
+    def enforce_retention(self, now: float) -> int:
+        """Drop points older than the retention window; returns dropped count."""
+        if self.retention_seconds is None:
+            return 0
+        cutoff = now - self.retention_seconds
+        dropped = 0
+        for series in self._series.values():
+            t, _ = series.arrays()
+            keep_from = int(np.searchsorted(t, cutoff, side="left"))
+            if keep_from > 0:
+                dropped += keep_from
+                series.times = series.times[keep_from:]
+                series.values = series.values[keep_from:]
+                series._cache_len = 0
+        return dropped
+
+    def point_count(self) -> int:
+        return sum(len(s.times) for s in self._series.values())

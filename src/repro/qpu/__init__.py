@@ -1,0 +1,59 @@
+"""Neutral-atom QPU device model.
+
+Models the observable surfaces of an analog neutral-atom QPU of the
+kind the paper integrates (Pasqal Fresnel-class devices at CEA/GENCI
+and JSC):
+
+* :mod:`geometry`    — atom register layouts and validation,
+* :mod:`pulses`      — waveforms and global drive segments,
+* :mod:`hamiltonian` — the Rydberg Hamiltonian built from register+drive,
+* :mod:`specs`       — device specification documents (fetched by the
+  runtime for point-of-execution validation, paper §2.1/§3.2),
+* :mod:`calibration` — calibration state + Ornstein-Uhlenbeck drift
+  processes (the paper's "calibration drift over time", §2.1),
+* :mod:`shots`       — the ~1 Hz shot clock and batching model (§2.2.1),
+* :mod:`telemetry`   — metric snapshots for the observability stack,
+* :mod:`qa`          — quality-assurance reference jobs (§3.4),
+* :mod:`device`      — the QPU itself: executes analog programs through
+  an internal emulator, applying calibration-dependent noise.
+"""
+
+from .calibration import CalibrationState, DriftModel, DriftProcess
+from .device import QPUDevice
+from .geometry import Register
+from .hamiltonian import RydbergHamiltonian, interaction_matrix
+from .pulses import (
+    BlackmanWaveform,
+    CompositeWaveform,
+    ConstantWaveform,
+    DriveSegment,
+    InterpolatedWaveform,
+    RampWaveform,
+    Waveform,
+)
+from .qa import QAJob, QAResult
+from .shots import ShotClock
+from .specs import DeviceSpecs
+from .telemetry import TelemetrySnapshot
+
+__all__ = [
+    "BlackmanWaveform",
+    "CalibrationState",
+    "CompositeWaveform",
+    "ConstantWaveform",
+    "DeviceSpecs",
+    "DriftModel",
+    "DriftProcess",
+    "DriveSegment",
+    "InterpolatedWaveform",
+    "QAJob",
+    "QAResult",
+    "QPUDevice",
+    "RampWaveform",
+    "Register",
+    "RydbergHamiltonian",
+    "ShotClock",
+    "TelemetrySnapshot",
+    "Waveform",
+    "interaction_matrix",
+]

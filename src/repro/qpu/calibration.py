@@ -1,0 +1,200 @@
+"""Calibration state and drift processes.
+
+The paper's §2.1 identifies the core analog-hardware problem this
+stack must surface: "quantum processors are subject to calibration
+drift over time, which can lead to discrepancies between the
+environment in which a program is developed or tested and the one in
+which it is executed."
+
+We model a calibration state as a set of physical parameters, each
+following a mean-reverting **Ornstein-Uhlenbeck** process around its
+nominal value plus occasional jump events (e.g. laser realignment
+shifts).  A recalibration resets parameters to nominal.  The
+calibration state maps to the shared :class:`~repro.emulators.noise.NoiseModel`,
+so drift visibly degrades user results, which is exactly what the
+drift-detection experiment (C6 in DESIGN.md) measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CalibrationError
+from ..emulators.noise import NoiseModel
+from ..simkernel import Simulator, Timeout
+
+__all__ = ["CalibrationState", "DriftModel", "DriftProcess"]
+
+
+@dataclass
+class CalibrationState:
+    """Current physical calibration of the device.
+
+    ``fidelity_proxy`` summarizes overall health in [0, 1]; 1.0 = nominal.
+    """
+
+    t1_us: float = 100.0                 # effective relaxation time
+    t2_us: float = 50.0                  # effective coherence time
+    state_prep_error: float = 0.005
+    detection_epsilon: float = 0.01
+    detection_epsilon_prime: float = 0.03
+    rabi_calibration_error: float = 0.01  # relative Omega miscalibration
+    detuning_offset: float = 0.0          # rad/us systematic offset
+    last_calibrated_at: float = 0.0
+
+    NOMINAL: dict[str, float] = field(
+        default_factory=lambda: {
+            "t1_us": 100.0,
+            "t2_us": 50.0,
+            "state_prep_error": 0.005,
+            "detection_epsilon": 0.01,
+            "detection_epsilon_prime": 0.03,
+            "rabi_calibration_error": 0.01,
+            "detuning_offset": 0.0,
+        }
+    )
+
+    def fidelity_proxy(self) -> float:
+        """Scalar health score: 1 at nominal, decreasing with degradation."""
+        nominal = self.NOMINAL
+        penalties = [
+            max(0.0, nominal["t2_us"] / max(self.t2_us, 1e-6) - 1.0) * 0.1,
+            max(0.0, self.state_prep_error - nominal["state_prep_error"]) * 10.0,
+            max(0.0, self.detection_epsilon - nominal["detection_epsilon"]) * 10.0,
+            max(0.0, self.detection_epsilon_prime - nominal["detection_epsilon_prime"]) * 10.0,
+            max(0.0, self.rabi_calibration_error - nominal["rabi_calibration_error"]) * 5.0,
+            abs(self.detuning_offset) * 0.2,
+        ]
+        return float(np.clip(1.0 - sum(penalties), 0.0, 1.0))
+
+    def to_noise_model(self, realizations: int = 4) -> NoiseModel:
+        """Derive the execution noise model from the calibration state."""
+        return NoiseModel(
+            state_prep_error=min(1.0, self.state_prep_error),
+            detection_epsilon=min(1.0, self.detection_epsilon),
+            detection_epsilon_prime=min(1.0, self.detection_epsilon_prime),
+            amplitude_rel_std=self.rabi_calibration_error,
+            detuning_std=abs(self.detuning_offset) + 0.02,
+            noise_realizations=realizations,
+        )
+
+    def recalibrate(self, now: float) -> None:
+        """Reset to nominal (a maintenance / calibration run completed)."""
+        for name, value in self.NOMINAL.items():
+            setattr(self, name, value)
+        self.last_calibrated_at = now
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "t1_us": self.t1_us,
+            "t2_us": self.t2_us,
+            "state_prep_error": self.state_prep_error,
+            "detection_epsilon": self.detection_epsilon,
+            "detection_epsilon_prime": self.detection_epsilon_prime,
+            "rabi_calibration_error": self.rabi_calibration_error,
+            "detuning_offset": self.detuning_offset,
+            "fidelity_proxy": self.fidelity_proxy(),
+            "last_calibrated_at": self.last_calibrated_at,
+        }
+
+
+class DriftModel:
+    """Mean-reverting (OU) drift with Poisson jump events.
+
+    Each step of size ``dt`` updates parameter ``x`` with nominal ``mu``:
+
+        x += theta * (mu - x) * dt + sigma * sqrt(dt) * N(0,1)
+
+    Degradation direction is enforced (error rates drift up, coherence
+    drifts down) by using one-sided noise: the diffusive term pushes
+    away from nominal, mean reversion pulls back — calibration events do
+    the big resets.
+    """
+
+    #: (theta, sigma, direction): direction +1 means "bad = larger".
+    PARAMS: dict[str, tuple[float, float, int]] = {
+        "t2_us": (0.002, 0.08, -1),
+        "state_prep_error": (0.002, 2e-5, +1),
+        "detection_epsilon": (0.002, 4e-5, +1),
+        "detection_epsilon_prime": (0.002, 6e-5, +1),
+        "rabi_calibration_error": (0.002, 5e-5, +1),
+        "detuning_offset": (0.004, 3e-4, +1),
+    }
+
+    def __init__(
+        self,
+        jump_rate_per_hour: float = 0.2,
+        jump_scale: float = 3.0,
+        params: dict[str, tuple[float, float, int]] | None = None,
+    ) -> None:
+        if jump_rate_per_hour < 0:
+            raise CalibrationError("jump rate must be >= 0")
+        self.jump_rate_per_hour = jump_rate_per_hour
+        self.jump_scale = jump_scale
+        self.params = dict(params or self.PARAMS)
+
+    def step(self, state: CalibrationState, dt: float, rng: np.random.Generator) -> None:
+        """Advance the drift by ``dt`` simulated seconds."""
+        if dt <= 0:
+            raise CalibrationError(f"drift step dt must be positive, got {dt}")
+        nominal = state.NOMINAL
+        sqrt_dt = np.sqrt(dt)
+        for name, (theta, sigma, direction) in self.params.items():
+            x = getattr(state, name)
+            mu = nominal[name]
+            shock = abs(rng.normal(0.0, sigma)) * direction * sqrt_dt
+            x = x + theta * (mu - x) * dt + shock
+            if name == "t2_us":
+                x = max(1.0, x)
+            elif name != "detuning_offset":
+                x = float(np.clip(x, 0.0, 1.0))
+            setattr(state, name, x)
+        # Poisson jump events (sudden degradation, e.g. alignment loss).
+        jump_prob = self.jump_rate_per_hour * dt / 3600.0
+        if rng.random() < jump_prob:
+            self.apply_jump(state, rng)
+
+    def apply_jump(self, state: CalibrationState, rng: np.random.Generator) -> None:
+        victim = rng.choice(list(self.params.keys()))
+        theta, sigma, direction = self.params[victim]
+        x = getattr(state, victim)
+        jump = abs(rng.normal(0.0, sigma * self.jump_scale * 60.0)) * direction
+        x = x + jump
+        if victim == "t2_us":
+            x = max(1.0, x)
+        elif victim != "detuning_offset":
+            x = float(np.clip(x, 0.0, 1.0))
+        setattr(state, victim, x)
+
+
+class DriftProcess:
+    """Simulated process stepping a drift model on a fixed cadence."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        state: CalibrationState,
+        model: DriftModel,
+        rng: np.random.Generator,
+        interval: float = 60.0,
+        on_step: Callable[[CalibrationState], None] | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise CalibrationError("drift interval must be positive")
+        self.sim = sim
+        self.state = state
+        self.model = model
+        self.rng = rng
+        self.interval = interval
+        self.on_step = on_step
+        self.process = sim.spawn(self._run(), name="calibration-drift", background=True)
+
+    def _run(self):
+        while True:
+            yield Timeout(self.interval)
+            self.model.step(self.state, self.interval, self.rng)
+            if self.on_step is not None:
+                self.on_step(self.state)

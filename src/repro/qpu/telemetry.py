@@ -1,0 +1,47 @@
+"""QPU telemetry snapshots.
+
+The raw material of the observability stack (paper §3.6): a device can
+be asked at any time for a :class:`TelemetrySnapshot` of health and
+load metrics.  The observability scraper polls these into the TSDB;
+the daemon exposes them to admins; per-job metadata embeds the snapshot
+taken at execution time ("per-job metadata on qubit performance can
+assist in interpreting noisy results").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TelemetrySnapshot"]
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One point-in-time reading of device health + load."""
+
+    time: float
+    device: str
+    status: str                      # "online" | "degraded" | "maintenance" | "offline"
+    fidelity_proxy: float
+    calibration: dict[str, float] = field(default_factory=dict)
+    queue_length: int = 0
+    shots_served_total: int = 0
+    tasks_completed_total: int = 0
+    busy_seconds_total: float = 0.0
+    uptime_seconds: float = 0.0
+    current_task: str | None = None
+
+    def to_metrics(self) -> dict[str, float]:
+        """Flatten into Prometheus-style gauge values."""
+        metrics = {
+            "qpu_fidelity_proxy": self.fidelity_proxy,
+            "qpu_queue_length": float(self.queue_length),
+            "qpu_shots_served_total": float(self.shots_served_total),
+            "qpu_tasks_completed_total": float(self.tasks_completed_total),
+            "qpu_busy_seconds_total": self.busy_seconds_total,
+            "qpu_uptime_seconds": self.uptime_seconds,
+            "qpu_online": 1.0 if self.status == "online" else 0.0,
+        }
+        for name, value in self.calibration.items():
+            metrics[f"qpu_calibration_{name}"] = float(value)
+        return metrics

@@ -1,0 +1,93 @@
+"""Build QRMI resources from environment-style configuration.
+
+QRMI's convention (paper §3.4): everything is configured through
+environment variables.  A resource named ``dev-emu`` is described by::
+
+    QRMI_RESOURCES=dev-emu,onprem
+    QRMI_DEV_EMU_TYPE=local-emulator
+    QRMI_DEV_EMU_EMULATOR=emu-mps
+    QRMI_DEV_EMU_MAX_BOND_DIM=16
+    QRMI_ONPREM_TYPE=onprem-qpu
+    QRMI_ONPREM_DEVICE=fresnel-sim
+
+Hardware-backed types need a *device registry* — a mapping from device
+names to live :class:`~repro.qpu.QPUDevice` objects — because a device
+is stateful (calibration, telemetry) and cannot be conjured from a
+string.  On a real deployment that registry is the daemon's connection
+to the control system; in tests it is a plain dict.
+"""
+
+from __future__ import annotations
+
+from ..config import ConfigSource, ResourceConfig, parse_resource_list
+from ..errors import ConfigError, ResourceNotFound
+from ..qpu.device import QPUDevice
+from .backends import (
+    CloudEmulatorResource,
+    CloudQPUResource,
+    LocalEmulatorResource,
+    OnPremQPUResource,
+)
+from .interface import QuantumResource
+from .resources import ResourceType
+
+__all__ = ["load_resource", "load_resources"]
+
+# env var names use '_' where resource names may use '-'
+def _env_name(name: str) -> str:
+    return name.replace("-", "_")
+
+
+def load_resource(
+    config: ConfigSource,
+    name: str,
+    devices: dict[str, QPUDevice] | None = None,
+) -> QuantumResource:
+    """Instantiate the resource ``name`` from configuration."""
+    rc = ResourceConfig.from_config(config, _env_name(name))
+    rtype = ResourceType.parse(rc.resource_type)
+    extras = dict(rc.extras)
+    seed = int(extras.pop("seed", "0"))
+
+    if rtype is ResourceType.LOCAL_EMULATOR or rtype is ResourceType.CLOUD_EMULATOR:
+        emulator = extras.pop("emulator", "emu-mps")
+        overrides = {}
+        if "max_bond_dim" in extras:
+            overrides["max_bond_dim"] = int(extras.pop("max_bond_dim"))
+        if "max_qubits" in extras:
+            overrides["max_qubits"] = int(extras.pop("max_qubits"))
+        if rtype is ResourceType.LOCAL_EMULATOR:
+            return LocalEmulatorResource(name, emulator=emulator, seed=seed, **overrides)
+        latency = float(extras.pop("latency_s", "0.5"))
+        return CloudEmulatorResource(
+            name, emulator=emulator, seed=seed, latency_s=latency, **overrides
+        )
+
+    # hardware types need a registered device
+    device_name = extras.pop("device", "")
+    if not device_name:
+        raise ConfigError(
+            f"resource {name!r}: hardware type {rtype.value!r} requires "
+            f"QRMI_{_env_name(name).upper()}_DEVICE"
+        )
+    devices = devices or {}
+    if device_name not in devices:
+        raise ResourceNotFound(
+            f"resource {name!r} references device {device_name!r} "
+            f"which is not registered (have: {sorted(devices)})"
+        )
+    device = devices[device_name]
+    if rtype is ResourceType.ONPREM_QPU:
+        return OnPremQPUResource(name, device)
+    latency = float(extras.pop("latency_s", "1.0"))
+    return CloudQPUResource(name, device, latency_s=latency)
+
+
+def load_resources(
+    config: ConfigSource, devices: dict[str, QPUDevice] | None = None
+) -> dict[str, QuantumResource]:
+    """Instantiate every resource listed in ``QRMI_RESOURCES``."""
+    resources: dict[str, QuantumResource] = {}
+    for name in parse_resource_list(config):
+        resources[name] = load_resource(config, name, devices)
+    return resources

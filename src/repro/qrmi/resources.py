@@ -1,0 +1,43 @@
+"""Resource-type taxonomy for QRMI configuration."""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigError
+
+__all__ = ["ResourceType"]
+
+
+class ResourceType(enum.Enum):
+    """The device classes the paper exposes via ``--qpu=<resource>`` (§3.2):
+
+    (1) on-premises QPU connection,
+    (2) cloud-based QPU resources,
+    (3) cloud-based emulator resources,
+    plus the local-emulator extension this work adds for the developer
+    laptop loop.
+    """
+
+    LOCAL_EMULATOR = "local-emulator"
+    CLOUD_EMULATOR = "cloud-emulator"
+    ONPREM_QPU = "onprem-qpu"
+    CLOUD_QPU = "cloud-qpu"
+
+    @classmethod
+    def parse(cls, value: str) -> "ResourceType":
+        for member in cls:
+            if member.value == value:
+                return member
+        raise ConfigError(
+            f"unknown QRMI resource type {value!r}; "
+            f"valid: {[m.value for m in cls]}"
+        )
+
+    @property
+    def is_hardware(self) -> bool:
+        return self in (ResourceType.ONPREM_QPU, ResourceType.CLOUD_QPU)
+
+    @property
+    def is_remote(self) -> bool:
+        return self in (ResourceType.CLOUD_EMULATOR, ResourceType.CLOUD_QPU)

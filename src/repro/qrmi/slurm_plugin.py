@@ -1,0 +1,66 @@
+"""QRMI's Slurm integration: the SPANK plugin behind ``--qpu=<resource>``.
+
+Paper §3.2: "we expose as devices to the scheduler and enable switching
+via --qpu=<resource>" and §3.4: "QRMI already supports Qiskit and
+Pulser backends, and Slurm Spank plugins".
+
+At ``job_submit`` the plugin validates that the requested resource
+exists in the site configuration (submission fails fast on typos —
+better than a job dying hours later on a compute node).  At
+``job_start`` it injects the resource's ``QRMI_*`` variables plus
+``QRMI_DEFAULT_RESOURCE`` into the job environment, which is exactly
+what the runtime inside the job reads.  This is the mechanism that
+separates the quantum resource definition from program source code
+(paper §2.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..cluster.spank import SpankPlugin
+from ..config import ConfigSource, ResourceConfig, parse_resource_list
+from ..errors import ResourceNotFound
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.job import Job
+
+__all__ = ["QRMISpankPlugin"]
+
+
+class QRMISpankPlugin(SpankPlugin):
+    """Validates and injects QRMI resource configuration into jobs."""
+
+    name = "qrmi-spank"
+
+    def __init__(self, site_config: ConfigSource) -> None:
+        self.site_config = site_config
+
+    def _known_resources(self) -> list[str]:
+        return parse_resource_list(self.site_config)
+
+    def job_submit(self, job: "Job", controller) -> None:
+        resource = job.spec.qpu_resource
+        if not resource:
+            return  # purely classical job
+        known = self._known_resources()
+        if resource not in known:
+            raise ResourceNotFound(
+                f"--qpu={resource}: unknown QRMI resource "
+                f"(site provides: {known})"
+            )
+
+    def job_start(self, job: "Job", controller) -> None:
+        resource = job.spec.qpu_resource
+        if not resource:
+            return
+        env_name = resource.replace("-", "_")
+        rc = ResourceConfig.from_config(self.site_config, env_name)
+        job.env.update(rc.to_env())
+        job.env["QRMI_RESOURCES"] = resource
+        job.env["QRMI_DEFAULT_RESOURCE"] = resource
+        # propagate the scheduler-assigned priority so the middleware
+        # daemon can retrieve it (paper §3.3: "The daemon retrieves the
+        # job's priority from Slurm").
+        job.env["SLURM_JOB_PARTITION"] = job.spec.partition
+        job.env["SLURM_JOB_ID"] = str(job.job_id)

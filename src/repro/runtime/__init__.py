@@ -1,0 +1,49 @@
+"""The hybrid runtime environment — the paper's core contribution.
+
+"On top of the QRMI-based Slurm plugin ... we introduce a dedicated
+runtime environment tailored for hybrid quantum-classical applications.
+... For developers, the runtime provides a consistent interface that
+supports transparent switching between high-performance emulators and
+physical QPUs." (§3.1)
+
+Pieces:
+
+* :class:`RuntimeEnvironment` — the user-facing object.  Two modes
+  with one interface: **direct** (developer laptop: QRMI resources
+  executed in-process) and **daemon** (HPC: tasks go through the
+  middleware's sessions/queue),
+* :mod:`backend_select` — the ``--qpu=<resource>`` switching policy,
+* :mod:`validation` — point-of-execution program validation against
+  freshly fetched device specs (§2.1),
+* :mod:`executor` — closed-loop hybrid programs (variational loops),
+* :mod:`portability` — machinery proving the same program ran in every
+  environment (Figure 1's claim, made checkable),
+* :mod:`results` — the uniform run-result container,
+* :mod:`client` — the REST client for daemon mode.
+"""
+
+from .backend_select import select_resource
+from .client import DaemonClient
+from .environment import RuntimeEnvironment
+from .executor import HybridProgram, OptimizerLoop
+from .portability import EnvironmentFingerprint, PortabilityReport
+from .results import RunResult, total_variation_distance
+from .validation import compare_targets, ensure_valid, validate_program
+from .workflow import Workflow, WorkflowResult
+
+__all__ = [
+    "DaemonClient",
+    "EnvironmentFingerprint",
+    "HybridProgram",
+    "OptimizerLoop",
+    "PortabilityReport",
+    "RunResult",
+    "RuntimeEnvironment",
+    "Workflow",
+    "WorkflowResult",
+    "compare_targets",
+    "ensure_valid",
+    "select_resource",
+    "total_variation_distance",
+    "validate_program",
+]

@@ -1,0 +1,62 @@
+"""Resource selection: the ``--qpu=<resource>`` switch.
+
+Resolution order (paper §3.2 — "a single configuration change with the
+--qpu option instead sends the job to physical hardware"):
+
+1. explicit ``qpu=`` argument to :meth:`RuntimeEnvironment.run`,
+2. ``QRMI_DEFAULT_RESOURCE`` from the environment (what the Slurm SPANK
+   plugin injects for ``--qpu``),
+3. the development default: prefer emulators ("By defaulting to
+   execution on our open-source emulators the user is able ... to run
+   their program locally on their laptop"), most capable first.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..errors import ResourceNotFound
+from ..qrmi.resources import ResourceType
+
+__all__ = ["select_resource", "DEFAULT_PREFERENCE"]
+
+#: development-mode preference: emulators before hardware
+DEFAULT_PREFERENCE = (
+    ResourceType.LOCAL_EMULATOR,
+    ResourceType.CLOUD_EMULATOR,
+    ResourceType.ONPREM_QPU,
+    ResourceType.CLOUD_QPU,
+)
+
+
+def select_resource(
+    available: Mapping[str, str],
+    requested: str | None = None,
+    env_default: str | None = None,
+    preference: tuple[ResourceType, ...] = DEFAULT_PREFERENCE,
+) -> str:
+    """Pick the resource name to execute on.
+
+    ``available`` maps resource name -> resource type string.
+    """
+    if requested is not None:
+        if requested not in available:
+            raise ResourceNotFound(
+                f"--qpu={requested}: not configured (have {sorted(available)})"
+            )
+        return requested
+    if env_default:
+        if env_default not in available:
+            raise ResourceNotFound(
+                f"QRMI_DEFAULT_RESOURCE={env_default}: not configured "
+                f"(have {sorted(available)})"
+            )
+        return env_default
+    if not available:
+        raise ResourceNotFound("no QRMI resources configured")
+    for wanted in preference:
+        for name in sorted(available):
+            if available[name] == wanted.value:
+                return name
+    # unknown types: deterministic fallback
+    return sorted(available)[0]

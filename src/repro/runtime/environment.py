@@ -1,0 +1,193 @@
+"""RuntimeEnvironment: one interface from laptop to QPU.
+
+The object a user's hybrid program holds.  The *same* calls work in
+every environment of Figure 1:
+
+* **direct mode** (:meth:`from_config`) — resources come from QRMI
+  environment variables and execute in-process.  This is the developer
+  laptop and also what a Slurm job uses when it talks to QRMI without
+  the daemon.
+* **daemon mode** (:meth:`with_daemon`) — calls go through the
+  middleware's REST API with a session token; the second-level
+  scheduler decides when the QPU runs the task.
+
+In both modes ``run()``:
+
+1. resolves the target via the ``--qpu`` switching policy,
+2. fetches the target's *current* spec document,
+3. validates the program against it (point-of-execution validation),
+4. executes, returning a uniform :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..config import ConfigSource
+from ..errors import QRMIError, TaskError
+from ..qrmi.env import load_resources
+from ..qrmi.interface import QuantumResource, TaskStatus
+from ..sdk.registry import SDKRegistry, default_registry
+from ..sdk.translate import to_ir
+from ..simkernel import Timeout
+from .backend_select import select_resource
+from .client import DaemonClient
+from .results import RunResult
+from .validation import ensure_valid
+
+__all__ = ["RuntimeEnvironment"]
+
+
+class RuntimeEnvironment:
+    """Portable execution environment for hybrid programs."""
+
+    def __init__(
+        self,
+        resources: dict[str, QuantumResource] | None = None,
+        client: DaemonClient | None = None,
+        default_resource: str | None = None,
+        sdk_registry: SDKRegistry | None = None,
+    ) -> None:
+        if resources is None and client is None:
+            raise QRMIError("runtime needs QRMI resources or a daemon client")
+        self.resources = resources or {}
+        self.client = client
+        self.default_resource = default_resource
+        self.sdk_registry = sdk_registry or default_registry()
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_config(cls, config: ConfigSource, devices: dict | None = None) -> "RuntimeEnvironment":
+        """Direct mode from QRMI environment variables."""
+        return cls(
+            resources=load_resources(config, devices),
+            default_resource=config.get("QRMI_DEFAULT_RESOURCE") or None,
+        )
+
+    @classmethod
+    def with_daemon(
+        cls,
+        client: DaemonClient,
+        user: str = "user",
+        priority_class: str = "development",
+        slurm_partition: str | None = None,
+        slurm_job_id: int | None = None,
+        default_resource: str | None = None,
+    ) -> "RuntimeEnvironment":
+        """Daemon mode: opens a session immediately."""
+        client.open_session(
+            user,
+            priority_class=priority_class,
+            slurm_partition=slurm_partition,
+            slurm_job_id=slurm_job_id,
+        )
+        return cls(client=client, default_resource=default_resource)
+
+    # -- discovery --------------------------------------------------------------
+
+    def available_resources(self) -> dict[str, str]:
+        """name -> type for everything this environment can execute on."""
+        if self.client is not None:
+            return {m["name"]: m["type"] for m in self.client.resources()}
+        return {name: res.resource_type for name, res in self.resources.items()}
+
+    def fetch_target(self, resource: str) -> dict[str, Any]:
+        """Fresh spec document for a resource."""
+        if self.client is not None:
+            return self.client.target(resource)
+        if resource not in self.resources:
+            raise QRMIError(f"unknown resource {resource!r}")
+        return self.resources[resource].target()
+
+    def resolve(self, qpu: str | None = None) -> str:
+        return select_resource(
+            self.available_resources(), requested=qpu, env_default=self.default_resource
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, program: Any, qpu: str | None = None, shots: int | None = None) -> RunResult:
+        """Execute a program (any SDK object / IR / dict) and block for
+        the result.  In daemon mode this requires the task to complete
+        within the daemon's simulation — for long QPU queues use
+        :meth:`run_process` from inside a simulated job instead."""
+        ir = to_ir(program, shots=shots or 100)
+        if shots is not None and ir.shots != shots:
+            ir = ir.with_shots(shots)
+        resource = self.resolve(qpu)
+        target = self.fetch_target(resource)
+        ensure_valid(ir, target)
+        if self.client is None:
+            return self._run_direct(ir, resource)
+        return self._run_daemon(ir, resource)
+
+    def _run_direct(self, ir, resource: str) -> RunResult:
+        backend = self.resources[resource]
+        task_id = backend.task_start(ir)
+        status = backend.task_status(task_id)
+        if status is not TaskStatus.COMPLETED:
+            task = backend.tasks[task_id]
+            raise TaskError(f"task {task_id} ended {status.value}: {task.error}")
+        emulation = backend.task_result(task_id)
+        return RunResult.from_emulation(emulation, resource, ir.content_hash())
+
+    def _run_daemon(self, ir, resource: str) -> RunResult:
+        assert self.client is not None
+        task_id = self.client.submit(ir.to_dict(), resource, shots=ir.shots)
+        status = self.client.status(task_id)
+        if status["state"] != "completed":
+            raise TaskError(
+                f"task {task_id} not complete (state {status['state']}); "
+                "in simulations, drive the simulator or use run_process()"
+            )
+        return self._daemon_result(task_id, ir, resource)
+
+    def _daemon_result(self, task_id: str, ir, resource: str) -> RunResult:
+        assert self.client is not None
+        body = self.client.result(task_id)
+        status = self.client.status(task_id)
+        wait = 0.0
+        if status["started_at"] is not None:
+            wait = status["started_at"] - status["enqueued_at"]
+        return RunResult(
+            counts=dict(body["counts"]),
+            shots=body["shots"],
+            backend=body["backend"],
+            resource=resource,
+            program_hash=ir.content_hash(),
+            queue_wait_s=wait,
+            execution_s=float(body["metadata"].get("execution_seconds", 0.0)),
+            metadata=dict(body["metadata"]),
+        )
+
+    def run_process(
+        self,
+        program: Any,
+        qpu: str | None = None,
+        shots: int | None = None,
+        poll_interval: float = 1.0,
+    ):
+        """Generator form of :meth:`run` for daemon mode inside a
+        simulation: submits, then polls on the simulated clock until the
+        task reaches a terminal state.  Yield it from a job payload."""
+        if self.client is None:
+            # direct mode: synchronous, but keep the generator protocol
+            result = self.run(program, qpu=qpu, shots=shots)
+            return result
+            yield  # pragma: no cover - makes this a generator
+        ir = to_ir(program, shots=shots or 100)
+        if shots is not None and ir.shots != shots:
+            ir = ir.with_shots(shots)
+        resource = self.resolve(qpu)
+        target = self.fetch_target(resource)
+        ensure_valid(ir, target)
+        task_id = self.client.submit(ir.to_dict(), resource, shots=ir.shots)
+        while True:
+            status = self.client.status(task_id)
+            if status["state"] in ("completed", "failed", "cancelled"):
+                break
+            yield Timeout(poll_interval)
+        if status["state"] != "completed":
+            raise TaskError(f"task {task_id} ended {status['state']}")
+        return self._daemon_result(task_id, ir, resource)

@@ -1,0 +1,180 @@
+"""Closed-loop hybrid programs.
+
+A :class:`HybridProgram` is the canonical hybrid workload shape of the
+paper's Table 1: a classical optimizer proposing parameters, a quantum
+execution evaluating them, repeated to convergence.  The quantum side
+goes through a :class:`~repro.runtime.environment.RuntimeEnvironment`,
+so the same HybridProgram object runs on a laptop emulator, an HPC
+tensor-network node, or the production QPU without modification —
+which is exactly Figure 1's lifecycle.
+
+Two execution forms:
+
+* :meth:`run` — synchronous (direct mode),
+* :meth:`as_payload` — a generator factory usable as a Slurm job
+  payload (daemon mode inside the cluster simulation), where quantum
+  tasks wait in the middleware queue and classical post-processing
+  takes simulated CPU time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ReproError
+from ..simkernel import Timeout
+from .environment import RuntimeEnvironment
+from .results import RunResult
+
+__all__ = ["HybridProgram", "OptimizerLoop"]
+
+
+@dataclass
+class OptimizerLoop:
+    """Derivative-free classical optimizer state (coordinate search).
+
+    Deliberately simple and deterministic: the experiments measure the
+    *system*, not optimizer quality.  ``propose`` returns the next
+    parameter vector; ``observe`` feeds back the objective value.
+    """
+
+    initial: np.ndarray
+    step: float = 0.2
+    shrink: float = 0.6
+    min_step: float = 1e-3
+    best_params: np.ndarray = field(init=False)
+    best_value: float = field(default=float("inf"), init=False)
+    evaluations: int = field(default=0, init=False)
+    _direction: int = field(default=0, init=False)
+    _sign: float = field(default=1.0, init=False)
+    _pending: np.ndarray | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.initial = np.asarray(self.initial, dtype=float)
+        self.best_params = self.initial.copy()
+
+    @property
+    def converged(self) -> bool:
+        return self.step < self.min_step
+
+    def propose(self) -> np.ndarray:
+        if self.evaluations == 0:
+            self._pending = self.best_params.copy()
+        else:
+            candidate = self.best_params.copy()
+            candidate[self._direction] += self._sign * self.step
+            self._pending = candidate
+        return self._pending.copy()
+
+    def observe(self, value: float) -> None:
+        if self._pending is None:
+            raise ReproError("observe() called before propose()")
+        self.evaluations += 1
+        improved = value < self.best_value
+        if improved:
+            self.best_value = value
+            self.best_params = self._pending.copy()
+        else:
+            # flip sign, then advance coordinate, then shrink
+            if self._sign > 0:
+                self._sign = -1.0
+            else:
+                self._sign = 1.0
+                self._direction += 1
+                if self._direction >= len(self.best_params):
+                    self._direction = 0
+                    self.step *= self.shrink
+        self._pending = None
+
+
+class HybridProgram:
+    """Quantum-classical closed loop over a RuntimeEnvironment.
+
+    Parameters
+    ----------
+    build_program:
+        ``(params) -> SDK object / AnalogProgram`` — the quantum ansatz.
+    objective:
+        ``(RunResult) -> float`` — scalar to minimize.
+    optimizer:
+        the classical loop state.
+    classical_seconds_per_iter:
+        simulated CPU post-processing per iteration (drives the Table-1
+        pattern classification when run in the cluster).
+    max_iterations:
+        loop bound.
+    """
+
+    def __init__(
+        self,
+        build_program: Callable[[np.ndarray], Any],
+        objective: Callable[[RunResult], float],
+        optimizer: OptimizerLoop,
+        shots: int = 200,
+        max_iterations: int = 20,
+        classical_seconds_per_iter: float = 0.0,
+        name: str = "hybrid-program",
+    ) -> None:
+        if max_iterations < 1:
+            raise ReproError("max_iterations must be >= 1")
+        self.build_program = build_program
+        self.objective = objective
+        self.optimizer = optimizer
+        self.shots = shots
+        self.max_iterations = max_iterations
+        self.classical_seconds_per_iter = classical_seconds_per_iter
+        self.name = name
+        self.history: list[tuple[np.ndarray, float]] = []
+
+    # -- synchronous form ------------------------------------------------------
+
+    def run(self, env: RuntimeEnvironment, qpu: str | None = None) -> dict[str, Any]:
+        for _ in range(self.max_iterations):
+            if self.optimizer.converged:
+                break
+            params = self.optimizer.propose()
+            result = env.run(self.build_program(params), qpu=qpu, shots=self.shots)
+            value = self.objective(result)
+            self.optimizer.observe(value)
+            self.history.append((params, value))
+        return self.summary()
+
+    # -- simulated-job form -------------------------------------------------------
+
+    def as_payload(self, env: RuntimeEnvironment, qpu: str | None = None):
+        """Payload factory for :class:`~repro.cluster.job.JobSpec`.
+
+        The returned generator submits quantum tasks through the daemon
+        (simulated queueing + QPU time) and sleeps for the classical
+        post-processing between iterations.
+        """
+
+        def payload(ctx):
+            for _ in range(self.max_iterations):
+                if self.optimizer.converged:
+                    break
+                params = self.optimizer.propose()
+                result = yield from env.run_process(
+                    self.build_program(params), qpu=qpu, shots=self.shots
+                )
+                value = self.objective(result)
+                self.optimizer.observe(value)
+                self.history.append((params, value))
+                if self.classical_seconds_per_iter > 0:
+                    yield Timeout(self.classical_seconds_per_iter)
+            return self.summary()
+
+        return payload
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "best_value": self.optimizer.best_value,
+            "best_params": self.optimizer.best_params.tolist(),
+            "iterations": len(self.history),
+            "evaluations": self.optimizer.evaluations,
+        }

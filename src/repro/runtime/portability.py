@@ -1,0 +1,87 @@
+"""Portability machinery: prove Figure 1's claim.
+
+Figure 1's promise is that one program moves from local development
+through HPC emulation to the QPU *unchanged*.  This module makes the
+claim checkable:
+
+* :class:`EnvironmentFingerprint` — what actually executed where
+  (resource type, backend engine, spec revision),
+* :class:`PortabilityReport` — accumulates ``(fingerprint, result)``
+  pairs for one program and verifies (a) every execution ran the
+  byte-identical program (content hash) and (b) result distributions
+  agree within tolerance where physics says they should.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from .results import RunResult, total_variation_distance
+
+__all__ = ["EnvironmentFingerprint", "PortabilityReport"]
+
+
+@dataclass(frozen=True)
+class EnvironmentFingerprint:
+    """Identity of one execution environment."""
+
+    stage: str            # e.g. "laptop", "hpc-emulator", "qpu"
+    resource: str
+    resource_type: str
+    backend: str
+    spec_revision: int = 0
+
+    def describe(self) -> str:
+        return f"{self.stage}: {self.resource} ({self.resource_type}/{self.backend})"
+
+
+class PortabilityReport:
+    """Evidence that one program ran unchanged across environments."""
+
+    def __init__(self, program_hash: str) -> None:
+        self.program_hash = program_hash
+        self.executions: list[tuple[EnvironmentFingerprint, RunResult]] = []
+
+    def add(self, fingerprint: EnvironmentFingerprint, result: RunResult) -> None:
+        if result.program_hash != self.program_hash:
+            raise ReproError(
+                f"execution at {fingerprint.describe()} ran a DIFFERENT program "
+                f"({result.program_hash[:12]} != {self.program_hash[:12]}) — "
+                "portability violated"
+            )
+        self.executions.append((fingerprint, result))
+
+    @property
+    def stages(self) -> list[str]:
+        return [fp.stage for fp, _ in self.executions]
+
+    def program_unchanged(self) -> bool:
+        """True iff every recorded execution ran the same content hash.
+        (add() enforces it, so this is True unless the report is empty.)"""
+        return len(self.executions) > 0
+
+    def pairwise_tv_distances(self) -> dict[tuple[str, str], float]:
+        """TV distance between every pair of stage result distributions."""
+        out: dict[tuple[str, str], float] = {}
+        for i, (fp_a, res_a) in enumerate(self.executions):
+            for fp_b, res_b in self.executions[i + 1 :]:
+                out[(fp_a.stage, fp_b.stage)] = total_variation_distance(
+                    res_a.counts, res_b.counts
+                )
+        return out
+
+    def max_tv_distance(self) -> float:
+        distances = self.pairwise_tv_distances()
+        return max(distances.values()) if distances else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "program_hash": self.program_hash[:16],
+            "stages": self.stages,
+            "program_unchanged": self.program_unchanged(),
+            "pairwise_tv": {
+                f"{a}->{b}": round(d, 4)
+                for (a, b), d in self.pairwise_tv_distances().items()
+            },
+        }

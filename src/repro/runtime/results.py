@@ -1,0 +1,89 @@
+"""Uniform run results, independent of where execution happened."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["RunResult", "total_variation_distance"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What :meth:`RuntimeEnvironment.run` returns everywhere.
+
+    The same fields whether the execution was a laptop emulator, an HPC
+    tensor-network run, or the QPU behind the daemon — the uniformity
+    *is* the feature (Figure 1).
+    """
+
+    counts: dict[str, int]
+    shots: int
+    backend: str
+    resource: str
+    program_hash: str
+    queue_wait_s: float = 0.0
+    execution_s: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def probabilities(self) -> dict[str, float]:
+        if self.shots == 0:
+            return {}
+        return {bits: c / self.shots for bits, c in self.counts.items()}
+
+    def expectation_occupation(self) -> np.ndarray:
+        if not self.counts:
+            raise ReproError("empty result")
+        n = len(next(iter(self.counts)))
+        occ = np.zeros(n)
+        for bits, count in self.counts.items():
+            digits = np.frombuffer(bits.encode(), dtype=np.uint8).astype(np.float64)
+            occ += count * (digits - ord("0"))
+        return occ / max(1, self.shots)
+
+    def most_frequent(self) -> str:
+        if not self.counts:
+            raise ReproError("empty result")
+        return max(self.counts.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    @classmethod
+    def from_emulation(
+        cls,
+        emulation,
+        resource: str,
+        program_hash: str,
+        queue_wait_s: float = 0.0,
+    ) -> "RunResult":
+        """Adapt an :class:`~repro.emulators.base.EmulationResult`."""
+        return cls(
+            counts=dict(emulation.counts),
+            shots=emulation.shots,
+            backend=emulation.backend,
+            resource=resource,
+            program_hash=program_hash,
+            queue_wait_s=queue_wait_s,
+            execution_s=float(emulation.metadata.get("execution_seconds", 0.0)),
+            metadata=dict(emulation.metadata),
+        )
+
+
+def total_variation_distance(a: dict[str, int] | dict[str, float], b: dict[str, int] | dict[str, float]) -> float:
+    """TV distance between two count/probability dicts.
+
+    The portability experiments use this to quantify how far emulator
+    results sit from QPU results (and chi=1 mocks from real physics).
+    """
+
+    def normalize(d) -> dict[str, float]:
+        total = float(sum(d.values()))
+        if total <= 0:
+            raise ReproError("cannot normalize empty distribution")
+        return {k: v / total for k, v in d.items()}
+
+    pa, pb = normalize(a), normalize(b)
+    keys = set(pa) | set(pb)
+    return 0.5 * sum(abs(pa.get(k, 0.0) - pb.get(k, 0.0)) for k in keys)

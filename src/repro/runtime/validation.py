@@ -1,0 +1,72 @@
+"""Point-of-execution program validation.
+
+Paper §2.1: "quantum processors are subject to calibration drift over
+time ... Ensuring program validity at the point of execution thus
+becomes a key requirement."  The runtime therefore re-fetches the
+target's spec document *immediately before* execution and validates the
+program against it — development-time validation is never trusted.
+
+:func:`compare_targets` additionally reports *what changed* between the
+specs a program was developed against and the specs at execution time,
+so users can see why a once-valid program now fails.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from ..qpu.specs import DeviceSpecs
+from ..sdk.ir import AnalogProgram
+
+__all__ = ["compare_targets", "ensure_valid", "validate_program"]
+
+
+def validate_program(program: AnalogProgram, target: dict | DeviceSpecs) -> list[str]:
+    """All violations of ``program`` against ``target`` (empty = valid)."""
+    specs = target if isinstance(target, DeviceSpecs) else DeviceSpecs.from_dict(target)
+    return (
+        specs.validate_register(program.register)
+        + specs.validate_schedule(list(program.segments))
+        + specs.validate_shots(program.shots)
+    )
+
+
+def ensure_valid(program: AnalogProgram, target: dict | DeviceSpecs) -> None:
+    """Raise :class:`ValidationError` listing every violation."""
+    violations = validate_program(program, target)
+    if violations:
+        specs = target if isinstance(target, DeviceSpecs) else DeviceSpecs.from_dict(target)
+        raise ValidationError(
+            f"program {program.name!r} invalid for {specs.name!r}: "
+            f"{len(violations)} violation(s)",
+            violations=violations,
+        )
+
+
+_COMPARED_FIELDS = (
+    "max_qubits",
+    "min_atom_distance",
+    "max_radius",
+    "max_rabi",
+    "min_detuning",
+    "max_detuning",
+    "max_sequence_duration",
+    "max_shots_per_task",
+    "shot_rate_hz",
+)
+
+
+def compare_targets(dev: dict | DeviceSpecs, prod: dict | DeviceSpecs) -> dict[str, tuple]:
+    """Field-by-field diff of two spec documents: {field: (dev, prod)}.
+
+    Empty dict means the execution target matches the development
+    target on every constraint that affects validity.
+    """
+    dev_specs = dev if isinstance(dev, DeviceSpecs) else DeviceSpecs.from_dict(dev)
+    prod_specs = prod if isinstance(prod, DeviceSpecs) else DeviceSpecs.from_dict(prod)
+    diff: dict[str, tuple] = {}
+    for field_name in _COMPARED_FIELDS:
+        a = getattr(dev_specs, field_name)
+        b = getattr(prod_specs, field_name)
+        if a != b:
+            diff[field_name] = (a, b)
+    return diff

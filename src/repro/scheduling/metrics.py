@@ -1,0 +1,104 @@
+"""Utilization / wait / makespan extraction from simulation traces.
+
+All Table-1 and Figure-2 numbers flow through here, computed from the
+raw :class:`~repro.simkernel.trace.TraceRecorder` streams rather than
+ad-hoc counters, so every benchmark reports metrics with identical
+definitions:
+
+* **QPU utilization** — fraction of the horizon covered by qpu
+  busy_start/busy_end intervals,
+* **QPU idle time** — the complement, in seconds,
+* **classical utilization** — allocated-cpu-seconds over capacity,
+* **wait statistics** — per priority class from daemon task events,
+* **makespan** — last task_end minus first task_enqueued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simkernel import TraceRecorder
+
+__all__ = ["SchedulingMetrics", "qpu_busy_fraction"]
+
+
+def qpu_busy_fraction(trace: TraceRecorder, horizon: float) -> float:
+    """Fraction of [0, horizon] the QPU spent executing tasks."""
+    pairs = trace.pairs("busy_start", "busy_end", key="task_id", component="qpu")
+    return TraceRecorder.busy_fraction(pairs, horizon)
+
+
+@dataclass
+class SchedulingMetrics:
+    """One experiment run's scheduling outcomes."""
+
+    horizon: float
+    qpu_utilization: float
+    qpu_idle_seconds: float
+    makespan: float
+    tasks_completed: int
+    wait_by_class: dict[str, dict[str, float]] = field(default_factory=dict)
+    classical_utilization: float | None = None
+
+    @classmethod
+    def from_traces(
+        cls,
+        qpu_trace: TraceRecorder,
+        daemon_trace: TraceRecorder,
+        horizon: float | None = None,
+        classical_utilization: float | None = None,
+    ) -> "SchedulingMetrics":
+        ends = daemon_trace.records(component="daemon", event="task_end")
+        enqueues = daemon_trace.records(component="daemon", event="task_enqueued")
+        if horizon is None:
+            horizon = max((r.time for r in ends), default=0.0)
+        makespan = 0.0
+        if ends and enqueues:
+            makespan = max(r.time for r in ends) - min(r.time for r in enqueues)
+        util = qpu_busy_fraction(qpu_trace, horizon) if horizon > 0 else 0.0
+
+        wait_by_class: dict[str, list[float]] = {}
+        for record in daemon_trace.records(component="daemon", event="task_start"):
+            cls_name = record.fields.get("priority", "unknown")
+            wait = record.fields.get("wait")
+            if wait is not None:
+                wait_by_class.setdefault(cls_name, []).append(wait)
+        wait_stats = {}
+        for cls_name, waits in wait_by_class.items():
+            arr = np.asarray(waits)
+            wait_stats[cls_name] = {
+                "count": int(arr.size),
+                "mean": float(arr.mean()),
+                "p50": float(np.percentile(arr, 50)),
+                "p95": float(np.percentile(arr, 95)),
+                "max": float(arr.max()),
+            }
+        completed = sum(
+            1 for r in ends if r.fields.get("state") == "completed"
+        )
+        return cls(
+            horizon=horizon,
+            qpu_utilization=util,
+            qpu_idle_seconds=horizon * (1.0 - util),
+            makespan=makespan,
+            tasks_completed=completed,
+            wait_by_class=wait_stats,
+            classical_utilization=classical_utilization,
+        )
+
+    def row(self, label: str) -> dict:
+        """Flat dict for table rendering."""
+        out = {
+            "scenario": label,
+            "qpu_util_%": round(100 * self.qpu_utilization, 1),
+            "qpu_idle_s": round(self.qpu_idle_seconds, 1),
+            "makespan_s": round(self.makespan, 1),
+            "tasks": self.tasks_completed,
+        }
+        if self.classical_utilization is not None:
+            out["classical_util_%"] = round(100 * self.classical_utilization, 1)
+        for cls_name, stats in sorted(self.wait_by_class.items()):
+            out[f"wait_p50_{cls_name}"] = round(stats["p50"], 1)
+        return out

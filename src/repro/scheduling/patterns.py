@@ -1,0 +1,125 @@
+"""Workload-pattern taxonomy (the paper's Table 1).
+
+    Pattern                Quantum load  Classical load          Scheduler hint
+    A) High-QC / Low-CC    Dominant      Minor pre/post          Sequential QPU queue
+    B) Low-QC / High-CC    Sparse        Heavy                   Interleave jobs to kill QPU idle time
+    C) Balanced QC-CC      Comparable    Comparable              Fine-grained orchestration
+
+Classification is by the QPU fraction ``q / (q + c)`` of a job's
+expected time budget; hints are the ``--hint=...`` strings from §3.5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SchedulerError
+
+__all__ = [
+    "SchedulerHint",
+    "WorkloadPattern",
+    "classify_pattern",
+    "hint_for_pattern",
+    "PATTERN_TABLE",
+]
+
+
+class WorkloadPattern(enum.Enum):
+    HIGH_QC_LOW_CC = "A"
+    LOW_QC_HIGH_CC = "B"
+    BALANCED = "C"
+
+    @property
+    def description(self) -> str:
+        return {
+            WorkloadPattern.HIGH_QC_LOW_CC: "High-QC / Low-CC",
+            WorkloadPattern.LOW_QC_HIGH_CC: "Low-QC / High-CC",
+            WorkloadPattern.BALANCED: "Balanced QC-CC",
+        }[self]
+
+
+class SchedulerHint(enum.Enum):
+    """``--hint=`` values, §3.5: "We could for example enable adding
+    --hint=qc-balanced, and others as listed in Table 1"."""
+
+    QC_HEAVY = "qc-heavy"
+    CC_HEAVY = "cc-heavy"
+    QC_BALANCED = "qc-balanced"
+
+    @classmethod
+    def parse(cls, value: str) -> "SchedulerHint":
+        for member in cls:
+            if member.value == value:
+                return member
+        raise SchedulerError(
+            f"unknown scheduler hint {value!r}; valid: {[m.value for m in cls]}"
+        )
+
+    @property
+    def pattern(self) -> WorkloadPattern:
+        return {
+            SchedulerHint.QC_HEAVY: WorkloadPattern.HIGH_QC_LOW_CC,
+            SchedulerHint.CC_HEAVY: WorkloadPattern.LOW_QC_HIGH_CC,
+            SchedulerHint.QC_BALANCED: WorkloadPattern.BALANCED,
+        }[self]
+
+
+def hint_for_pattern(pattern: WorkloadPattern) -> SchedulerHint:
+    return {
+        WorkloadPattern.HIGH_QC_LOW_CC: SchedulerHint.QC_HEAVY,
+        WorkloadPattern.LOW_QC_HIGH_CC: SchedulerHint.CC_HEAVY,
+        WorkloadPattern.BALANCED: SchedulerHint.QC_BALANCED,
+    }[pattern]
+
+
+#: classification thresholds on the QPU fraction q/(q+c)
+QC_DOMINANT_THRESHOLD = 0.65
+CC_DOMINANT_THRESHOLD = 0.35
+
+
+def classify_pattern(qpu_seconds: float, classical_seconds: float) -> WorkloadPattern:
+    """Classify a job by its expected QPU/classical time split."""
+    if qpu_seconds < 0 or classical_seconds < 0:
+        raise SchedulerError("time budgets must be non-negative")
+    total = qpu_seconds + classical_seconds
+    if total == 0:
+        raise SchedulerError("job must declare some expected time")
+    fraction = qpu_seconds / total
+    if fraction >= QC_DOMINANT_THRESHOLD:
+        return WorkloadPattern.HIGH_QC_LOW_CC
+    if fraction <= CC_DOMINANT_THRESHOLD:
+        return WorkloadPattern.LOW_QC_HIGH_CC
+    return WorkloadPattern.BALANCED
+
+
+@dataclass(frozen=True)
+class PatternRow:
+    """One row of Table 1 (for the regeneration bench)."""
+
+    pattern: WorkloadPattern
+    quantum_load: str
+    classical_load: str
+    scheduler_hint: str
+
+
+PATTERN_TABLE: tuple[PatternRow, ...] = (
+    PatternRow(
+        WorkloadPattern.HIGH_QC_LOW_CC,
+        "Dominant",
+        "Minor pre/post processing",
+        "Sequential QPU queue",
+    ),
+    PatternRow(
+        WorkloadPattern.LOW_QC_HIGH_CC,
+        "Sparse",
+        "Heavy",
+        "Interleave jobs to kill QPU idle time",
+    ),
+    PatternRow(
+        WorkloadPattern.BALANCED,
+        "Comparable",
+        "Comparable",
+        "Fine-grained orchestration",
+    ),
+)

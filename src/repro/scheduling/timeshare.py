@@ -1,0 +1,128 @@
+"""Fractional QPU shares (paper §3.5).
+
+"Without requiring changes to Slurm, we could in both cases assign 10
+licenses/GRES units, corresponding to timeshares of the QPU in
+increments of 10 percentage points."
+
+Two cooperating pieces:
+
+* :class:`TimeshareAllocator` — the bookkeeping of the 10-unit pool:
+  tenants hold integer unit counts; maps directly onto Slurm licenses
+  (:class:`~repro.cluster.licenses.LicensePool`) or a GRES pool.
+* :class:`WeightedFairPolicy` — a deficit-round-robin selection policy
+  for the daemon's second-level scheduler: tenants receive QPU time in
+  proportion to their held units.  Plugs into
+  :class:`~repro.daemon.scheduler.SecondLevelScheduler` via
+  ``selection_policy``.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulerError
+from ..daemon.queue import QueuedTask, TaskState
+
+__all__ = ["TimeshareAllocator", "WeightedFairPolicy"]
+
+
+class TimeshareAllocator:
+    """Integer unit pool (default 10 units = 10% increments)."""
+
+    def __init__(self, total_units: int = 10) -> None:
+        if total_units < 1:
+            raise SchedulerError("total_units must be >= 1")
+        self.total_units = total_units
+        self._held: dict[str, int] = {}
+
+    def grant(self, tenant: str, units: int) -> None:
+        if units < 1:
+            raise SchedulerError("must grant >= 1 unit")
+        if self.allocated + units > self.total_units:
+            raise SchedulerError(
+                f"only {self.available} units free, requested {units}"
+            )
+        self._held[tenant] = self._held.get(tenant, 0) + units
+
+    def revoke(self, tenant: str) -> int:
+        return self._held.pop(tenant, 0)
+
+    @property
+    def allocated(self) -> int:
+        return sum(self._held.values())
+
+    @property
+    def available(self) -> int:
+        return self.total_units - self.allocated
+
+    def share(self, tenant: str) -> float:
+        """Tenant's fraction of the QPU (0 if none held)."""
+        return self._held.get(tenant, 0) / self.total_units
+
+    def holdings(self) -> dict[str, int]:
+        return dict(self._held)
+
+    def as_slurm_licenses(self, name: str = "qpu_share") -> dict[str, int]:
+        """License-pool definition for the cluster config (§3.5)."""
+        return {name: self.total_units}
+
+
+class WeightedFairPolicy:
+    """Deficit-weighted task selection over tenants (users).
+
+    Each tenant accrues credit proportional to its share; selecting a
+    tenant's task spends credit equal to the task's estimated QPU
+    seconds.  The eligible tenant with the largest credit balance goes
+    next, so long-run QPU time converges to the granted shares — the
+    fairness property tested in ``tests/scheduling`` and measured by
+    the C5 bench.
+    """
+
+    def __init__(
+        self,
+        allocator: TimeshareAllocator,
+        estimate_seconds=None,
+    ) -> None:
+        self.allocator = allocator
+        self.estimate_seconds = estimate_seconds or (lambda task: float(task.program.shots))
+        self._credit: dict[str, float] = {}
+        self._last_time: float | None = None
+        self.served_seconds: dict[str, float] = {}
+
+    def _accrue(self, now: float) -> None:
+        if self._last_time is None:
+            self._last_time = now
+            return
+        elapsed = now - self._last_time
+        self._last_time = now
+        if elapsed <= 0:
+            return
+        for tenant in self.allocator.holdings():
+            self._credit[tenant] = (
+                self._credit.get(tenant, 0.0) + elapsed * self.allocator.share(tenant)
+            )
+
+    def __call__(self, eligible: list[QueuedTask], now: float) -> QueuedTask | None:
+        """Selection-policy signature for SecondLevelScheduler."""
+        self._accrue(now)
+        eligible = [t for t in eligible if t.state is TaskState.QUEUED]
+        if not eligible:
+            return None
+        by_tenant: dict[str, list[QueuedTask]] = {}
+        for task in eligible:
+            by_tenant.setdefault(task.user, []).append(task)
+        # only tenants holding shares compete on credit; others are
+        # best-effort and go last (zero credit).
+        def credit_of(tenant: str) -> float:
+            return self._credit.get(tenant, 0.0) + 1e-9 * self.allocator.share(tenant)
+
+        tenant = max(sorted(by_tenant), key=credit_of)
+        task = min(by_tenant[tenant], key=lambda t: t.enqueued_at)
+        cost = self.estimate_seconds(task)
+        self._credit[tenant] = self._credit.get(tenant, 0.0) - cost
+        self.served_seconds[tenant] = self.served_seconds.get(tenant, 0.0) + cost
+        return task
+
+    def observed_shares(self) -> dict[str, float]:
+        total = sum(self.served_seconds.values())
+        if total == 0:
+            return {}
+        return {tenant: s / total for tenant, s in self.served_seconds.items()}

@@ -1,0 +1,105 @@
+"""The shared intermediate representation: AnalogProgram.
+
+One device-independent description of an analog quantum task:
+register + global drive schedule + shot request.  Every SDK lowers to
+this; every backend (emulator ladder, QPU, cloud) executes it; the
+daemon validates and routes it.  It is JSON-serializable so it can
+travel through the REST middleware and be stored in accounting.
+
+Crucially for the paper's portability claim (§3.2), the IR contains
+**no backend identity** — the target device is external configuration
+(the ``--qpu=<resource>`` switch), so moving dev -> HPC -> QPU changes
+zero bytes of the program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import IRError
+from ..qpu.geometry import Register
+from ..qpu.pulses import DriveSegment
+
+__all__ = ["AnalogProgram"]
+
+
+@dataclass(frozen=True)
+class AnalogProgram:
+    """Device-independent analog task description."""
+
+    register: Register
+    segments: tuple[DriveSegment, ...]
+    shots: int = 100
+    name: str = "program"
+    sdk: str = "unknown"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise IRError("program must contain at least one drive segment")
+        if self.shots < 1:
+            raise IRError(f"shots must be >= 1, got {self.shots}")
+
+    @property
+    def num_qubits(self) -> int:
+        return self.register.num_atoms
+
+    @property
+    def duration_us(self) -> float:
+        return sum(seg.duration for seg in self.segments)
+
+    def with_shots(self, shots: int) -> "AnalogProgram":
+        """Same program, different shot budget (the only knob schedulers
+        may touch — e.g. the daemon capping dev-queue shots)."""
+        from dataclasses import replace
+
+        return replace(self, shots=shots)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "register": self.register.to_dict(),
+            "segments": [seg.to_dict() for seg in self.segments],
+            "shots": self.shots,
+            "name": self.name,
+            "sdk": self.sdk,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalogProgram":
+        try:
+            return cls(
+                register=Register.from_dict(data["register"]),
+                segments=tuple(DriveSegment.from_dict(s) for s in data["segments"]),
+                shots=int(data.get("shots", 100)),
+                name=str(data.get("name", "program")),
+                sdk=str(data.get("sdk", "unknown")),
+                metadata=dict(data.get("metadata", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise IRError(f"malformed program dict: {exc}") from exc
+
+    def content_hash(self) -> str:
+        """Stable digest of the physics content (register + schedule),
+        excluding shots/metadata.  Used by the portability checks to
+        prove the *same* program ran in every environment (Figure 1)."""
+        payload = {
+            "register": self.register.to_dict(),
+            "segments": [seg.to_dict() for seg in self.segments],
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnalogProgram):
+            return NotImplemented
+        return (
+            self.content_hash() == other.content_hash()
+            and self.shots == other.shots
+            and self.name == other.name
+        )

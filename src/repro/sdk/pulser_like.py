@@ -1,0 +1,108 @@
+"""Pulse-level SDK (mini-Pulser).
+
+Mirrors the Pulser idiom the paper's users write (ref [22]): declare a
+sequence over a register, declare a global Rydberg channel, add pulses,
+measure.  ``Sequence.build()`` lowers to the shared IR.
+
+Device specs may be attached at *build* time for early validation, but
+the produced program stays device-free — re-validation happens again at
+the point of execution, against fresh specs (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SDKError
+from ..qpu.geometry import Register
+from ..qpu.pulses import ConstantWaveform, DriveSegment, Waveform
+from ..qpu.specs import DeviceSpecs
+from .ir import AnalogProgram
+
+__all__ = ["Pulse", "Sequence"]
+
+SDK_NAME = "pulser-like"
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """Amplitude + detuning waveforms with a phase, Pulser-style."""
+
+    amplitude: Waveform
+    detuning: Waveform
+    phase: float = 0.0
+
+    @classmethod
+    def constant_detuning(cls, amplitude: Waveform, detuning: float, phase: float = 0.0) -> "Pulse":
+        return cls(
+            amplitude=amplitude,
+            detuning=ConstantWaveform(amplitude.duration, detuning),
+            phase=phase,
+        )
+
+    @classmethod
+    def constant_amplitude(cls, amplitude: float, detuning: Waveform, phase: float = 0.0) -> "Pulse":
+        return cls(
+            amplitude=ConstantWaveform(detuning.duration, amplitude),
+            detuning=detuning,
+            phase=phase,
+        )
+
+    def to_segment(self) -> DriveSegment:
+        return DriveSegment(omega=self.amplitude, delta=self.detuning, phase=self.phase)
+
+
+class Sequence:
+    """Ordered pulse schedule on a declared channel."""
+
+    SUPPORTED_CHANNELS = {"rydberg_global"}
+
+    def __init__(self, register: Register, device: DeviceSpecs | None = None, name: str = "sequence") -> None:
+        self.register = register
+        self.device = device
+        self.name = name
+        self._channels: dict[str, str] = {}
+        self._pulses: list[tuple[str, Pulse]] = []
+        self._measured = False
+
+    def declare_channel(self, name: str, kind: str = "rydberg_global") -> None:
+        if kind not in self.SUPPORTED_CHANNELS:
+            raise SDKError(
+                f"channel kind {kind!r} not supported (have {sorted(self.SUPPORTED_CHANNELS)})"
+            )
+        if name in self._channels:
+            raise SDKError(f"channel {name!r} already declared")
+        self._channels[name] = kind
+
+    def add(self, pulse: Pulse, channel: str) -> None:
+        if self._measured:
+            raise SDKError("cannot add pulses after measurement")
+        if channel not in self._channels:
+            raise SDKError(f"unknown channel {channel!r}; declare it first")
+        self._pulses.append((channel, pulse))
+
+    def measure(self) -> None:
+        if not self._pulses:
+            raise SDKError("cannot measure an empty sequence")
+        self._measured = True
+
+    @property
+    def duration(self) -> float:
+        return sum(p.amplitude.duration for _, p in self._pulses)
+
+    def build(self, shots: int = 100) -> AnalogProgram:
+        """Lower to the shared IR (optionally pre-validating on specs)."""
+        if not self._measured:
+            raise SDKError("sequence must be measured before building")
+        segments = tuple(p.to_segment() for _, p in self._pulses)
+        if self.device is not None:
+            # Early validation is a convenience; point-of-execution
+            # validation happens again in the runtime.
+            self.device.check(self.register, list(segments), shots)
+        return AnalogProgram(
+            register=self.register,
+            segments=segments,
+            shots=shots,
+            name=self.name,
+            sdk=SDK_NAME,
+        )

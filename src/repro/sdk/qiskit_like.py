@@ -1,0 +1,132 @@
+"""Circuit-builder SDK (mini qiskit-pasqal-provider).
+
+A deliberately different programming idiom over the same IR: users
+append named analog "instructions" to a circuit object, then
+``transpile`` lowers the instruction list to pulse segments.  This is
+the style the qiskit-pasqal-provider exposes — circuits whose
+instructions are analog blocks, not digital gates, because the target
+device is analog (paper §4: "The Pasqal QPU operates in the analog
+regime").
+
+Instructions:
+
+* ``rx_global(theta)``      — resonant global pulse of area ``theta``,
+* ``wait(duration, delta)`` — free evolution under constant detuning,
+* ``adiabatic_sweep(area, delta_start, delta_stop, duration)`` — the
+  Blackman-amplitude detuning ramp used for ordered-phase preparation,
+* ``measure_all()``         — terminal measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import SDKError, TranslationError
+from ..qpu.geometry import Register
+from ..qpu.pulses import BlackmanWaveform, ConstantWaveform, DriveSegment, RampWaveform
+from .ir import AnalogProgram
+
+__all__ = ["AnalogCircuit"]
+
+SDK_NAME = "qiskit-like"
+
+#: default duration of an rx_global block, us
+_DEFAULT_PULSE_DURATION = 0.5
+
+
+@dataclass(frozen=True)
+class _Instruction:
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+class AnalogCircuit:
+    """Instruction-list circuit over an atom register."""
+
+    def __init__(self, register: Register, name: str = "circuit") -> None:
+        self.register = register
+        self.name = name
+        self._instructions: list[_Instruction] = []
+        self._measured = False
+
+    # -- builder API -------------------------------------------------------
+
+    def _append(self, name: str, **params: Any) -> "AnalogCircuit":
+        if self._measured:
+            raise SDKError("cannot append instructions after measure_all()")
+        self._instructions.append(_Instruction(name, params))
+        return self
+
+    def rx_global(self, theta: float, duration: float = _DEFAULT_PULSE_DURATION) -> "AnalogCircuit":
+        """Global resonant rotation by pulse area ``theta`` (rad)."""
+        if theta <= 0:
+            raise SDKError(f"rotation area must be positive, got {theta}")
+        if duration <= 0:
+            raise SDKError(f"duration must be positive, got {duration}")
+        return self._append("rx_global", theta=theta, duration=duration)
+
+    def wait(self, duration: float, delta: float = 0.0) -> "AnalogCircuit":
+        """Free evolution (Omega = 0) under constant detuning."""
+        if duration <= 0:
+            raise SDKError(f"duration must be positive, got {duration}")
+        return self._append("wait", duration=duration, delta=delta)
+
+    def adiabatic_sweep(
+        self, area: float, delta_start: float, delta_stop: float, duration: float
+    ) -> "AnalogCircuit":
+        if duration <= 0:
+            raise SDKError(f"duration must be positive, got {duration}")
+        return self._append(
+            "adiabatic_sweep",
+            area=area,
+            delta_start=delta_start,
+            delta_stop=delta_stop,
+            duration=duration,
+        )
+
+    def measure_all(self) -> "AnalogCircuit":
+        if not self._instructions:
+            raise SDKError("cannot measure an empty circuit")
+        self._measured = True
+        return self
+
+    @property
+    def depth(self) -> int:
+        return len(self._instructions)
+
+    # -- lowering ---------------------------------------------------------
+
+    def _lower_instruction(self, instr: _Instruction) -> DriveSegment:
+        p = instr.params
+        if instr.name == "rx_global":
+            omega = p["theta"] / p["duration"]
+            return DriveSegment(
+                omega=ConstantWaveform(p["duration"], omega),
+                delta=ConstantWaveform(p["duration"], 0.0),
+            )
+        if instr.name == "wait":
+            return DriveSegment(
+                omega=ConstantWaveform(p["duration"], 0.0),
+                delta=ConstantWaveform(p["duration"], p["delta"]),
+            )
+        if instr.name == "adiabatic_sweep":
+            return DriveSegment(
+                omega=BlackmanWaveform(p["duration"], p["area"]),
+                delta=RampWaveform(p["duration"], p["delta_start"], p["delta_stop"]),
+            )
+        raise TranslationError(f"unknown instruction {instr.name!r}")
+
+    def transpile(self, shots: int = 100) -> AnalogProgram:
+        """Lower the instruction list to the shared IR."""
+        if not self._measured:
+            raise SDKError("circuit must end with measure_all()")
+        segments = tuple(self._lower_instruction(i) for i in self._instructions)
+        return AnalogProgram(
+            register=self.register,
+            segments=segments,
+            shots=shots,
+            name=self.name,
+            sdk=SDK_NAME,
+            metadata={"depth": self.depth},
+        )

@@ -1,0 +1,73 @@
+"""SDK registry: discoverable, pluggable front ends.
+
+The daemon advertises which SDKs a site supports ("managing multiple
+programming SDKs as first-class citizens", paper abstract) and
+third-party SDKs can register their own translator without touching
+the core — the paper's modularity-over-vertical-integration principle
+(§4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from ..errors import SDKError
+from .ir import AnalogProgram
+
+__all__ = ["SDKRegistry", "default_registry"]
+
+
+class SDKRegistry:
+    """Maps SDK names to (type, translator) pairs."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[type, Callable[[Any, int], AnalogProgram]]] = {}
+
+    def register(
+        self,
+        name: str,
+        sdk_type: type,
+        translator: Callable[[Any, int], AnalogProgram],
+    ) -> None:
+        if name in self._entries:
+            raise SDKError(f"SDK {name!r} already registered")
+        self._entries[name] = (sdk_type, translator)
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def supports(self, obj: Any) -> bool:
+        return any(isinstance(obj, t) for t, _ in self._entries.values())
+
+    def translate(self, obj: Any, shots: int = 100) -> AnalogProgram:
+        """Translate via the first matching registered SDK."""
+        if isinstance(obj, AnalogProgram):
+            return obj
+        for name, (sdk_type, translator) in self._entries.items():
+            if isinstance(obj, sdk_type):
+                program = translator(obj, shots)
+                if program.sdk == "unknown":
+                    from dataclasses import replace
+
+                    program = replace(program, sdk=name)
+                return program
+        raise SDKError(
+            f"no registered SDK handles {type(obj).__name__}; "
+            f"registered: {self.names()}"
+        )
+
+
+def default_registry() -> SDKRegistry:
+    """Registry pre-loaded with the two built-in SDKs."""
+    from .pulser_like import Sequence
+    from .qiskit_like import AnalogCircuit
+
+    registry = SDKRegistry()
+    registry.register(
+        "pulser-like", Sequence, lambda seq, shots: seq.build(shots=shots)
+    )
+    registry.register(
+        "qiskit-like", AnalogCircuit, lambda circ, shots: circ.transpile(shots=shots)
+    )
+    return registry

@@ -1,0 +1,40 @@
+"""Translation utilities: anything -> IR -> executable Hamiltonian."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import TranslationError
+from ..qpu.hamiltonian import DEFAULT_C6, RydbergHamiltonian
+from .ir import AnalogProgram
+from .pulser_like import Sequence
+from .qiskit_like import AnalogCircuit
+
+__all__ = ["lower_to_hamiltonian", "to_ir"]
+
+
+def to_ir(obj: Any, shots: int = 100) -> AnalogProgram:
+    """Normalize any supported SDK object (or IR dict) to an AnalogProgram.
+
+    This is the funnel that makes SDKs interchangeable: the runtime and
+    daemon only ever see IR.
+    """
+    if isinstance(obj, AnalogProgram):
+        return obj
+    if isinstance(obj, Sequence):
+        return obj.build(shots=shots)
+    if isinstance(obj, AnalogCircuit):
+        return obj.transpile(shots=shots)
+    if isinstance(obj, dict):
+        return AnalogProgram.from_dict(obj)
+    raise TranslationError(
+        f"cannot translate {type(obj).__name__} to AnalogProgram; "
+        "supported: AnalogProgram, Sequence, AnalogCircuit, dict"
+    )
+
+
+def lower_to_hamiltonian(
+    program: AnalogProgram, dt: float = 0.01, c6: float = DEFAULT_C6
+) -> RydbergHamiltonian:
+    """Build the executable Hamiltonian from an IR program."""
+    return RydbergHamiltonian(program.register, list(program.segments), dt=dt, c6=c6)

@@ -1,0 +1,47 @@
+"""Discrete-event simulation (DES) kernel.
+
+This is the concurrency substrate for the whole testbed: the Slurm-like
+cluster, the middleware daemon's second-level scheduler, the QPU shot
+clock and the calibration-drift processes all run as cooperating
+processes on a single simulated clock.
+
+Design notes
+------------
+* Time is ``float`` seconds from simulation start.
+* The event queue is a binary heap keyed on ``(time, priority, seq)``;
+  ``seq`` is a monotonically increasing tiebreaker so same-time events
+  fire in scheduling order (deterministic replay).
+* Processes are plain Python generators that ``yield`` commands
+  (:class:`~repro.simkernel.process.Timeout`, ``Wait`` on an event,
+  resource requests).  This is a deliberately small simpy-like core —
+  built from scratch here because the paper's middleware needs hooks
+  (tracing, preemption interrupts) that are easier to own than to adapt.
+* Everything is deterministic given the seeds handed to
+  :class:`~repro.simkernel.rng.RngRegistry`.
+"""
+
+from .clock import SimClock
+from .events import Event, EventQueue, ScheduledEvent
+from .process import Interrupt, Process, Simulator, Timeout, Wait
+from .resources import Container, PriorityResource, Resource, Store
+from .rng import RngRegistry
+from .trace import TraceRecorder, TraceRecord
+
+__all__ = [
+    "Container",
+    "Event",
+    "EventQueue",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "ScheduledEvent",
+    "SimClock",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "TraceRecorder",
+    "Wait",
+]

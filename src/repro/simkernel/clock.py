@@ -1,0 +1,53 @@
+"""Simulated wall clock.
+
+A tiny class, but centralizing it buys two invariants the rest of the
+stack leans on:
+
+* time never moves backwards (attempts raise :class:`ClockError`), and
+* every component reads the *same* clock object, so cross-layer
+  timestamps (scheduler decisions, QPU telemetry, TSDB points) are
+  directly comparable without skew handling.
+"""
+
+from __future__ import annotations
+
+from ..errors import ClockError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated clock measured in float seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`ClockError` if ``when`` is in the past.  Advancing
+        to the current time is a no-op (same-time events).
+        """
+        if when < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: now={self._now}, requested={when}"
+            )
+        self._now = float(when)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds (``delta >= 0``)."""
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

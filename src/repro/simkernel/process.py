@@ -1,0 +1,334 @@
+"""Generator-based simulated processes and the simulator loop.
+
+A process is a Python generator that yields *commands*:
+
+* ``Timeout(delay)``   — suspend for ``delay`` simulated seconds,
+* ``Wait(event)``      — suspend until ``event`` triggers; resumes with
+  the event's value,
+* another ``Process``  — wait for a child process to finish; resumes
+  with the child's return value,
+* a resource request object from :mod:`repro.simkernel.resources`.
+
+Processes can be interrupted (used by the preemption machinery in the
+cluster and daemon schedulers): :meth:`Process.interrupt` raises
+:class:`Interrupt` inside the generator at its current suspension point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from typing import Any
+
+from ..errors import ClockError, ProcessError, SimulationError
+from .clock import SimClock
+from .events import Event, EventQueue, ScheduledEvent
+
+__all__ = ["Interrupt", "Process", "Simulator", "Timeout", "Wait"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    ``cause`` carries arbitrary context (e.g. the preempting job id).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Timeout:
+    """Command: suspend the yielding process for ``delay`` seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ClockError(f"negative timeout {delay}")
+        self.delay = float(delay)
+
+
+class Wait:
+    """Command: suspend the yielding process until ``event`` triggers."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+
+class Process:
+    """A running simulated process wrapping a generator.
+
+    The process exposes an :attr:`done_event` other processes can wait
+    on; its value is the generator's return value (or the exception that
+    killed it, re-raised in the waiter).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+        background: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: background processes (scrapers, drift models) never keep an
+        #: unbounded Simulator.run() alive — see EventQueue.background.
+        self.background = background
+        self.done_event = Event(name=f"{self.name}.done")
+        self._alive = True
+        self._pending_entry: ScheduledEvent | None = None
+        self._waiting_on: Event | None = None
+        self._resume_callback: Callable[[Event], None] | None = None
+        self.return_value: Any = None
+        self.error: BaseException | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    # -- driving ---------------------------------------------------------
+
+    def _start(self) -> None:
+        self._step(None)
+
+    def _step(self, send_value: Any, exc: BaseException | None = None) -> None:
+        """Advance the generator by one yield, then re-arm its suspension."""
+        self._pending_entry = None
+        self._waiting_on = None
+        self._resume_callback = None
+        try:
+            if exc is not None:
+                command = self.generator.throw(exc)
+            else:
+                command = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except Interrupt as leaked:
+            # Generator chose not to handle the interrupt: treat as death.
+            self._finish(None, leaked)
+            return
+        except Exception as err:  # deliberate: process bodies may fail
+            self._finish(None, err)
+            return
+        try:
+            self._arm(command)
+        except ProcessError as err:
+            # Bad yield: kill the process rather than unwinding the caller
+            # (spawn / event loop) so run_until_process reports it.
+            self.generator.close()
+            self._finish(None, err)
+
+    def _arm(self, command: Any) -> None:
+        sim = self.sim
+        if isinstance(command, Timeout):
+            event = Event(name=f"{self.name}.timeout")
+            resume = lambda ev: self._step(ev.value)  # noqa: E731
+            event.callbacks.append(resume)
+            self._pending_entry = sim.schedule(
+                event, delay=command.delay, background=self.background
+            )
+            self._waiting_on = event
+            self._resume_callback = resume
+        elif isinstance(command, Wait):
+            self._wait_for(command.event)
+        elif isinstance(command, Process):
+            self._wait_for(command.done_event, unwrap_process=command)
+        elif isinstance(command, Event):
+            self._wait_for(command)
+        elif hasattr(command, "__sim_request__"):
+            # Resource request protocol: object arms itself and returns the
+            # event the process should wait on.
+            event = command.__sim_request__(sim, self)
+            self._wait_for(event)
+        else:
+            raise ProcessError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+
+    def _wait_for(self, event: Event, unwrap_process: "Process | None" = None) -> None:
+        def resume(ev: Event) -> None:
+            if unwrap_process is not None and unwrap_process.error is not None:
+                self._step(None, exc=unwrap_process.error)
+            else:
+                self._step(ev.value)
+
+        if event.processed:
+            # Already done: resume on the next tick at the current time to
+            # preserve run-to-yield semantics.
+            immediate = Event(name=f"{self.name}.immediate")
+            immediate.callbacks.append(resume)
+            immediate.trigger(event.value if event.triggered else None)
+            self._pending_entry = self.sim.schedule_triggered(
+                immediate, delay=0.0, background=self.background
+            )
+            self._waiting_on = immediate
+            self._resume_callback = resume
+        else:
+            event.callbacks.append(resume)
+            self._waiting_on = event
+            self._resume_callback = resume
+
+    def _finish(self, value: Any, error: BaseException | None) -> None:
+        self._alive = False
+        self.return_value = value
+        self.error = error
+        self.done_event.trigger(value)
+        self.sim.schedule_triggered(self.done_event, delay=0.0, background=self.background)
+
+    # -- interruption ----------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process at its current suspension point.
+
+        If the process is waiting on a timeout, the timeout is cancelled.
+        If it is waiting on an external event, the callback is detached so
+        a later trigger will not resume a dead continuation.
+        """
+        if not self._alive:
+            raise ProcessError(f"cannot interrupt finished process {self.name!r}")
+        if self._pending_entry is not None:
+            self.sim.events.cancel(self._pending_entry)
+            self._pending_entry = None
+        if self._waiting_on is not None and self._resume_callback is not None:
+            # Detach our resume continuation so a later trigger of the event
+            # does not resume an already-interrupted frame.
+            self._waiting_on.callbacks = [
+                cb for cb in self._waiting_on.callbacks if cb is not self._resume_callback
+            ]
+            self._waiting_on = None
+            self._resume_callback = None
+        # Deliver the interrupt on the next tick so the interruptor's frame
+        # unwinds first (matches simpy semantics and avoids reentrancy).
+        event = Event(name=f"{self.name}.interrupt")
+        event.callbacks.append(lambda ev: self._step(None, exc=Interrupt(cause)))
+        event.trigger(None)
+        self.sim.schedule_triggered(event, delay=0.0, priority=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, alive={self._alive})"
+
+
+class Simulator:
+    """The event loop: owns the clock and the event queue."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self.events = EventQueue()
+        self._processes: list[Process] = []
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = 0, background: bool = False
+    ) -> ScheduledEvent:
+        """Schedule a *pending* event; it is triggered when popped."""
+        return self.events.push(self.now + delay, event, priority, background=background)
+
+    def schedule_triggered(
+        self, event: Event, delay: float = 0.0, priority: int = 0, background: bool = False
+    ) -> ScheduledEvent:
+        """Schedule an event that has already been triggered."""
+        entry = self.events.push(self.now + delay, event, priority, background=background)
+        entry.pretriggered = True  # type: ignore[attr-defined]
+        return entry
+
+    def mark_pretriggered(self, entry: ScheduledEvent) -> None:
+        entry.pretriggered = True  # type: ignore[attr-defined]
+
+    def timeout_event(self, delay: float, value: Any = None, name: str = "timeout") -> Event:
+        """Create an event that triggers ``delay`` seconds from now."""
+        event = Event(name=name)
+        event.trigger(value)
+        self.schedule_triggered(event, delay=delay)
+        return event
+
+    # -- processes -------------------------------------------------------
+
+    def spawn(
+        self, generator: Generator[Any, Any, Any], name: str = "", background: bool = False
+    ) -> Process:
+        """Create and start a process from a generator.
+
+        ``background=True`` marks a perpetual housekeeping process
+        (telemetry scraper, drift model): its pending events never keep
+        an unbounded :meth:`run` alive, so simulations with eternal
+        monitors still terminate when the *real* work drains.
+        """
+        process = Process(self, generator, name=name, background=background)
+        self._processes.append(process)
+        process._start()
+        return process
+
+    def call_at(self, when: float, callback: Callable[[], None], name: str = "call_at") -> ScheduledEvent:
+        """Run ``callback()`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise ClockError(f"call_at in the past: now={self.now}, when={when}")
+        event = Event(name=name)
+        event.callbacks.append(lambda ev: callback())
+        event.trigger(None)
+        entry = self.events.push(when, event, 0)
+        entry.pretriggered = True  # type: ignore[attr-defined]
+        return entry
+
+    def call_in(self, delay: float, callback: Callable[[], None], name: str = "call_in") -> ScheduledEvent:
+        """Run ``callback()`` after ``delay`` simulated seconds."""
+        return self.call_at(self.now + delay, callback, name=name)
+
+    # -- running ---------------------------------------------------------
+
+    def step(self) -> float:
+        """Process the single next event; returns its time."""
+        entry = self.events.pop()
+        self.clock.advance_to(entry.time)
+        event = entry.event
+        if not event.triggered:
+            event.trigger(None)
+        event.run_callbacks()
+        return entry.time
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        Returns the final simulated time.  ``max_events`` guards against
+        accidental infinite event loops in tests.
+        """
+        steps = 0
+        while self.events:
+            if until is not None and self.events.peek_time() > until:
+                self.clock.advance_to(until)
+                return self.now
+            if until is None and self.events.foreground_count() == 0:
+                # only perpetual background work (scrapers, drift) left
+                break
+            self.step()
+            steps += 1
+            if steps > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+        if until is not None and until > self.now:
+            self.clock.advance_to(until)
+        return self.now
+
+    def run_until_process(self, process: Process, max_events: int = 10_000_000) -> Any:
+        """Run until ``process`` completes; returns its value or raises its error."""
+        steps = 0
+        while process.alive:
+            if not self.events or self.events.foreground_count() == 0:
+                raise SimulationError(
+                    f"deadlock: {process.name!r} still alive but no events pending"
+                )
+            self.step()
+            steps += 1
+            if steps > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        if process.error is not None:
+            raise process.error
+        return process.return_value

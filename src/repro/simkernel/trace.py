@@ -1,0 +1,122 @@
+"""Structured trace recording for simulations.
+
+Every layer can emit :class:`TraceRecord` rows (time, component, event,
+fields).  The recorder is the raw-data backbone of the benchmark
+harness: utilization, wait-time and idle-time metrics are computed from
+traces after the run rather than accumulated ad hoc inside components,
+so one simulation can be analyzed under many metrics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace row.
+
+    ``time`` is simulated seconds; ``component`` names the emitting layer
+    (``"slurm"``, ``"daemon"``, ``"qpu"`` ...); ``event`` is a short verb
+    (``"job_submit"``, ``"shot_done"`` ...); ``fields`` holds arbitrary
+    structured detail.
+    """
+
+    time: float
+    component: str
+    event: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only trace log with filtered views."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, component: str, event: str, **fields: Any) -> TraceRecord:
+        record = TraceRecord(time=time, component=component, event=event, fields=fields)
+        self._records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+        return record
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Live tap: used by the observability scraper to mirror traces
+        into the TSDB without post-hoc copying."""
+        self._subscribers.append(callback)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records(
+        self,
+        component: str | None = None,
+        event: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[TraceRecord]:
+        """Filtered copy of the trace."""
+
+        def keep(r: TraceRecord) -> bool:
+            if component is not None and r.component != component:
+                return False
+            if event is not None and r.event != event:
+                return False
+            if since is not None and r.time < since:
+                return False
+            if until is not None and r.time > until:
+                return False
+            return True
+
+        return [r for r in self._records if keep(r)]
+
+    def pairs(
+        self,
+        start_event: str,
+        end_event: str,
+        key: str,
+        component: str | None = None,
+    ) -> list[tuple[float, float, Any]]:
+        """Match start/end events sharing ``fields[key]``.
+
+        Returns ``(start_time, end_time, key_value)`` tuples; unmatched
+        starts are dropped.  This is the workhorse for wait-time and
+        busy-interval extraction.
+        """
+        open_starts: dict[Any, float] = {}
+        matched: list[tuple[float, float, Any]] = []
+        for record in self._records:
+            if component is not None and record.component != component:
+                continue
+            if key not in record.fields:
+                continue
+            value = record.fields[key]
+            if record.event == start_event:
+                open_starts[value] = record.time
+            elif record.event == end_event and value in open_starts:
+                matched.append((open_starts.pop(value), record.time, value))
+        return matched
+
+    @staticmethod
+    def busy_fraction(intervals: Iterable[tuple[float, float, Any]], horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` covered by (possibly overlapping) intervals."""
+        if horizon <= 0:
+            return 0.0
+        spans = sorted((max(0.0, s), min(horizon, e)) for s, e, _ in intervals if e > 0 and s < horizon)
+        covered = 0.0
+        cursor = 0.0
+        for start, end in spans:
+            if end <= cursor:
+                continue
+            covered += end - max(cursor, start)
+            cursor = max(cursor, end)
+        return covered / horizon

@@ -1,0 +1,35 @@
+"""Synthetic hybrid workloads.
+
+The applications the paper's environment exists to serve:
+
+* :mod:`vqe`  — a variational loop (pattern C exemplar: comparable
+  quantum and classical time),
+* :mod:`qaa`  — quantum adiabatic optimization sweeps (pattern A:
+  QPU-dominant, minor post-processing),
+* :mod:`sqd`  — sample-based-quantum-diagonalization style: one
+  sampling burst then heavy classical eigensolving (pattern B; the
+  paper's §2.4 cites SQD post-processing scaling to 6400 Fugaku
+  nodes),
+* :mod:`generator` — Poisson job streams mixing the three patterns
+  into cluster/daemon experiments (Table 1, Figure 2).
+"""
+
+from .generator import HybridJobFactory, JobStream, StreamConfig
+from .qaa import make_qaa_program, qaa_energy
+from .sqd import SQDWorkload, sqd_postprocess
+from .traces import ArrivalTrace, TraceEntry
+from .vqe import ising_energy_from_counts, make_vqe
+
+__all__ = [
+    "ArrivalTrace",
+    "HybridJobFactory",
+    "TraceEntry",
+    "JobStream",
+    "SQDWorkload",
+    "StreamConfig",
+    "ising_energy_from_counts",
+    "make_qaa_program",
+    "make_vqe",
+    "qaa_energy",
+    "sqd_postprocess",
+]

@@ -1,0 +1,115 @@
+"""Arrival-trace record & replay.
+
+Fair policy comparison requires *identical* arrival streams (DESIGN.md:
+"the paper's scheduling experiments compare policies on identical
+arrival streams").  An :class:`ArrivalTrace` is an immutable, JSON
+serializable record of (time, job descriptor) pairs that experiments
+can generate once and replay under every policy — and ship alongside
+results for exact reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from ..errors import SchedulerError
+from ..scheduling.patterns import WorkloadPattern
+from .generator import HybridJobFactory, JobStream, StreamConfig, SyntheticHybridJob
+
+__all__ = ["ArrivalTrace", "TraceEntry"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One arrival: everything needed to reconstruct the job."""
+
+    arrival_s: float
+    name: str
+    user: str
+    pattern: str
+    shots_per_burst: int
+    classical_seconds: float
+    iterations: int
+    n_atoms: int
+
+    def to_job(self) -> SyntheticHybridJob:
+        return SyntheticHybridJob(
+            name=self.name,
+            user=self.user,
+            pattern=WorkloadPattern(self.pattern),
+            shots_per_burst=self.shots_per_burst,
+            classical_seconds=self.classical_seconds,
+            iterations=self.iterations,
+            n_atoms=self.n_atoms,
+        )
+
+
+class ArrivalTrace:
+    """Immutable ordered arrival stream."""
+
+    def __init__(self, entries: list[TraceEntry]) -> None:
+        times = [e.arrival_s for e in entries]
+        if times != sorted(times):
+            raise SchedulerError("trace entries must be time-ordered")
+        self.entries = tuple(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def jobs(self) -> list[tuple[float, SyntheticHybridJob]]:
+        return [(e.arrival_s, e.to_job()) for e in self.entries]
+
+    @property
+    def horizon(self) -> float:
+        return self.entries[-1].arrival_s if self.entries else 0.0
+
+    def pattern_mix(self) -> dict[str, int]:
+        mix: dict[str, int] = {}
+        for entry in self.entries:
+            mix[entry.pattern] = mix.get(entry.pattern, 0) + 1
+        return mix
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def record(cls, stream: JobStream) -> "ArrivalTrace":
+        """Materialize a generated stream into a replayable trace."""
+        entries = [
+            TraceEntry(
+                arrival_s=arrival,
+                name=job.name,
+                user=job.user,
+                pattern=job.pattern.value,
+                shots_per_burst=job.shots_per_burst,
+                classical_seconds=job.classical_seconds,
+                iterations=job.iterations,
+                n_atoms=job.n_atoms,
+            )
+            for arrival, job in stream.generate()
+        ]
+        return cls(entries)
+
+    @classmethod
+    def from_stream_config(
+        cls, config: StreamConfig, root_seed: int, factory: HybridJobFactory | None = None
+    ) -> "ArrivalTrace":
+        from ..simkernel import RngRegistry
+
+        return cls.record(JobStream(config, RngRegistry(root_seed), factory))
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps([asdict(e) for e in self.entries], indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ArrivalTrace":
+        try:
+            data = json.loads(text)
+            return cls([TraceEntry(**item) for item in data])
+        except (TypeError, KeyError, json.JSONDecodeError) as exc:
+            raise SchedulerError(f"malformed trace JSON: {exc}") from exc

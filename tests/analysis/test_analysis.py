@@ -1,0 +1,77 @@
+"""Tests for the analysis helpers (stats + tables)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis import bootstrap_ci, format_table, markdown_table, summary_stats
+
+
+class TestSummaryStats:
+    def test_basic(self):
+        stats = summary_stats([1.0, 2.0, 3.0, 4.0])
+        assert stats["n"] == 4
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["p50"] == pytest.approx(2.5)
+
+    def test_single_value_zero_std(self):
+        assert summary_stats([5.0])["std"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summary_stats([])
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 2.0, size=200)
+        lo, hi = bootstrap_ci(sample, confidence=0.95, seed=1)
+        assert lo < 10.0 < hi
+        assert hi - lo < 1.5
+
+    def test_deterministic_given_seed(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(sample, seed=7) == bootstrap_ci(sample, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([])
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestTables:
+    ROWS = [
+        {"scenario": "sequential", "util": 44.2},
+        {"scenario": "interleaved", "util": 78.1},
+    ]
+
+    def test_format_table_alignment(self):
+        text = format_table(self.ROWS, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "scenario" in lines[1] and "util" in lines[1]
+        assert "sequential" in lines[3]
+
+    def test_markdown_table(self):
+        text = markdown_table(self.ROWS)
+        assert "| scenario | util |" in text
+        assert "| sequential | 44.2 |" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([])
+        with pytest.raises(ReproError):
+            markdown_table([])
+
+    def test_missing_cell_tolerated(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows)
+        assert "3" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456789}])
+        assert "0.1235" in text

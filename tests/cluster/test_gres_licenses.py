@@ -1,0 +1,125 @@
+"""Unit tests for GRES pools and license pools."""
+
+import pytest
+
+from repro.errors import GresError, LicenseError
+from repro.cluster import GresPool, GresRequest, LicensePool, parse_gres
+
+
+class TestGresRequest:
+    def test_str(self):
+        assert str(GresRequest("qpu", 2)) == "qpu:2"
+
+    def test_default_count(self):
+        assert GresRequest("qpu").count == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GresError):
+            GresRequest("")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(GresError):
+            GresRequest("qpu", 0)
+
+
+class TestParseGres:
+    def test_single(self):
+        assert parse_gres("qpu:1") == [GresRequest("qpu", 1)]
+
+    def test_multiple(self):
+        assert parse_gres("qpu:1,qpu_share:3") == [
+            GresRequest("qpu", 1),
+            GresRequest("qpu_share", 3),
+        ]
+
+    def test_bare_name(self):
+        assert parse_gres("qpu") == [GresRequest("qpu", 1)]
+
+    def test_empty(self):
+        assert parse_gres("") == []
+
+    def test_bad_count(self):
+        with pytest.raises(GresError):
+            parse_gres("qpu:abc")
+
+    def test_whitespace_tolerated(self):
+        assert parse_gres(" qpu:2 , tpu ") == [GresRequest("qpu", 2), GresRequest("tpu", 1)]
+
+
+class TestGresPool:
+    def test_allocate_release_roundtrip(self):
+        pool = GresPool("qpu_share", 10)
+        pool.allocate(1, 3)
+        assert pool.allocated == 3
+        assert pool.available == 7
+        assert pool.release(1) == 3
+        assert pool.available == 10
+
+    def test_exhaustion_raises(self):
+        pool = GresPool("qpu", 1)
+        pool.allocate(1, 1)
+        with pytest.raises(GresError):
+            pool.allocate(2, 1)
+
+    def test_double_allocation_raises(self):
+        pool = GresPool("qpu", 2)
+        pool.allocate(1, 1)
+        with pytest.raises(GresError):
+            pool.allocate(1, 1)
+
+    def test_release_non_holder_raises(self):
+        with pytest.raises(GresError):
+            GresPool("qpu", 1).release(99)
+
+    def test_holder_count(self):
+        pool = GresPool("share", 10)
+        pool.allocate(5, 4)
+        assert pool.holder_count(5) == 4
+        assert pool.holder_count(6) == 0
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(GresError):
+            GresPool("x", -1)
+
+
+class TestLicensePool:
+    def test_acquire_release(self):
+        pool = LicensePool({"qpu_time": 10})
+        pool.acquire(1, {"qpu_time": 4})
+        assert pool.in_use("qpu_time") == 4
+        assert pool.available("qpu_time") == 6
+        assert pool.release(1) == {"qpu_time": 4}
+        assert pool.available("qpu_time") == 10
+
+    def test_atomic_acquire_rolls_back_nothing(self):
+        pool = LicensePool({"a": 5, "b": 1})
+        with pytest.raises(LicenseError):
+            pool.acquire(1, {"a": 2, "b": 2})  # b insufficient
+        assert pool.in_use("a") == 0
+        assert pool.in_use("b") == 0
+
+    def test_unknown_license(self):
+        pool = LicensePool()
+        with pytest.raises(LicenseError):
+            pool.acquire(1, {"nope": 1})
+        assert not pool.can_acquire({"nope": 1})
+
+    def test_duplicate_definition_rejected(self):
+        pool = LicensePool({"x": 1})
+        with pytest.raises(LicenseError):
+            pool.add_license("x", 2)
+
+    def test_double_hold_rejected(self):
+        pool = LicensePool({"x": 5})
+        pool.acquire(1, {"x": 1})
+        with pytest.raises(LicenseError):
+            pool.acquire(1, {"x": 1})
+
+    def test_release_unheld_returns_empty(self):
+        pool = LicensePool({"x": 5})
+        assert pool.release(42) == {}
+
+    def test_held_by(self):
+        pool = LicensePool({"x": 5, "y": 3})
+        pool.acquire(7, {"x": 2, "y": 1})
+        assert pool.held_by(7) == {"x": 2, "y": 1}

@@ -1,0 +1,78 @@
+"""Tests for the #SBATCH batch-script parser."""
+
+import pytest
+
+from repro.errors import JobError
+from repro.cluster import JobScript
+from repro.cluster.gres import GresRequest
+
+SCRIPT = """#!/bin/bash
+#SBATCH --job-name=vqe-prod
+#SBATCH --partition=production
+#SBATCH --cpus-per-task=4
+#SBATCH --nodes=2
+#SBATCH --time=01:30:00
+#SBATCH --gres=qpu:1
+#SBATCH --licenses=qpu_share:3
+#SBATCH --qpu=onprem-qpu
+#SBATCH --hint=qc-balanced
+
+python run_vqe.py --shots 500
+"""
+
+
+class TestJobScript:
+    def test_full_parse(self):
+        spec = JobScript(SCRIPT).to_spec(user="alice")
+        assert spec.name == "vqe-prod"
+        assert spec.partition == "production"
+        assert spec.cpus == 4
+        assert spec.num_nodes == 2
+        assert spec.time_limit == 5400.0
+        assert spec.gres == (GresRequest("qpu", 1),)
+        assert spec.licenses == (("qpu_share", 3),)
+        assert spec.qpu_resource == "onprem-qpu"
+        assert spec.hint == "qc-balanced"
+        assert spec.user == "alice"
+
+    def test_body_extracted(self):
+        script = JobScript(SCRIPT)
+        assert script.body == ["python run_vqe.py --shots 500"]
+
+    def test_shebang_required(self):
+        with pytest.raises(JobError):
+            JobScript("#SBATCH --job-name=x\n")
+
+    def test_short_flags(self):
+        text = "#!/bin/bash\n#SBATCH -J short -p dev -c 2 -N 1 -t 10\necho hi\n"
+        spec = JobScript(text).to_spec()
+        assert spec.name == "short"
+        assert spec.partition == "dev"
+        assert spec.cpus == 2
+        assert spec.time_limit == 600.0
+
+    def test_time_formats(self):
+        base = "#!/bin/bash\n#SBATCH --time={}\n"
+        assert JobScript(base.format("5")).to_spec().time_limit == 300.0
+        assert JobScript(base.format("02:30")).to_spec().time_limit == 150.0
+        assert JobScript(base.format("01:00:00")).to_spec().time_limit == 3600.0
+        assert JobScript(base.format("1-00:00:00")).to_spec().time_limit == 86_400.0
+
+    def test_bad_time_rejected(self):
+        with pytest.raises(JobError):
+            JobScript("#!/bin/bash\n#SBATCH --time=abc\n").to_spec()
+
+    def test_defaults(self):
+        spec = JobScript("#!/bin/bash\necho hi\n").to_spec()
+        assert spec.name == "script-job"
+        assert spec.partition == "batch"
+        assert spec.cpus == 1
+        assert spec.duration == 60.0
+
+    def test_duration_defaults_to_time_limit(self):
+        spec = JobScript("#!/bin/bash\n#SBATCH --time=10\n").to_spec()
+        assert spec.duration == 600.0
+
+    def test_explicit_duration_override(self):
+        spec = JobScript("#!/bin/bash\n#SBATCH --time=10\n").to_spec(duration=42.0)
+        assert spec.duration == 42.0

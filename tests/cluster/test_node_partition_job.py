@@ -1,0 +1,185 @@
+"""Unit tests for nodes, partitions, and the job state machine."""
+
+import pytest
+
+from repro.errors import (
+    InvalidJobTransition,
+    JobError,
+    PartitionError,
+    ResourceUnavailable,
+    SchedulerError,
+)
+from repro.cluster import (
+    GresRequest,
+    Job,
+    JobSpec,
+    JobState,
+    Node,
+    NodeState,
+    Partition,
+    PreemptMode,
+)
+
+
+def make_node(**kwargs):
+    defaults = dict(name="n1", cpus=8, memory_mb=16_000)
+    defaults.update(kwargs)
+    return Node(**defaults)
+
+
+class TestNode:
+    def test_initial_state_idle(self):
+        assert make_node().state is NodeState.IDLE
+
+    def test_allocate_updates_state(self):
+        node = make_node()
+        node.allocate(1, 4, 1000)
+        assert node.state is NodeState.MIXED
+        node.allocate(2, 4, 1000)
+        assert node.state is NodeState.ALLOCATED
+
+    def test_release_returns_to_idle(self):
+        node = make_node()
+        node.allocate(1, 4, 1000)
+        node.release(1)
+        assert node.state is NodeState.IDLE
+        assert node.cpus_available == 8
+
+    def test_oversubscription_rejected(self):
+        node = make_node()
+        node.allocate(1, 8, 1000)
+        with pytest.raises(ResourceUnavailable):
+            node.allocate(2, 1, 1000)
+
+    def test_memory_oversubscription_rejected(self):
+        node = make_node()
+        with pytest.raises(ResourceUnavailable):
+            node.allocate(1, 1, 32_000)
+
+    def test_double_allocation_rejected(self):
+        node = make_node()
+        node.allocate(1, 2, 100)
+        with pytest.raises(SchedulerError):
+            node.allocate(1, 2, 100)
+
+    def test_release_unknown_job_rejected(self):
+        with pytest.raises(SchedulerError):
+            make_node().release(9)
+
+    def test_gres_allocation_and_rollback(self):
+        node = make_node(gres={"qpu": 1})
+        node.allocate(1, 1, 100, [GresRequest("qpu", 1)])
+        # Second job asks for gres that is taken: whole allocation must roll back.
+        with pytest.raises(Exception):
+            node.allocate(2, 1, 100, [GresRequest("qpu", 1)])
+        assert node.cpus_allocated == 1  # job 2 left no residue
+        node.release(1)
+        assert node.gres["qpu"].available == 1
+
+    def test_reserved_cpus_excluded_from_scheduling(self):
+        node = make_node(cpus=8, reserved_cpus=2)
+        assert node.schedulable_cpus == 6
+        node.allocate(1, 6, 100)
+        assert node.cpus_available == 0
+
+    def test_reserved_cpus_validation(self):
+        with pytest.raises(SchedulerError):
+            make_node(cpus=4, reserved_cpus=4)
+
+    def test_drain_prevents_new_allocations(self):
+        node = make_node()
+        node.set_drain()
+        assert not node.can_fit(1, 100)
+        node.resume()
+        assert node.can_fit(1, 100)
+
+    def test_could_ever_fit(self):
+        node = make_node(cpus=4, gres={"qpu": 1})
+        assert node.could_ever_fit(4, 1000, [GresRequest("qpu", 1)])
+        assert not node.could_ever_fit(5, 1000)
+        assert not node.could_ever_fit(1, 1000, [GresRequest("qpu", 2)])
+        assert not node.could_ever_fit(1, 1000, [GresRequest("tpu", 1)])
+
+
+class TestPartition:
+    def test_requires_nodes(self):
+        with pytest.raises(PartitionError):
+            Partition("empty", [])
+
+    def test_clamp_time_limit(self):
+        p = Partition("p", [make_node()], default_time_limit=100.0, max_time_limit=200.0)
+        assert p.clamp_time_limit(None) == 100.0
+        assert p.clamp_time_limit(150.0) == 150.0
+        assert p.clamp_time_limit(500.0) == 200.0
+
+    def test_default_exceeding_max_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition("p", [make_node()], default_time_limit=300.0, max_time_limit=200.0)
+
+    def test_nonpositive_limit_rejected(self):
+        p = Partition("p", [make_node()])
+        with pytest.raises(PartitionError):
+            p.clamp_time_limit(0.0)
+
+    def test_total_cpus(self):
+        p = Partition("p", [make_node(name="a", cpus=4), make_node(name="b", cpus=8, reserved_cpus=2)])
+        assert p.total_cpus() == 10
+
+    def test_preempt_mode_default_off(self):
+        assert Partition("p", [make_node()]).preempt_mode is PreemptMode.OFF
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(JobError):
+            JobSpec(name="j", cpus=0)
+        with pytest.raises(JobError):
+            JobSpec(name="j", num_nodes=0)
+        with pytest.raises(JobError):
+            JobSpec(name="j", duration=-1.0)
+        with pytest.raises(JobError):
+            JobSpec(name="j", licenses=(("x", 0),))
+
+
+class TestJobStateMachine:
+    def make_job(self):
+        return Job(1, JobSpec(name="j"), submit_time=0.0)
+
+    def test_legal_lifecycle(self):
+        job = self.make_job()
+        job.transition(JobState.RUNNING, 5.0)
+        assert job.start_time == 5.0
+        job.transition(JobState.COMPLETED, 10.0)
+        assert job.end_time == 10.0
+        assert job.is_terminal
+
+    def test_illegal_transition_raises(self):
+        job = self.make_job()
+        with pytest.raises(InvalidJobTransition):
+            job.transition(JobState.COMPLETED, 1.0)
+
+    def test_terminal_is_final(self):
+        job = self.make_job()
+        job.transition(JobState.CANCELLED, 1.0)
+        with pytest.raises(InvalidJobTransition):
+            job.transition(JobState.RUNNING, 2.0)
+
+    def test_preempt_requeue_cycle(self):
+        job = self.make_job()
+        job.transition(JobState.RUNNING, 1.0)
+        job.transition(JobState.PREEMPTED, 2.0)
+        assert job.preempt_count == 1
+        job.transition(JobState.PENDING, 2.0)
+        assert job.requeue_count == 1
+        assert job.start_time is None
+        job.transition(JobState.RUNNING, 3.0)
+        assert job.start_time == 3.0
+
+    def test_wait_and_turnaround(self):
+        job = self.make_job()
+        assert job.wait_time() is None
+        job.transition(JobState.RUNNING, 4.0)
+        assert job.wait_time() == 4.0
+        job.transition(JobState.COMPLETED, 9.0)
+        assert job.turnaround() == 9.0
+        assert job.run_time() == 5.0

@@ -1,0 +1,225 @@
+"""Unit tests for the scheduling algorithms in isolation: priority
+calculation, shadow-reservation, preemption planning, accounting."""
+
+import pytest
+
+from repro.cluster import (
+    Job,
+    JobSpec,
+    JobState,
+    LicensePool,
+    Node,
+    Partition,
+    PreemptMode,
+)
+from repro.cluster.accounting import AccountingDB
+from repro.cluster.scheduler import PriorityCalculator, Scheduler
+
+
+def make_job(job_id, submit=0.0, **spec_kwargs):
+    defaults = dict(name=f"j{job_id}", cpus=1, duration=10.0)
+    defaults.update(spec_kwargs)
+    return Job(job_id, JobSpec(**defaults), submit_time=submit)
+
+
+class TestPriorityCalculator:
+    def setup_method(self):
+        self.nodes = [Node("n0", cpus=8)]
+        self.partitions = {
+            "high": Partition("high", self.nodes, priority_tier=2),
+            "low": Partition("low", self.nodes, priority_tier=0),
+        }
+        self.calc = PriorityCalculator()
+
+    def test_partition_tier_dominates(self):
+        low_job = make_job(1, partition="low", priority=99)
+        high_job = make_job(2, partition="high", priority=0)
+        ordered = self.calc.sort_pending([low_job, high_job], self.partitions, now=0.0)
+        assert ordered[0] is high_job
+
+    def test_job_priority_within_tier(self):
+        a = make_job(1, partition="low", priority=1)
+        b = make_job(2, partition="low", priority=5)
+        ordered = self.calc.sort_pending([a, b], self.partitions, now=0.0)
+        assert ordered[0] is b
+
+    def test_fifo_tiebreak(self):
+        a = make_job(1, partition="low")
+        b = make_job(2, partition="low")
+        ordered = self.calc.sort_pending([b, a], self.partitions, now=0.0)
+        assert [j.job_id for j in ordered] == [1, 2]
+
+    def test_aging_raises_priority(self):
+        old = make_job(1, partition="low", submit=0.0)
+        fresh = make_job(2, partition="low", priority=0, submit=99_000.0)
+        score_old = self.calc.score(old, self.partitions["low"], now=100_000.0)
+        score_fresh = self.calc.score(fresh, self.partitions["low"], now=100_000.0)
+        assert score_old > score_fresh
+
+    def test_age_capped(self):
+        job = make_job(1, partition="low", submit=0.0)
+        day = self.calc.score(job, self.partitions["low"], now=86_400.0)
+        week = self.calc.score(job, self.partitions["low"], now=7 * 86_400.0)
+        assert day == week
+
+
+class TestShadowReservation:
+    def build(self):
+        nodes = [Node("n0", cpus=4), Node("n1", cpus=4)]
+        partition = Partition("p", nodes)
+        return nodes, partition, Scheduler(), LicensePool()
+
+    def test_immediate_fit_returns_now(self):
+        nodes, partition, sched, lic = self.build()
+        head = make_job(1, cpus=2)
+        when, reserved = sched.shadow_reservation(head, partition, [], lic, now=5.0)
+        assert when == 5.0
+        assert len(reserved) == 1
+
+    def test_waits_for_earliest_sufficient_release(self):
+        nodes, partition, sched, lic = self.build()
+        running = []
+        for i, (node, limit) in enumerate([(nodes[0], 100.0), (nodes[1], 50.0)]):
+            job = make_job(i + 1, cpus=4, time_limit=limit)
+            job.transition(JobState.RUNNING, 0.0)
+            job.allocated_nodes = [node.name]
+            job.effective_time_limit = limit
+            node.allocate(job.job_id, 4, 1_000)
+            running.append(job)
+        head = make_job(9, cpus=4)
+        when, reserved = sched.shadow_reservation(head, partition, running, lic, now=0.0)
+        assert when == 50.0  # n1 frees first
+        assert reserved == frozenset({"n1"})
+
+    def test_multi_node_head_waits_for_both(self):
+        nodes, partition, sched, lic = self.build()
+        running = []
+        for i, (node, limit) in enumerate([(nodes[0], 100.0), (nodes[1], 50.0)]):
+            job = make_job(i + 1, cpus=4, time_limit=limit)
+            job.transition(JobState.RUNNING, 0.0)
+            job.allocated_nodes = [node.name]
+            job.effective_time_limit = limit
+            node.allocate(job.job_id, 4, 1_000)
+            running.append(job)
+        head = make_job(9, cpus=4, num_nodes=2)
+        when, reserved = sched.shadow_reservation(head, partition, running, lic, now=0.0)
+        assert when == 100.0
+        assert reserved == frozenset({"n0", "n1"})
+
+    def test_license_release_considered(self):
+        nodes, partition, sched, _ = self.build()
+        lic = LicensePool({"qpu_share": 10})
+        holder = make_job(1, cpus=1, time_limit=30.0, licenses=(("qpu_share", 10),))
+        holder.transition(JobState.RUNNING, 0.0)
+        holder.allocated_nodes = ["n0"]
+        holder.effective_time_limit = 30.0
+        nodes[0].allocate(1, 1, 1_000)
+        lic.acquire(1, {"qpu_share": 10})
+        head = make_job(2, cpus=1, licenses=(("qpu_share", 5),))
+        when, _ = sched.shadow_reservation(head, partition, [holder], lic, now=0.0)
+        assert when == 30.0
+
+    def test_infeasible_returns_infinity(self):
+        nodes, partition, sched, lic = self.build()
+        head = make_job(1, cpus=16)  # larger than any node
+        when, reserved = sched.shadow_reservation(head, partition, [], lic, now=0.0)
+        assert when == float("inf")
+        assert reserved == frozenset()
+
+
+class TestPreemptionPlanning:
+    def build(self):
+        nodes = [Node("n0", cpus=4)]
+        partitions = {
+            "prod": Partition("prod", nodes, priority_tier=2),
+            "dev": Partition("dev", nodes, priority_tier=0, preempt_mode=PreemptMode.REQUEUE),
+            "dev-protected": Partition(
+                "dev-protected", nodes, priority_tier=0, preempt_mode=PreemptMode.OFF
+            ),
+        }
+        return nodes, partitions, Scheduler(), LicensePool()
+
+    def _start(self, nodes, job, node_name="n0"):
+        job.transition(JobState.RUNNING, 0.0)
+        job.allocated_nodes = [node_name]
+        nodes[0].allocate(job.job_id, job.spec.cpus, job.spec.memory_mb)
+
+    def test_picks_minimal_victim_set(self):
+        nodes, partitions, sched, lic = self.build()
+        v1 = make_job(1, partition="dev", cpus=2)
+        v2 = make_job(2, partition="dev", cpus=2)
+        self._start(nodes, v1)
+        self._start(nodes, v2)
+        head = make_job(9, partition="prod", cpus=2)
+        victims = sched.plan_preemption(head, partitions["prod"], partitions, [v1, v2], lic)
+        assert victims is not None
+        assert len(victims) == 1
+
+    def test_protected_partition_never_preempted(self):
+        nodes, partitions, sched, lic = self.build()
+        victim = make_job(1, partition="dev-protected", cpus=4)
+        self._start(nodes, victim)
+        head = make_job(9, partition="prod", cpus=4)
+        assert sched.plan_preemption(head, partitions["prod"], partitions, [victim], lic) is None
+
+    def test_equal_tier_not_preempted(self):
+        nodes, partitions, sched, lic = self.build()
+        victim = make_job(1, partition="dev", cpus=4)
+        self._start(nodes, victim)
+        head = make_job(9, partition="dev", cpus=4)
+        assert sched.plan_preemption(head, partitions["dev"], partitions, [victim], lic) is None
+
+    def test_prefers_most_recent_victim(self):
+        nodes, partitions, sched, lic = self.build()
+        old = make_job(1, partition="dev", cpus=2)
+        old.transition(JobState.RUNNING, 0.0)
+        old.allocated_nodes = ["n0"]
+        nodes[0].allocate(1, 2, 1_000)
+        young = make_job(2, partition="dev", cpus=2)
+        young.transition(JobState.RUNNING, 50.0)
+        young.allocated_nodes = ["n0"]
+        nodes[0].allocate(2, 2, 1_000)
+        head = make_job(9, partition="prod", cpus=2)
+        victims = sched.plan_preemption(head, partitions["prod"], partitions, [old, young], lic)
+        assert victims == [young]  # minimize lost work
+
+
+class TestAccountingDB:
+    def finished_job(self, job_id=1, user="u", wait=5.0, run=10.0, state=JobState.COMPLETED):
+        job = make_job(job_id, user=user)
+        job.transition(JobState.RUNNING, wait)
+        job.transition(state, wait + run)
+        return job
+
+    def test_record_fields(self):
+        db = AccountingDB()
+        rec = db.record(self.finished_job())
+        assert rec.wait_time == 5.0
+        assert rec.run_time == 10.0
+        assert rec.cpu_seconds == 10.0
+
+    def test_non_terminal_rejected(self):
+        from repro.errors import SchedulerError
+
+        db = AccountingDB()
+        with pytest.raises(SchedulerError):
+            db.record(make_job(1))
+
+    def test_queries(self):
+        db = AccountingDB()
+        db.record(self.finished_job(1, user="alice"))
+        db.record(self.finished_job(2, user="bob", state=JobState.FAILED))
+        assert len(db.by_user("alice")) == 1
+        assert len(db.by_state(JobState.FAILED)) == 1
+        assert len(db.by_state("completed")) == 1
+
+    def test_throughput(self):
+        db = AccountingDB()
+        for i in range(4):
+            db.record(self.finished_job(i))
+        assert db.throughput(horizon=3600.0) == pytest.approx(4.0)
+
+    def test_wait_percentiles_empty(self):
+        db = AccountingDB()
+        pct = db.wait_percentiles((50.0, 95.0))
+        assert all(v != v for v in pct.values())  # NaNs

@@ -1,0 +1,168 @@
+"""Tests for admin operations and remaining daemon surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.daemon import MiddlewareDaemon, build_router
+from repro.daemon.queue import TaskState
+from repro.qpu import ConstantWaveform, QPUDevice, Register, ShotClock
+from repro.qrmi import CloudEmulatorResource, OnPremQPUResource
+from repro.runtime import DaemonClient
+from repro.sdk import Pulse, Sequence
+from repro.simkernel import Simulator
+
+
+def make_program(shots=20):
+    seq = Sequence(Register.chain(2, spacing=6.0))
+    seq.declare_channel("ch")
+    seq.add(Pulse.constant_detuning(ConstantWaveform(0.5, 2.0), 0.0), "ch")
+    seq.measure()
+    return seq.build(shots=shots)
+
+
+def build(session_idle_timeout=3600.0):
+    sim = Simulator()
+    device = QPUDevice(
+        clock=ShotClock(shot_rate_hz=10.0, setup_overhead_s=0.0, batch_overhead_s=0.0),
+        rng=np.random.default_rng(0),
+    )
+    daemon = MiddlewareDaemon(
+        sim,
+        {
+            "onprem": OnPremQPUResource("onprem", device),
+            "cloud-emu": CloudEmulatorResource("cloud-emu", emulator="emu-sv", latency_s=1.5),
+        },
+        session_idle_timeout=session_idle_timeout,
+    )
+    return sim, daemon, device
+
+
+class TestAdminOperations:
+    def test_recalibrate_if_degraded_noop_when_healthy(self):
+        _, daemon, device = build()
+        report = daemon.admin_ops.recalibrate_if_degraded("onprem")
+        assert report["recalibrated"] is False
+        assert report["qa_score"] > 0.85
+
+    def test_recalibrate_if_degraded_repairs(self):
+        _, daemon, device = build()
+        device.calibration.detection_epsilon = 0.25
+        device.calibration.detection_epsilon_prime = 0.35
+        device.calibration.rabi_calibration_error = 0.25
+        report = daemon.admin_ops.recalibrate_if_degraded("onprem")
+        assert report["recalibrated"] is True
+        assert device.calibration.detection_epsilon == pytest.approx(0.01)
+
+    def test_cancel_queued_task_via_admin(self):
+        sim, daemon, _ = build()
+        session = daemon.create_session("alice", "development")
+        blocker = daemon.submit_task(session.token, make_program(shots=100), "onprem")
+        victim = daemon.submit_task(session.token, make_program(shots=100), "onprem")
+        sim.run(until=0.5)
+        out = daemon.admin_ops.cancel_task(victim.task_id)
+        assert out["state"] == "cancelled"
+        sim.run()
+        assert daemon.queue.get(victim.task_id).state is TaskState.CANCELLED
+        assert daemon.queue.get(blocker.task_id).state is TaskState.COMPLETED
+
+    def test_expire_idle_sessions(self):
+        sim, daemon, _ = build(session_idle_timeout=100.0)
+        daemon.create_session("sleepy")
+        sim.run(until=200.0)
+        out = daemon.admin_ops.expire_idle_sessions()
+        assert len(out["expired"]) == 1
+        assert daemon.sessions.active() == []
+
+    def test_non_hardware_resource_rejected_for_device_ops(self):
+        from repro.errors import DaemonError
+
+        _, daemon, _ = build()
+        with pytest.raises(DaemonError, match="not hardware-backed"):
+            daemon.hardware_device("cloud-emu")
+
+    def test_lowlevel_routine_registration(self):
+        _, daemon, device = build()
+        control = daemon.lowlevel_for("onprem")
+
+        def tuneup(dev, now):
+            control.write("detuning_offset", 0.005, now, actor="optimal-control")
+            return {"adjusted": "detuning_offset"}
+
+        control.register_routine("oc-tuneup", tuneup)
+        assert control.routines() == ["oc-tuneup"]
+        report = control.run_routine("oc-tuneup", now=10.0)
+        assert report["adjusted"] == "detuning_offset"
+        assert device.calibration.detuning_offset == 0.005
+        # audit log recorded both the routine and its write
+        kinds = [entry[2] for entry in control.audit_log]
+        assert "routine:oc-tuneup" in kinds
+        assert "write:detuning_offset" in kinds
+
+    def test_duplicate_routine_rejected(self):
+        from repro.errors import DaemonError
+
+        _, daemon, _ = build()
+        control = daemon.lowlevel_for("onprem")
+        control.register_routine("r", lambda d, t: {})
+        with pytest.raises(DaemonError):
+            control.register_routine("r", lambda d, t: {})
+
+
+class TestCloudEmulatorInSim:
+    def test_latency_paid_in_simulated_time(self):
+        sim, daemon, _ = build()
+        session = daemon.create_session("alice", "production")
+        task = daemon.submit_task(session.token, make_program(shots=10), "cloud-emu")
+        final = sim.run()
+        assert task.state is TaskState.COMPLETED
+        # 2 x 1.5s round trip, no shot clock
+        assert final == pytest.approx(3.0, abs=0.5)
+        assert task.result.metadata["network_latency_s"] == pytest.approx(3.0)
+
+
+class TestExporterEdgeCases:
+    def test_special_float_rendering(self):
+        from repro.observability import MetricRegistry, render_exposition
+
+        reg = MetricRegistry()
+        g = reg.gauge("weird")
+        g.set(float("inf"))
+        assert "weird +Inf" in render_exposition(reg)
+        g.set(float("nan"))
+        assert "weird NaN" in render_exposition(reg)
+        g.set(-0.5)
+        assert "weird -0.5" in render_exposition(reg)
+
+
+class TestOptimizerEdgeCases:
+    def test_observe_before_propose_rejected(self):
+        from repro.errors import ReproError
+        from repro.runtime import OptimizerLoop
+
+        loop = OptimizerLoop(initial=np.array([0.0]))
+        with pytest.raises(ReproError):
+            loop.observe(1.0)
+
+    def test_convergence_by_step_shrink(self):
+        from repro.runtime import OptimizerLoop
+
+        loop = OptimizerLoop(initial=np.array([0.0]), step=0.1, shrink=0.1, min_step=0.05)
+        # constant objective: never improves, step shrinks fast
+        for _ in range(10):
+            if loop.converged:
+                break
+            loop.propose()
+            loop.observe(5.0)
+        assert loop.converged
+
+    def test_multidimensional_coordinate_cycling(self):
+        from repro.runtime import OptimizerLoop
+
+        loop = OptimizerLoop(initial=np.array([2.0, -1.0]), step=0.5)
+        for _ in range(100):
+            if loop.converged:
+                break
+            x = loop.propose()
+            loop.observe(float((x[0] - 1.0) ** 2 + (x[1] + 2.0) ** 2))
+        assert loop.best_params[0] == pytest.approx(1.0, abs=0.3)
+        assert loop.best_params[1] == pytest.approx(-2.0, abs=0.3)

@@ -1,0 +1,130 @@
+"""Tests for the cloud intake gateway (JHPC-Quantum-style extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AuthError, DaemonError
+from repro.daemon import MiddlewareDaemon
+from repro.daemon.cloud import CloudGateway
+from repro.daemon.queue import PriorityClass
+from repro.qpu import ConstantWaveform, QPUDevice, Register, ShotClock
+from repro.qrmi import OnPremQPUResource
+from repro.sdk import Pulse, Sequence
+from repro.simkernel import Simulator
+
+
+def make_program(shots=50):
+    seq = Sequence(Register.chain(2, spacing=6.0), name="cloud-task")
+    seq.declare_channel("ch")
+    seq.add(Pulse.constant_detuning(ConstantWaveform(0.5, 2.0), 0.0), "ch")
+    seq.measure()
+    return seq.build(shots=shots)
+
+
+def build():
+    sim = Simulator()
+    device = QPUDevice(
+        clock=ShotClock(shot_rate_hz=10.0, setup_overhead_s=0.0, batch_overhead_s=0.0),
+        rng=np.random.default_rng(0),
+    )
+    daemon = MiddlewareDaemon(sim, {"onprem": OnPremQPUResource("onprem", device)})
+    return sim, daemon, CloudGateway(daemon)
+
+
+class TestProvisioning:
+    def test_provision_and_list(self):
+        _, _, gw = build()
+        key = gw.provision_tenant("uni-lab")
+        assert key.startswith("ck_")
+        assert gw.tenants() == ["uni-lab"]
+
+    def test_duplicate_tenant_rejected(self):
+        _, _, gw = build()
+        gw.provision_tenant("lab")
+        with pytest.raises(DaemonError):
+            gw.provision_tenant("lab")
+
+    def test_production_priority_forbidden(self):
+        _, _, gw = build()
+        with pytest.raises(DaemonError):
+            gw.provision_tenant("vip", priority_class=PriorityClass.PRODUCTION)
+
+    def test_revoke(self):
+        _, _, gw = build()
+        key = gw.provision_tenant("lab")
+        gw.revoke_tenant("lab")
+        with pytest.raises(AuthError):
+            gw.submit(key, make_program(), "onprem")
+
+
+class TestIntake:
+    def test_submit_poll_fetch(self):
+        sim, daemon, gw = build()
+        key = gw.provision_tenant("lab")
+        task_id = gw.submit(key, make_program(shots=30), "onprem")
+        sim.run()
+        assert gw.status(key, task_id)["state"] == "completed"
+        result = gw.result(key, task_id)
+        # lab enters at TEST priority: dev shot caps don't apply, test caps do
+        assert sum(result.counts.values()) == 30
+
+    def test_invalid_key(self):
+        _, _, gw = build()
+        with pytest.raises(AuthError):
+            gw.submit("ck_bogus", make_program(), "onprem")
+
+    def test_cross_tenant_isolation(self):
+        sim, daemon, gw = build()
+        key_a = gw.provision_tenant("lab-a")
+        key_b = gw.provision_tenant("lab-b")
+        task_id = gw.submit(key_a, make_program(shots=10), "onprem")
+        sim.run()
+        with pytest.raises(AuthError):
+            gw.result(key_b, task_id)
+
+    def test_cloud_never_outranks_production(self):
+        sim, daemon, gw = build()
+        key = gw.provision_tenant("lab", priority_class=PriorityClass.TEST)
+        prod = daemon.create_session("site-operator", "production")
+        # fill the QPU with a cloud task, then production arrives
+        t_cloud2_holder = gw.submit(key, make_program(shots=200), "onprem")
+        t_cloud = gw.submit(key, make_program(shots=200), "onprem")
+        sim.run(until=1.0)
+        t_prod = daemon.submit_task(prod.token, make_program(shots=50), "onprem")
+        sim.run()
+        assert t_prod.started_at < daemon.queue.get(t_cloud).started_at
+
+    def test_rate_limit(self):
+        sim, daemon, gw = build()
+        key = gw.provision_tenant("spammy", max_submissions_per_hour=6.0)
+        # burst capacity = 6/6 = 1 -> second immediate submit is limited
+        gw.submit(key, make_program(shots=5), "onprem")
+        with pytest.raises(DaemonError, match="rate limit"):
+            gw.submit(key, make_program(shots=5), "onprem")
+
+    def test_rate_limit_refills_over_time(self):
+        sim, daemon, gw = build()
+        key = gw.provision_tenant("patient", max_submissions_per_hour=60.0)
+        for _ in range(10):  # burst cap = 10
+            gw.submit(key, make_program(shots=1), "onprem")
+        with pytest.raises(DaemonError):
+            gw.submit(key, make_program(shots=1), "onprem")
+        sim.run(until=120.0)  # one minute per token at 60/hour
+        gw.submit(key, make_program(shots=1), "onprem")  # refilled
+
+    def test_shot_quota(self):
+        sim, daemon, gw = build()
+        key = gw.provision_tenant("small", shot_quota=100, max_submissions_per_hour=1000.0)
+        gw.submit(key, make_program(shots=80), "onprem")
+        with pytest.raises(DaemonError, match="quota"):
+            gw.submit(key, make_program(shots=50), "onprem")
+        usage = gw.usage(key)
+        assert usage["shots_used"] == 80
+        assert usage["shot_quota"] == 100
+
+    def test_usage_report(self):
+        _, _, gw = build()
+        key = gw.provision_tenant("lab")
+        usage = gw.usage(key)
+        assert usage["tenant"] == "lab"
+        assert usage["priority_class"] == "test"

@@ -1,0 +1,126 @@
+"""Tests for fault injection and profiling backend decorators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmulatorError
+from repro.emulators import (
+    FaultInjectingBackend,
+    FaultPolicy,
+    ProfilingBackend,
+    StateVectorEmulator,
+)
+from repro.qpu import ConstantWaveform, DriveSegment, Register, RydbergHamiltonian
+
+
+def make_ham(n=2, omega=np.pi, duration=0.5):
+    reg = Register.chain(n, spacing=20.0)
+    seg = DriveSegment(ConstantWaveform(duration, omega), ConstantWaveform(duration, 0.0))
+    return RydbergHamiltonian(reg, [seg], dt=0.01)
+
+
+class TestFaultPolicy:
+    def test_probability_validation(self):
+        with pytest.raises(EmulatorError):
+            FaultPolicy(failure_rate=1.5)
+        with pytest.raises(EmulatorError):
+            FaultPolicy(max_retries=-1)
+
+    def test_no_faults_passthrough(self):
+        backend = FaultInjectingBackend(StateVectorEmulator(), FaultPolicy())
+        result = backend.run(make_ham(), 50, np.random.default_rng(0))
+        assert sum(result.counts.values()) == 50
+        assert result.metadata["fault_attempts"] == 1
+
+    def test_hard_failure_raises(self):
+        backend = FaultInjectingBackend(
+            StateVectorEmulator(), FaultPolicy(failure_rate=1.0)
+        )
+        with pytest.raises(EmulatorError, match="injected hard failure"):
+            backend.run(make_ham(), 10, np.random.default_rng(0))
+        assert backend.injected["failure"] == 1
+
+    def test_transient_fault_retried(self):
+        """Transient faults are retried up to max_retries; with a finite
+        rate most runs eventually succeed."""
+        backend = FaultInjectingBackend(
+            StateVectorEmulator(),
+            FaultPolicy(transient_rate=0.5, max_retries=10),
+            rng=np.random.default_rng(1),
+        )
+        result = backend.run(make_ham(), 10, np.random.default_rng(0))
+        assert sum(result.counts.values()) == 10
+        assert backend.injected["transient"] >= 0
+
+    def test_transient_exhausts_retries(self):
+        backend = FaultInjectingBackend(
+            StateVectorEmulator(),
+            FaultPolicy(transient_rate=1.0, max_retries=2),
+        )
+        with pytest.raises(EmulatorError, match="persisted"):
+            backend.run(make_ham(), 10, np.random.default_rng(0))
+
+    def test_corruption_scrambles_but_preserves_shots(self):
+        backend = FaultInjectingBackend(
+            StateVectorEmulator(),
+            FaultPolicy(corruption_rate=1.0),
+            rng=np.random.default_rng(2),
+        )
+        shots = 300
+        result = backend.run(make_ham(n=2, omega=np.pi), shots, np.random.default_rng(0))
+        assert sum(result.counts.values()) == shots
+        assert result.metadata["injected_corruption"] is True
+        # a pi pulse on far atoms gives ~pure |11>; corruption must spread it
+        assert result.counts.get("11", 0) < shots
+
+    def test_latency_spike_reported(self):
+        backend = FaultInjectingBackend(
+            StateVectorEmulator(),
+            FaultPolicy(latency_spike_rate=1.0, latency_spike_seconds=42.0),
+        )
+        result = backend.run(make_ham(), 10, np.random.default_rng(0))
+        assert result.metadata["injected_latency_s"] == 42.0
+
+    def test_corruption_detected_by_qa_style_check(self):
+        """The point of fault injection: corrupted results are visibly
+        outside physics, so QA-style checks catch them."""
+        clean = StateVectorEmulator()
+        dirty = FaultInjectingBackend(
+            clean, FaultPolicy(corruption_rate=1.0), rng=np.random.default_rng(3)
+        )
+        ham = make_ham(n=2, omega=np.pi, duration=1.0)  # -> |11> on far atoms
+        good = clean.run(ham, 400, np.random.default_rng(0))
+        bad = dirty.run(ham, 400, np.random.default_rng(0))
+        p11_good = good.counts.get("11", 0) / 400
+        p11_bad = bad.counts.get("11", 0) / 400
+        assert p11_good > 0.95
+        assert p11_bad < p11_good - 0.2
+
+
+class TestProfiling:
+    def test_entries_recorded(self):
+        backend = ProfilingBackend(StateVectorEmulator())
+        for n in (2, 2, 3):
+            backend.run(make_ham(n=n), 20, np.random.default_rng(0))
+        report = backend.report()
+        assert report["runs"] == 3
+        assert report["total_shots"] == 60
+        assert set(report["by_qubits"]) == {2, 3}
+        assert report["by_qubits"][2]["runs"] == 2
+
+    def test_empty_report(self):
+        assert ProfilingBackend(StateVectorEmulator()).report() == {"runs": 0}
+
+    def test_wall_seconds_in_metadata(self):
+        backend = ProfilingBackend(StateVectorEmulator())
+        result = backend.run(make_ham(), 10, np.random.default_rng(0))
+        assert result.metadata["profile_wall_seconds"] > 0
+
+    def test_composition_with_fault_injection(self):
+        """Decorators stack: profiling(faulty(exact))."""
+        stacked = ProfilingBackend(
+            FaultInjectingBackend(StateVectorEmulator(), FaultPolicy())
+        )
+        result = stacked.run(make_ham(), 10, np.random.default_rng(0))
+        assert result.metadata["fault_attempts"] == 1
+        assert stacked.report()["runs"] == 1

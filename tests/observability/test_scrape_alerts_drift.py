@@ -1,0 +1,231 @@
+"""Tests for the scraper, dashboards, alert manager, drift detectors,
+and per-job metadata."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    AlertManager,
+    AlertRule,
+    AlertState,
+    CusumDetector,
+    Dashboard,
+    EwmaDetector,
+    JobMetadataStore,
+    Panel,
+    Scraper,
+    TimeSeriesDB,
+)
+from repro.qpu import QPUDevice
+from repro.simkernel import Simulator
+
+
+class TestScraper:
+    def test_periodic_scraping(self):
+        sim = Simulator()
+        db = TimeSeriesDB()
+        scraper = Scraper(sim, db, interval=10.0)
+        scraper.add_target("const", lambda now: {"metric_a": 42.0})
+        scraper.start()
+        sim.run(until=35.0)
+        times, values = db.query("metric_a")
+        assert len(times) == 3
+        assert all(v == 42.0 for v in values)
+
+    def test_qpu_collector(self):
+        sim = Simulator()
+        db = TimeSeriesDB()
+        scraper = Scraper(sim, db, interval=5.0)
+        scraper.add_qpu(QPUDevice())
+        scraper.start()
+        sim.run(until=12.0)
+        _, fid = db.query("qpu_fidelity_proxy", labels={"device": "fresnel-sim"})
+        assert len(fid) == 2
+        assert fid[0] > 0.9
+
+    def test_collector_error_recorded_not_fatal(self):
+        sim = Simulator()
+        db = TimeSeriesDB()
+        scraper = Scraper(sim, db, interval=5.0)
+
+        def bad(now):
+            raise RuntimeError("collector broke")
+
+        scraper.add_target("bad", bad)
+        scraper.add_target("good", lambda now: {"ok": 1.0})
+        scraper.start()
+        sim.run(until=6.0)
+        assert db.latest("ok")[1] == 1.0
+        assert db.latest("scrape_error", labels={"target": "bad"})[1] == 1.0
+
+    def test_duplicate_target_rejected(self):
+        scraper = Scraper(Simulator(), TimeSeriesDB())
+        scraper.add_target("x", lambda now: {})
+        with pytest.raises(ObservabilityError):
+            scraper.add_target("x", lambda now: {})
+
+
+class TestDashboard:
+    def test_panels_evaluate(self):
+        db = TimeSeriesDB()
+        for t in range(5):
+            db.write("m", float(t), float(t))
+        dash = Dashboard("test")
+        dash.add_panel(Panel("last", "m", "last", None))
+        dash.add_panel(Panel("mean", "m", "mean", None))
+        values = dash.evaluate(db, now=10.0)
+        assert values["last"] == 4.0
+        assert values["mean"] == 2.0
+
+    def test_missing_series_is_nan(self):
+        dash = Dashboard("t")
+        dash.add_panel(Panel("ghost", "nothing"))
+        value = dash.evaluate(TimeSeriesDB(), now=0.0)["ghost"]
+        assert value != value  # NaN
+
+    def test_render_text(self):
+        db = TimeSeriesDB()
+        db.write("m", 0.0, 3.5)
+        dash = Dashboard("demo")
+        dash.add_panel(Panel("metric", "m", "last", None, unit="s"))
+        text = dash.render_text(db, now=1.0)
+        assert "demo" in text and "3.5s" in text
+
+    def test_qpu_overview_factory(self):
+        dash = Dashboard.qpu_overview("fresnel")
+        assert len(dash.panels) >= 6
+
+    def test_duplicate_panel_rejected(self):
+        dash = Dashboard("d")
+        dash.add_panel(Panel("a", "m"))
+        with pytest.raises(ObservabilityError):
+            dash.add_panel(Panel("a", "m"))
+
+
+class TestAlerts:
+    def test_threshold_fires_after_for_duration(self):
+        db = TimeSeriesDB()
+        mgr = AlertManager(db)
+        mgr.add_rule(AlertRule("low-fid", "fid", "<", 0.85, for_seconds=30.0))
+        db.write("fid", 0.0, 0.7)
+        mgr.evaluate(now=0.0)
+        assert mgr.get("low-fid").state is AlertState.PENDING
+        db.write("fid", 31.0, 0.7)
+        firing = mgr.evaluate(now=31.0)
+        assert [a.rule.name for a in firing] == ["low-fid"]
+
+    def test_resolves_when_healthy(self):
+        db = TimeSeriesDB()
+        mgr = AlertManager(db)
+        mgr.add_rule(AlertRule("low", "fid", "<", 0.85, for_seconds=0.0))
+        db.write("fid", 0.0, 0.5)
+        mgr.evaluate(now=0.0)
+        assert mgr.get("low").state is AlertState.FIRING
+        db.write("fid", 10.0, 0.95)
+        mgr.evaluate(now=10.0)
+        assert mgr.get("low").state is AlertState.INACTIVE
+        assert mgr.get("low").resolved_at == 10.0
+
+    def test_absence_rule(self):
+        db = TimeSeriesDB()
+        mgr = AlertManager(db)
+        mgr.add_rule(AlertRule("dead", "fid", absent_seconds=60.0))
+        db.write("fid", 0.0, 0.9)
+        mgr.evaluate(now=30.0)
+        assert mgr.get("dead").state is AlertState.INACTIVE
+        mgr.evaluate(now=100.0)
+        assert mgr.get("dead").state is AlertState.FIRING
+
+    def test_default_qpu_rules(self):
+        db = TimeSeriesDB()
+        mgr = AlertManager.with_default_qpu_rules(db, "fresnel")
+        assert len(mgr.names()) == 3
+
+    def test_invalid_operator(self):
+        with pytest.raises(Exception):
+            AlertRule("x", "m", op="!=")
+
+
+class TestDriftDetectors:
+    def make_series(self, drift_at=100, n=200, rng_seed=0):
+        """Fidelity-like series: stable ~0.95, dropping after drift_at."""
+        rng = np.random.default_rng(rng_seed)
+        values = 0.95 + 0.005 * rng.standard_normal(n)
+        values[drift_at:] -= np.linspace(0.0, 0.15, n - drift_at)
+        return values
+
+    def test_ewma_detects_drift(self):
+        detector = EwmaDetector(alpha=0.3, k=4.0, warmup=20)
+        values = self.make_series()
+        for t, v in enumerate(values):
+            detector.update(float(t), float(v))
+        first = detector.first_detection_after(100.0)
+        assert first is not None
+        assert 100.0 <= first <= 160.0
+
+    def test_cusum_detects_drift_faster_on_jump(self):
+        rng = np.random.default_rng(1)
+        values = 0.95 + 0.005 * rng.standard_normal(200)
+        values[100:] -= 0.08  # abrupt jump
+        cusum = CusumDetector(warmup=20)
+        for t, v in enumerate(values):
+            cusum.update(float(t), float(v))
+        first = cusum.first_detection_after(100.0)
+        assert first is not None
+        assert first <= 115.0
+
+    def test_no_false_positive_on_stable_series(self):
+        rng = np.random.default_rng(2)
+        values = 0.95 + 0.005 * rng.standard_normal(300)
+        ewma = EwmaDetector(warmup=20)
+        cusum = CusumDetector(warmup=20)
+        for t, v in enumerate(values):
+            ewma.update(float(t), float(v))
+            cusum.update(float(t), float(v))
+        assert not ewma.detections
+        assert not cusum.detections
+
+    def test_warmup_validation(self):
+        with pytest.raises(ObservabilityError):
+            EwmaDetector(warmup=1)
+        with pytest.raises(ObservabilityError):
+            EwmaDetector(alpha=0.0)
+
+
+class TestJobMetadata:
+    def test_record_and_get(self):
+        from repro.emulators.base import EmulationResult
+
+        store = JobMetadataStore()
+        result = EmulationResult(
+            counts={"00": 10},
+            shots=10,
+            backend="emu-sv",
+            duration_us=1.0,
+            metadata={"calibration": {"t2_us": 50.0}, "resource": "qpu", "execution_seconds": 12.0},
+        )
+        record = store.record_from_result("t1", 5.0, result, user="alice", priority_class="production")
+        assert record.calibration["t2_us"] == 50.0
+        assert record.execution_s == 12.0
+        assert store.get("t1").user == "alice"
+
+    def test_duplicate_rejected(self):
+        from repro.observability.jobmeta import JobMetadataRecord
+
+        store = JobMetadataStore()
+        store.record(JobMetadataRecord(task_id="t", time=0.0))
+        with pytest.raises(ObservabilityError):
+            store.record(JobMetadataRecord(task_id="t", time=1.0))
+
+    def test_queries(self):
+        from repro.observability.jobmeta import JobMetadataRecord
+
+        store = JobMetadataStore()
+        for i in range(5):
+            store.record(
+                JobMetadataRecord(task_id=f"t{i}", time=float(i), user="u" if i < 3 else "v")
+            )
+        assert len(store.for_user("u")) == 3
+        assert len(store.in_window(1.0, 3.0)) == 3
+        assert len(store) == 5

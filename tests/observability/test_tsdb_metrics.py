@@ -1,0 +1,178 @@
+"""Tests for the TSDB, metric registry, and exposition format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError, TSDBError
+from repro.observability import MetricRegistry, TimeSeriesDB, render_exposition
+
+
+class TestTimeSeriesDB:
+    def test_write_query_roundtrip(self):
+        db = TimeSeriesDB()
+        for t in (0.0, 1.0, 2.0):
+            db.write("m", t, t * 10)
+        times, values = db.query("m")
+        np.testing.assert_allclose(times, [0, 1, 2])
+        np.testing.assert_allclose(values, [0, 10, 20])
+
+    def test_out_of_order_write_rejected(self):
+        db = TimeSeriesDB()
+        db.write("m", 5.0, 1.0)
+        with pytest.raises(TSDBError):
+            db.write("m", 4.0, 2.0)
+
+    def test_labels_separate_series(self):
+        db = TimeSeriesDB()
+        db.write("m", 0.0, 1.0, labels={"device": "a"})
+        db.write("m", 0.0, 2.0, labels={"device": "b"})
+        _, va = db.query("m", labels={"device": "a"})
+        _, vb = db.query("m", labels={"device": "b"})
+        assert va[0] == 1.0 and vb[0] == 2.0
+
+    def test_window_query(self):
+        db = TimeSeriesDB()
+        for t in range(10):
+            db.write("m", float(t), float(t))
+        times, _ = db.query("m", since=3.0, until=6.0)
+        np.testing.assert_allclose(times, [3, 4, 5, 6])
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(TSDBError):
+            TimeSeriesDB().query("ghost")
+
+    def test_latest(self):
+        db = TimeSeriesDB()
+        db.write("m", 1.0, 10.0)
+        db.write("m", 2.0, 20.0)
+        assert db.latest("m") == (2.0, 20.0)
+
+    def test_aggregations(self):
+        db = TimeSeriesDB()
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]:
+            db.write("m", t, v)
+        assert db.aggregate("m", "mean") == pytest.approx(2.0)
+        assert db.aggregate("m", "max") == 3.0
+        assert db.aggregate("m", "min") == 1.0
+        assert db.aggregate("m", "sum") == 6.0
+        assert db.aggregate("m", "last") == 2.0
+
+    def test_rate_handles_counter_reset(self):
+        db = TimeSeriesDB()
+        for t, v in [(0.0, 0.0), (10.0, 100.0), (20.0, 10.0), (30.0, 60.0)]:
+            db.write("c", t, v)
+        # increases: 100, (reset -> 0), 50 over 30s
+        assert db.aggregate("c", "rate") == pytest.approx(150.0 / 30.0)
+
+    def test_downsample_mean(self):
+        db = TimeSeriesDB()
+        for t in range(10):
+            db.write("m", float(t), float(t))
+        times, values = db.downsample("m", bucket_seconds=5.0, func="mean")
+        np.testing.assert_allclose(times, [0.0, 5.0])
+        np.testing.assert_allclose(values, [2.0, 7.0])
+
+    def test_retention(self):
+        db = TimeSeriesDB(retention_seconds=10.0)
+        for t in range(20):
+            db.write("m", float(t), 1.0)
+        dropped = db.enforce_retention(now=19.0)
+        assert dropped == 9
+        times, _ = db.query("m")
+        assert times[0] == 9.0
+
+    def test_write_many(self):
+        db = TimeSeriesDB()
+        db.write_many({"a": 1.0, "b": 2.0}, time=0.0, labels={"x": "y"})
+        assert db.latest("a", labels={"x": "y"})[1] == 1.0
+        assert set(db.measurements()) == {"a", "b"}
+
+
+class TestMetrics:
+    def test_counter_monotone(self):
+        reg = MetricRegistry()
+        c = reg.counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5.0
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_counter_labels(self):
+        reg = MetricRegistry()
+        c = reg.counter("tasks_total", label_names=("state",))
+        c.inc(labels={"state": "ok"})
+        c.inc(2, labels={"state": "fail"})
+        assert c.value(labels={"state": "fail"}) == 2.0
+        with pytest.raises(MetricError):
+            c.inc()  # missing labels
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricRegistry()
+        g = reg.gauge("depth")
+        g.set(5.0)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6.0
+
+    def test_gauge_unset_raises(self):
+        reg = MetricRegistry()
+        g = reg.gauge("x")
+        with pytest.raises(MetricError):
+            g.value()
+
+    def test_histogram_quantiles(self):
+        reg = MetricRegistry()
+        h = reg.histogram("wait", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(56.0)
+        assert h.mean() == pytest.approx(14.0)
+        assert h.quantile(0.5) == 1.0  # 2/4 in first bucket
+        assert h.quantile(1.0) == 100.0
+
+    def test_duplicate_name_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("x_total")
+        with pytest.raises(MetricError):
+            reg.gauge("x_total")
+
+    def test_invalid_name_rejected(self):
+        reg = MetricRegistry()
+        with pytest.raises(MetricError):
+            reg.counter("bad name!")
+
+    def test_snapshot_folds_labels(self):
+        reg = MetricRegistry()
+        c = reg.counter("t_total", label_names=("state",))
+        c.inc(labels={"state": "ok"})
+        snap = reg.snapshot()
+        assert snap["t_total{state=ok}"] == 1.0
+
+
+class TestExposition:
+    def test_render_format(self):
+        reg = MetricRegistry()
+        g = reg.gauge("qpu_fidelity", "Device health", label_names=("device",))
+        g.set(0.98, labels={"device": "fresnel"})
+        text = render_exposition(reg)
+        assert "# HELP qpu_fidelity Device health" in text
+        assert "# TYPE qpu_fidelity gauge" in text
+        assert 'qpu_fidelity{device="fresnel"} 0.98' in text
+
+    def test_histogram_exposition_has_buckets(self):
+        reg = MetricRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        text = render_exposition(reg)
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_count 2" in text
+
+    def test_integer_formatting(self):
+        reg = MetricRegistry()
+        c = reg.counter("n_total")
+        c.inc(3)
+        assert "n_total 3\n" in render_exposition(reg)

@@ -1,0 +1,91 @@
+"""Tests for atom register geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegisterError
+from repro.qpu import Register
+
+
+class TestConstructors:
+    def test_chain_spacing(self):
+        reg = Register.chain(5, spacing=6.0)
+        assert reg.num_atoms == 5
+        assert reg.min_distance() == pytest.approx(6.0)
+
+    def test_chain_centred(self):
+        reg = Register.chain(4, spacing=5.0)
+        np.testing.assert_allclose(reg.positions.mean(axis=0), [0.0, 0.0], atol=1e-12)
+
+    def test_ring_spacing(self):
+        reg = Register.ring(8, spacing=6.0)
+        assert reg.min_distance() == pytest.approx(6.0, rel=1e-9)
+
+    def test_ring_equidistant_from_center(self):
+        reg = Register.ring(6, spacing=5.0)
+        radii = np.sqrt((reg.positions**2).sum(axis=1))
+        assert np.allclose(radii, radii[0])
+
+    def test_square_lattice(self):
+        reg = Register.square_lattice(3, 4, spacing=7.0)
+        assert reg.num_atoms == 12
+        assert reg.min_distance() == pytest.approx(7.0)
+
+    def test_triangular_lattice(self):
+        reg = Register.triangular_lattice(3, 3, spacing=6.0)
+        assert reg.num_atoms == 9
+        assert reg.min_distance() == pytest.approx(6.0, rel=1e-9)
+
+    def test_from_coordinates_with_labels(self):
+        reg = Register.from_coordinates([(0, 0), (5, 0)], labels=["a", "b"])
+        assert reg.labels == ["a", "b"]
+
+    def test_invalid_shapes(self):
+        with pytest.raises(RegisterError):
+            Register(np.zeros((3, 3)))
+        with pytest.raises(RegisterError):
+            Register(np.zeros((0, 2)))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(RegisterError):
+            Register.from_coordinates([(0, 0), (5, 0)], labels=["a", "a"])
+
+    def test_chain_needs_positive_n(self):
+        with pytest.raises(RegisterError):
+            Register.chain(0)
+
+
+class TestQueries:
+    def test_distances_symmetric(self):
+        reg = Register.chain(4, spacing=6.0)
+        d = reg.distances()
+        np.testing.assert_allclose(d, d.T)
+        assert np.all(np.diag(d) == 0)
+
+    def test_single_atom_min_distance_inf(self):
+        assert Register.chain(1).min_distance() == float("inf")
+
+    def test_max_radius(self):
+        reg = Register.chain(3, spacing=6.0)
+        assert reg.max_radius() == pytest.approx(6.0)
+
+    def test_neighbor_pairs(self):
+        reg = Register.chain(4, spacing=6.0)
+        nn = reg.neighbor_pairs(6.5)
+        assert nn == [(0, 1), (1, 2), (2, 3)]
+        nnn = reg.neighbor_pairs(12.5)
+        assert (0, 2) in nnn
+
+    def test_positions_read_only(self):
+        reg = Register.chain(3)
+        with pytest.raises(ValueError):
+            reg.positions[0, 0] = 99.0
+
+    def test_roundtrip_dict(self):
+        reg = Register.ring(5, spacing=6.0)
+        again = Register.from_dict(reg.to_dict())
+        assert again == reg
+
+    def test_equality(self):
+        assert Register.chain(3) == Register.chain(3)
+        assert Register.chain(3) != Register.chain(4)

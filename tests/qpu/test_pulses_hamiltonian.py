@@ -1,0 +1,170 @@
+"""Tests for waveforms, drive segments, and the Rydberg Hamiltonian builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PulseError
+from repro.qpu import (
+    BlackmanWaveform,
+    CompositeWaveform,
+    ConstantWaveform,
+    DriveSegment,
+    InterpolatedWaveform,
+    RampWaveform,
+    Register,
+    RydbergHamiltonian,
+    Waveform,
+    interaction_matrix,
+)
+from repro.qpu.hamiltonian import DEFAULT_C6, rydberg_blockade_radius
+
+
+class TestWaveforms:
+    def test_constant_samples_and_integral(self):
+        wf = ConstantWaveform(2.0, 3.0)
+        np.testing.assert_allclose(wf.samples(0.5), [3.0, 3.0, 3.0, 3.0])
+        assert wf.integral() == pytest.approx(6.0)
+        assert wf.max_abs() == 3.0
+
+    def test_ramp(self):
+        wf = RampWaveform(1.0, 0.0, 10.0)
+        samples = wf.samples(0.25)
+        assert samples[0] < samples[-1]
+        assert wf.integral() == pytest.approx(5.0)
+        assert wf.max_abs() == 10.0
+
+    def test_blackman_area(self):
+        wf = BlackmanWaveform(1.0, np.pi)
+        assert wf.integral() == pytest.approx(np.pi)
+        # discrete area matches too
+        dt = 0.001
+        assert wf.samples(dt).sum() * dt == pytest.approx(np.pi, rel=1e-3)
+
+    def test_blackman_smooth_edges(self):
+        samples = BlackmanWaveform(1.0, np.pi).samples(0.01)
+        assert samples[0] < samples[len(samples) // 2] / 10
+
+    def test_interpolated(self):
+        wf = InterpolatedWaveform(2.0, [0.0, 4.0, 0.0])
+        samples = wf.samples(0.01)
+        assert samples.max() == pytest.approx(4.0, rel=0.05)
+
+    def test_interpolated_validation(self):
+        with pytest.raises(PulseError):
+            InterpolatedWaveform(1.0, [1.0])
+        with pytest.raises(PulseError):
+            InterpolatedWaveform(1.0, [0.0, 1.0], times=[0.5, 0.1])
+        with pytest.raises(PulseError):
+            InterpolatedWaveform(1.0, [0.0, 1.0], times=[0.0, 2.0])
+
+    def test_composite(self):
+        wf = CompositeWaveform(ConstantWaveform(1.0, 2.0), RampWaveform(1.0, 2.0, 0.0))
+        assert wf.duration == 2.0
+        assert wf.integral() == pytest.approx(3.0)
+
+    def test_composite_needs_parts(self):
+        with pytest.raises(PulseError):
+            CompositeWaveform()
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(PulseError):
+            ConstantWaveform(0.0, 1.0)
+
+    @pytest.mark.parametrize(
+        "wf",
+        [
+            ConstantWaveform(1.5, 2.5),
+            RampWaveform(1.0, 0.0, 5.0),
+            BlackmanWaveform(1.0, np.pi),
+            InterpolatedWaveform(2.0, [0.0, 1.0, 0.5]),
+            CompositeWaveform(ConstantWaveform(1.0, 1.0), RampWaveform(0.5, 1.0, 0.0)),
+        ],
+    )
+    def test_dict_roundtrip(self, wf):
+        again = Waveform.from_dict(wf.to_dict())
+        dt = wf.duration / 100
+        np.testing.assert_allclose(again.samples(dt), wf.samples(dt))
+
+    def test_from_dict_unknown_kind(self):
+        with pytest.raises(PulseError):
+            Waveform.from_dict({"kind": "mystery"})
+
+
+class TestDriveSegment:
+    def test_duration_mismatch_rejected(self):
+        with pytest.raises(PulseError):
+            DriveSegment(ConstantWaveform(1.0, 1.0), ConstantWaveform(2.0, 0.0))
+
+    def test_roundtrip(self):
+        seg = DriveSegment(ConstantWaveform(1.0, 2.0), RampWaveform(1.0, -5.0, 5.0), phase=0.3)
+        again = DriveSegment.from_dict(seg.to_dict())
+        assert again.phase == 0.3
+        assert again.duration == 1.0
+
+
+class TestInteractionMatrix:
+    def test_r6_scaling(self):
+        reg = Register.from_coordinates([(0, 0), (6, 0), (12, 0)])
+        u = interaction_matrix(reg, c6=DEFAULT_C6)
+        assert u[0, 1] == pytest.approx(DEFAULT_C6 / 6**6)
+        assert u[0, 2] == pytest.approx(DEFAULT_C6 / 12**6)
+        assert u[0, 1] / u[0, 2] == pytest.approx(64.0)
+
+    def test_symmetric_zero_diagonal(self):
+        reg = Register.ring(5)
+        u = interaction_matrix(reg)
+        np.testing.assert_allclose(u, u.T)
+        assert np.all(np.diag(u) == 0)
+
+    def test_blockade_radius(self):
+        r = rydberg_blockade_radius(2 * np.pi)
+        assert DEFAULT_C6 / r**6 == pytest.approx(2 * np.pi)
+
+
+class TestRydbergHamiltonian:
+    def make(self, n=3, omega=2.0, delta=0.0, duration=1.0, dt=0.1):
+        reg = Register.chain(n, spacing=6.0)
+        seg = DriveSegment(
+            ConstantWaveform(duration, omega), ConstantWaveform(duration, delta)
+        )
+        return RydbergHamiltonian(reg, [seg], dt=dt)
+
+    def test_grid_shapes(self):
+        ham = self.make(duration=1.0, dt=0.1)
+        assert ham.num_steps == 10
+        assert ham.total_duration == pytest.approx(1.0)
+        assert ham.omega.shape == (10,)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(PulseError):
+            RydbergHamiltonian(Register.chain(2), [])
+
+    def test_diagonal_energies_two_qubit(self):
+        ham = self.make(n=2)
+        e = ham.diagonal_energies()
+        # states 00, 01, 10 have no interaction; 11 has U_01
+        u01 = ham.interactions[0, 1]
+        np.testing.assert_allclose(e, [0.0, 0.0, 0.0, u01])
+
+    def test_occupation_table(self):
+        ham = self.make(n=2)
+        table = ham.occupation_table()
+        np.testing.assert_allclose(table, [[0, 0], [0, 1], [1, 0], [1, 1]])
+
+    def test_bond_couplings_chain(self):
+        ham = self.make(n=4)
+        bonds = ham.bond_couplings()
+        pairs = [(i, j) for i, j, _ in bonds]
+        assert (0, 1) in pairs and (1, 2) in pairs and (2, 3) in pairs
+
+    def test_multi_segment_concatenation(self):
+        reg = Register.chain(2)
+        segs = [
+            DriveSegment(ConstantWaveform(1.0, 1.0), ConstantWaveform(1.0, 0.0)),
+            DriveSegment(ConstantWaveform(0.5, 2.0), ConstantWaveform(0.5, -1.0)),
+        ]
+        ham = RydbergHamiltonian(reg, segs, dt=0.1)
+        assert ham.total_duration == pytest.approx(1.5)
+        assert ham.omega[0] == pytest.approx(1.0)
+        assert ham.omega[-1] == pytest.approx(2.0)
+        assert ham.delta[-1] == pytest.approx(-1.0)

@@ -1,0 +1,277 @@
+"""Tests for the QRMI interface, backends, env loading, and Slurm plugin."""
+
+import numpy as np
+import pytest
+
+from repro.config import DictConfig
+from repro.errors import (
+    AcquisitionError,
+    ConfigError,
+    ResourceNotFound,
+    TaskError,
+)
+from repro.qpu import ConstantWaveform, QPUDevice, Register, ShotClock
+from repro.qrmi import (
+    CloudEmulatorResource,
+    CloudQPUResource,
+    LocalEmulatorResource,
+    OnPremQPUResource,
+    QRMISpankPlugin,
+    ResourceType,
+    TaskStatus,
+    load_resource,
+    load_resources,
+)
+from repro.sdk import Pulse, Sequence
+from repro.simkernel import Simulator
+
+
+def make_program(shots=50, n=2, omega=np.pi, spacing=20.0):
+    reg = Register.chain(n, spacing=spacing)
+    seq = Sequence(reg, name="qrmi-test")
+    seq.declare_channel("ch")
+    seq.add(Pulse.constant_detuning(ConstantWaveform(1.0, omega), 0.0), "ch")
+    seq.measure()
+    return seq.build(shots=shots)
+
+
+class TestTokenLifecycle:
+    def test_acquire_release(self):
+        res = LocalEmulatorResource("emu")
+        token = res.acquire()
+        assert res.active_tokens() == 1
+        res.release(token)
+        assert res.active_tokens() == 0
+
+    def test_release_unknown_token(self):
+        res = LocalEmulatorResource("emu")
+        with pytest.raises(AcquisitionError):
+            res.release("bogus")
+
+    def test_acquire_inaccessible_resource(self):
+        device = QPUDevice()
+        device.start_maintenance()
+        res = OnPremQPUResource("qpu", device)
+        with pytest.raises(AcquisitionError):
+            res.acquire()
+
+
+class TestTaskLifecycle:
+    def test_local_emulator_roundtrip(self):
+        res = LocalEmulatorResource("emu", emulator="emu-sv")
+        task_id = res.task_start(make_program())
+        assert res.task_status(task_id) is TaskStatus.COMPLETED
+        result = res.task_result(task_id)
+        assert sum(result.counts.values()) == 50
+        assert result.metadata["resource"] == "emu"
+
+    def test_default_engine_is_tensor_network(self):
+        res = LocalEmulatorResource("emu")
+        assert res.engine.name == "emu-mps"
+
+    def test_unknown_task(self):
+        res = LocalEmulatorResource("emu")
+        with pytest.raises(TaskError):
+            res.task_status("nope")
+
+    def test_failed_task_surfaces_error(self):
+        res = LocalEmulatorResource("emu", emulator="emu-sv")
+        big = make_program(n=20, spacing=6.0)  # exceeds emu-sv qubit cap
+        task_id = res.task_start(big)
+        assert res.task_status(task_id) is TaskStatus.FAILED
+        with pytest.raises(TaskError):
+            res.task_result(task_id)
+
+    def test_task_stop(self):
+        res = LocalEmulatorResource("emu", emulator="emu-sv")
+        task_id = res.task_start(make_program())
+        res.task_stop(task_id)  # already completed: no-op
+        assert res.task_status(task_id) is TaskStatus.COMPLETED
+
+    def test_onprem_qpu_execution(self):
+        res = OnPremQPUResource("qpu", QPUDevice(rng=np.random.default_rng(0)))
+        task_id = res.task_start(make_program())
+        result = res.task_result(task_id)
+        assert sum(result.counts.values()) == 50
+        assert "calibration" in result.metadata
+
+    def test_cloud_latency_recorded(self):
+        res = CloudEmulatorResource("cloud-emu", emulator="emu-sv", latency_s=0.7)
+        task_id = res.task_start(make_program())
+        result = res.task_result(task_id)
+        assert result.metadata["network_latency_s"] == pytest.approx(1.4)
+
+
+class TestSimIntegration:
+    def test_onprem_sim_execution_occupies_shot_clock(self):
+        sim = Simulator()
+        device = QPUDevice(
+            clock=ShotClock(shot_rate_hz=1.0, setup_overhead_s=0.0, batch_overhead_s=0.0),
+            rng=np.random.default_rng(0),
+        )
+        res = OnPremQPUResource("qpu", device)
+        program = make_program(shots=10)
+        done = []
+
+        def runner():
+            result = yield from res.execute_in_sim(sim, program)
+            done.append((sim.now, result))
+
+        sim.spawn(runner())
+        sim.run()
+        t, result = done[0]
+        assert t == pytest.approx(10 * (1.0 + 1e-6))
+        assert sum(result.counts.values()) == 10
+
+    def test_cloud_qpu_adds_latency_in_sim(self):
+        sim = Simulator()
+        device = QPUDevice(
+            clock=ShotClock(shot_rate_hz=1.0, setup_overhead_s=0.0, batch_overhead_s=0.0),
+            rng=np.random.default_rng(0),
+        )
+        res = CloudQPUResource("cloud-qpu", device, latency_s=2.0)
+        done = []
+
+        def runner():
+            result = yield from res.execute_in_sim(sim, make_program(shots=10))
+            done.append(sim.now)
+
+        sim.spawn(runner())
+        sim.run()
+        assert done[0] == pytest.approx(2.0 + 10 * (1.0 + 1e-6) + 2.0)
+
+    def test_estimate_seconds(self):
+        device = QPUDevice(clock=ShotClock(shot_rate_hz=2.0, setup_overhead_s=1.0, batch_overhead_s=0.0))
+        res = OnPremQPUResource("qpu", device)
+        estimate = res.estimate_seconds(make_program(shots=100))
+        assert estimate == pytest.approx(1.0 + 100 * (0.5 + 1e-6))
+
+
+class TestTargetAndMetadata:
+    def test_emulator_target_is_soft(self):
+        target = LocalEmulatorResource("emu").target()
+        assert target["is_hardware"] is False
+
+    def test_qpu_target_reflects_device(self):
+        device = QPUDevice()
+        res = OnPremQPUResource("qpu", device)
+        assert res.target()["name"] == device.specs.name
+
+    def test_metadata_fields(self):
+        meta = LocalEmulatorResource("emu").metadata()
+        assert meta["type"] == "local-emulator"
+        assert meta["engine"] == "emu-mps"
+
+
+class TestEnvLoading:
+    def site_config(self):
+        return DictConfig(
+            {
+                "QRMI_RESOURCES": "dev-emu,onprem",
+                "QRMI_DEV_EMU_TYPE": "local-emulator",
+                "QRMI_DEV_EMU_EMULATOR": "emu-sv",
+                "QRMI_ONPREM_TYPE": "onprem-qpu",
+                "QRMI_ONPREM_DEVICE": "fresnel",
+            }
+        )
+
+    def test_load_resources(self):
+        devices = {"fresnel": QPUDevice()}
+        resources = load_resources(self.site_config(), devices)
+        assert set(resources) == {"dev-emu", "onprem"}
+        assert resources["dev-emu"].resource_type == "local-emulator"
+        assert resources["onprem"].resource_type == "onprem-qpu"
+
+    def test_emulator_overrides(self):
+        config = DictConfig(
+            {
+                "QRMI_BIG_TYPE": "local-emulator",
+                "QRMI_BIG_EMULATOR": "emu-mps",
+                "QRMI_BIG_MAX_BOND_DIM": "32",
+            }
+        )
+        res = load_resource(config, "big")
+        assert res.engine.max_bond_dim == 32
+
+    def test_missing_type_raises(self):
+        with pytest.raises(ConfigError):
+            load_resource(DictConfig({}), "ghost")
+
+    def test_hardware_requires_device(self):
+        config = DictConfig({"QRMI_Q_TYPE": "onprem-qpu"})
+        with pytest.raises(ConfigError):
+            load_resource(config, "q")
+
+    def test_unregistered_device(self):
+        config = DictConfig({"QRMI_Q_TYPE": "onprem-qpu", "QRMI_Q_DEVICE": "ghost"})
+        with pytest.raises(ResourceNotFound):
+            load_resource(config, "q", devices={})
+
+    def test_unknown_type(self):
+        config = DictConfig({"QRMI_Q_TYPE": "quantum-teleporter"})
+        with pytest.raises(ConfigError):
+            load_resource(config, "q")
+
+    def test_resource_type_properties(self):
+        assert ResourceType.ONPREM_QPU.is_hardware
+        assert not ResourceType.ONPREM_QPU.is_remote
+        assert ResourceType.CLOUD_EMULATOR.is_remote
+        assert not ResourceType.LOCAL_EMULATOR.is_hardware
+
+
+class TestSlurmPlugin:
+    def build_cluster_with_plugin(self):
+        from repro.cluster import Node, Partition, SlurmController
+
+        config = DictConfig(
+            {
+                "QRMI_RESOURCES": "dev-emu",
+                "QRMI_DEV_EMU_TYPE": "local-emulator",
+                "QRMI_DEV_EMU_EMULATOR": "emu-mps",
+            }
+        )
+        sim = Simulator()
+        nodes = [Node("n0", cpus=4)]
+        ctl = SlurmController(sim, nodes, [Partition("batch", nodes)])
+        ctl.spank.register(QRMISpankPlugin(config))
+        return sim, ctl
+
+    def test_unknown_resource_vetoed_at_submit(self):
+        from repro.cluster import JobSpec
+
+        _, ctl = self.build_cluster_with_plugin()
+        with pytest.raises(ResourceNotFound):
+            ctl.submit(JobSpec(name="j", qpu_resource="nonexistent"))
+
+    def test_env_injected_at_start(self):
+        from repro.cluster import JobSpec
+        from repro.simkernel import Timeout
+
+        sim, ctl = self.build_cluster_with_plugin()
+        seen = {}
+
+        def payload(ctx):
+            yield Timeout(1.0)
+            seen.update(ctx.env)
+
+        ctl.submit(JobSpec(name="j", qpu_resource="dev-emu", payload=payload))
+        sim.run()
+        assert seen["QRMI_DEFAULT_RESOURCE"] == "dev-emu"
+        assert seen["QRMI_DEV_EMU_TYPE"] == "local-emulator"
+        assert seen["QRMI_RESOURCES"] == "dev-emu"
+        assert "SLURM_JOB_ID" in seen
+
+    def test_classical_job_untouched(self):
+        from repro.cluster import JobSpec
+        from repro.simkernel import Timeout
+
+        sim, ctl = self.build_cluster_with_plugin()
+        seen = {}
+
+        def payload(ctx):
+            yield Timeout(1.0)
+            seen.update(ctx.env)
+
+        ctl.submit(JobSpec(name="classical", payload=payload))
+        sim.run()
+        assert "QRMI_DEFAULT_RESOURCE" not in seen

@@ -1,0 +1,113 @@
+"""Property-based tests for scheduling policies (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import (
+    MalleablePool,
+    MalleableTask,
+    PatternAwarePlanner,
+    SequentialPlanner,
+    TimeshareAllocator,
+)
+from repro.scheduling.interleave import HybridJobEstimate
+
+
+estimate_strategy = st.builds(
+    HybridJobEstimate,
+    job_name=st.uuids().map(str),
+    qpu_seconds=st.floats(min_value=1.0, max_value=1000.0),
+    classical_seconds=st.floats(min_value=0.0, max_value=1000.0),
+)
+
+
+class TestPlannerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(estimate_strategy, min_size=1, max_size=20))
+    def test_every_job_planned_exactly_once(self, jobs):
+        for planner in (SequentialPlanner(), PatternAwarePlanner()):
+            plan = planner.plan(jobs)
+            planned = sorted(j.job_name for j in plan.jobs())
+            assert planned == sorted(j.job_name for j in jobs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(estimate_strategy, min_size=1, max_size=20))
+    def test_wave_load_never_exceeds_target_for_multi_job_waves(self, jobs):
+        planner = PatternAwarePlanner(target_load=1.0, max_concurrency=8)
+        plan = planner.plan(jobs)
+        for wave in plan.waves:
+            if len(wave) > 1:
+                assert sum(j.qpu_fraction for j in wave) <= 1.0 + 1e-6
+            assert len(wave) <= 8
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(estimate_strategy, min_size=1, max_size=15))
+    def test_interleaved_predicted_makespan_never_worse(self, jobs):
+        seq = SequentialPlanner().plan(jobs).predicted_makespan()
+        inter = PatternAwarePlanner().plan(jobs).predicted_makespan()
+        assert inter <= seq + 1e-6
+
+
+class TestMalleableProperties:
+    task_strategy = st.builds(
+        dict,
+        work=st.floats(min_value=1.0, max_value=5000.0),
+        serial=st.floats(min_value=0.0, max_value=0.5),
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(task_strategy, min_size=1, max_size=8))
+    def test_malleable_never_loses_to_rigid(self, specs):
+        def tasks():
+            return [
+                MalleableTask(f"t{i}", work_cpu_seconds=s["work"],
+                              serial_fraction=s["serial"], max_cpus=32)
+                for i, s in enumerate(specs)
+            ]
+
+        rigid = MalleablePool(32, malleable=False).makespan(tasks())
+        flexible = MalleablePool(32, malleable=True).makespan(tasks())
+        assert flexible <= rigid * 1.0001
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(task_strategy, min_size=1, max_size=8))
+    def test_all_tasks_finish_with_full_work_done(self, specs):
+        tasks = [
+            MalleableTask(f"t{i}", work_cpu_seconds=s["work"],
+                          serial_fraction=s["serial"], max_cpus=32)
+            for i, s in enumerate(specs)
+        ]
+        finish = MalleablePool(32, malleable=True).run(tasks)
+        assert set(finish) == {t.name for t in tasks}
+        for task in tasks:
+            assert task.remaining_work == pytest.approx(0.0, abs=1e-6)
+            assert task.finished_at is not None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=1000.0))
+    def test_makespan_lower_bound_is_perfect_parallel_time(self, work):
+        """No schedule can beat total_work / pool_size for serial=0."""
+        task = MalleableTask("t", work_cpu_seconds=work, serial_fraction=0.0, max_cpus=16)
+        makespan = MalleablePool(16, malleable=True).makespan([task])
+        assert makespan >= work / 16 - 1e-9
+
+
+class TestTimeshareProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4),
+    )
+    def test_allocator_conservation(self, grants):
+        alloc = TimeshareAllocator(total_units=20)
+        granted = 0
+        for i, units in enumerate(grants):
+            if granted + units <= 20:
+                alloc.grant(f"tenant-{i}", units)
+                granted += units
+        assert alloc.allocated == granted
+        assert alloc.allocated + alloc.available == 20
+        # shares sum to allocated fraction
+        total_share = sum(alloc.share(t) for t in alloc.holdings())
+        assert total_share == pytest.approx(granted / 20)

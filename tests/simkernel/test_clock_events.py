@@ -1,0 +1,139 @@
+"""Unit tests for the simulated clock and event queue."""
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.simkernel import Event, EventQueue, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.5).now == 5.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock(2.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(1.0)
+
+    def test_advance_by(self):
+        clock = SimClock(1.0)
+        clock.advance_by(0.5)
+        assert clock.now == 1.5
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock().advance_by(-0.1)
+
+
+class TestEvent:
+    def test_initial_state(self):
+        event = Event("e")
+        assert not event.triggered
+        assert not event.processed
+
+    def test_trigger_sets_value(self):
+        event = Event()
+        event.trigger(42)
+        assert event.triggered
+        assert event.value == 42
+
+    def test_value_before_trigger_raises(self):
+        with pytest.raises(SimulationError):
+            Event().value
+
+    def test_double_trigger_raises(self):
+        event = Event()
+        event.trigger()
+        with pytest.raises(SimulationError):
+            event.trigger()
+
+    def test_callbacks_run_once(self):
+        event = Event()
+        calls = []
+        event.callbacks.append(lambda ev: calls.append(ev.value))
+        event.trigger("x")
+        event.run_callbacks()
+        assert calls == ["x"]
+        with pytest.raises(SimulationError):
+            event.run_callbacks()
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        e1, e2, e3 = Event("a"), Event("b"), Event("c")
+        q.push(3.0, e3)
+        q.push(1.0, e1)
+        q.push(2.0, e2)
+        assert [q.pop().event.name for _ in range(3)] == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        q = EventQueue()
+        names = [f"e{i}" for i in range(10)]
+        for name in names:
+            q.push(1.0, Event(name))
+        assert [q.pop().event.name for _ in range(10)] == names
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(1.0, Event("low"), priority=5)
+        q.push(1.0, Event("high"), priority=-5)
+        assert q.pop().event.name == "high"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ClockError):
+            EventQueue().push(-1.0, Event())
+
+    def test_len_tracks_live_entries(self):
+        q = EventQueue()
+        entry = q.push(1.0, Event())
+        q.push(2.0, Event())
+        assert len(q) == 2
+        q.cancel(entry)
+        assert len(q) == 1
+
+    def test_cancelled_entry_skipped(self):
+        q = EventQueue()
+        entry = q.push(1.0, Event("cancelled"))
+        q.push(2.0, Event("kept"))
+        q.cancel(entry)
+        assert q.pop().event.name == "kept"
+
+    def test_cancel_idempotent(self):
+        q = EventQueue()
+        entry = q.push(1.0, Event())
+        q.cancel(entry)
+        q.cancel(entry)
+        assert len(q) == 0
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(4.2, Event())
+        assert q.peek_time() == 4.2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, Event())
+        assert q

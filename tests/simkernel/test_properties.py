@@ -1,0 +1,74 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import Event, EventQueue, Simulator, Timeout
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+def test_event_queue_pops_in_time_order(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, Event())
+    popped = [q.pop().time for _ in range(len(times))]
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.integers(min_value=-5, max_value=5),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_event_queue_time_then_priority_order(entries):
+    q = EventQueue()
+    for t, p in entries:
+        q.push(t, Event(), priority=p)
+    popped = [(e.time, e.priority, e.seq) for e in (q.pop() for _ in range(len(entries)))]
+    assert popped == sorted(popped)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.floats(min_value=0.001, max_value=10.0, allow_nan=False), min_size=1, max_size=20))
+def test_process_timeouts_sum_to_completion_time(delays):
+    sim = Simulator()
+
+    def proc():
+        for d in delays:
+            yield Timeout(d)
+        return sim.now
+
+    p = sim.spawn(proc())
+    final = sim.run_until_process(p)
+    assert abs(final - sum(delays)) < 1e-6
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=5.0, allow_nan=False), min_size=1, max_size=10),
+    st.integers(min_value=1, max_value=4),
+)
+def test_resource_never_oversubscribed(holds, capacity):
+    from repro.simkernel import Resource
+
+    sim = Simulator()
+    res = Resource(capacity)
+    max_in_use = [0]
+
+    def user(hold):
+        yield res.request()
+        max_in_use[0] = max(max_in_use[0], res.in_use)
+        assert res.in_use <= res.capacity
+        yield Timeout(hold)
+        res.release()
+
+    for hold in holds:
+        sim.spawn(user(hold))
+    sim.run()
+    assert max_in_use[0] <= capacity
+    assert res.in_use == 0

@@ -1,0 +1,291 @@
+"""Tests for simulated resources: Resource, PriorityResource, Container, Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import (
+    Container,
+    Interrupt,
+    PriorityResource,
+    Resource,
+    Simulator,
+    Store,
+    Timeout,
+)
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Resource(0)
+
+    def test_grant_within_capacity(self):
+        sim = Simulator()
+        res = Resource(2)
+        grants = []
+
+        def user(name):
+            yield res.request()
+            grants.append((name, sim.now))
+            yield Timeout(5.0)
+            res.release()
+
+        sim.spawn(user("a"))
+        sim.spawn(user("b"))
+        sim.run()
+        assert [g[1] for g in grants] == [0.0, 0.0]
+
+    def test_fifo_queueing_when_full(self):
+        sim = Simulator()
+        res = Resource(1)
+        grants = []
+
+        def user(name, hold):
+            yield res.request()
+            grants.append((name, sim.now))
+            yield Timeout(hold)
+            res.release()
+
+        sim.spawn(user("first", 2.0))
+        sim.spawn(user("second", 2.0))
+        sim.spawn(user("third", 2.0))
+        sim.run()
+        assert grants == [("first", 0.0), ("second", 2.0), ("third", 4.0)]
+
+    def test_release_idle_raises(self):
+        with pytest.raises(SimulationError):
+            Resource(1).release()
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(1)
+
+        def holder():
+            yield res.request()
+            yield Timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield res.request()
+            res.release()
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.spawn(waiter())
+        sim.run(until=1.0)
+        assert res.queue_length() == 2
+
+
+class TestPriorityResource:
+    def test_priority_order_granting(self):
+        sim = Simulator()
+        res = PriorityResource(capacity=1)
+        grants = []
+
+        def holder():
+            req = res.request(priority=0)
+            yield req
+            yield Timeout(5.0)
+            res.release(req)
+
+        def user(name, priority, start):
+            yield Timeout(start)
+            req = res.request(priority=priority)
+            yield req
+            grants.append(name)
+            yield Timeout(1.0)
+            res.release(req)
+
+        sim.spawn(holder())
+        sim.spawn(user("low", 10, 1.0))
+        sim.spawn(user("high", 1, 2.0))
+        sim.run()
+        # high outranks low despite arriving later
+        assert grants == ["high", "low"]
+
+    def test_preemption_interrupts_holder(self):
+        sim = Simulator()
+        res = PriorityResource(capacity=1, preemptive=True)
+        log = []
+
+        def dev_job():
+            req = res.request(priority=10)
+            yield req
+            log.append(("dev-start", sim.now))
+            try:
+                yield Timeout(100.0)
+                res.release(req)
+                log.append(("dev-done", sim.now))
+            except Interrupt as intr:
+                log.append(("dev-preempted", sim.now, intr.cause[0]))
+
+        def prod_job():
+            yield Timeout(5.0)
+            req = res.request(priority=0)
+            yield req
+            log.append(("prod-start", sim.now))
+            yield Timeout(10.0)
+            res.release(req)
+
+        sim.spawn(dev_job())
+        sim.spawn(prod_job())
+        sim.run()
+        assert ("dev-start", 0.0) in log
+        assert ("dev-preempted", 5.0, "preempted") in log
+        assert ("prod-start", 5.0) in log
+
+    def test_no_preemption_of_equal_priority(self):
+        sim = Simulator()
+        res = PriorityResource(capacity=1, preemptive=True)
+        log = []
+
+        def job(name, priority, start, hold):
+            yield Timeout(start)
+            req = res.request(priority=priority)
+            yield req
+            log.append((name, "start", sim.now))
+            try:
+                yield Timeout(hold)
+                res.release(req)
+            except Interrupt:
+                log.append((name, "preempted", sim.now))
+
+        sim.spawn(job("a", 5, 0.0, 10.0))
+        sim.spawn(job("b", 5, 1.0, 1.0))
+        sim.run()
+        assert (("a", "preempted", 1.0)) not in log
+        assert ("b", "start", 10.0) in log
+
+    def test_release_non_holder_raises(self):
+        sim = Simulator()
+        res = PriorityResource(capacity=1)
+        req = res.request()
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+
+class TestContainer:
+    def test_initial_level_defaults_to_capacity(self):
+        assert Container(10.0).level == 10.0
+
+    def test_get_put_roundtrip(self):
+        sim = Simulator()
+        cont = Container(10.0)
+        log = []
+
+        def proc():
+            yield cont.get(4.0)
+            log.append(cont.level)
+            cont.put(4.0)
+            log.append(cont.level)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [6.0, 10.0]
+
+    def test_blocking_get_until_put(self):
+        sim = Simulator()
+        cont = Container(10.0, initial=2.0)
+        log = []
+
+        def consumer():
+            yield cont.get(5.0)
+            log.append(("got", sim.now))
+
+        def producer():
+            yield Timeout(3.0)
+            cont.put(4.0)
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert log == [("got", 3.0)]
+
+    def test_fifo_no_overtake(self):
+        """A small later request must not jump a large blocked one."""
+        sim = Simulator()
+        cont = Container(10.0, initial=3.0)
+        log = []
+
+        def consumer(name, amount, start):
+            yield Timeout(start)
+            yield cont.get(amount)
+            log.append((name, sim.now))
+
+        def producer():
+            yield Timeout(5.0)
+            cont.put(7.0)
+
+        sim.spawn(consumer("big", 8.0, 0.0))
+        sim.spawn(consumer("small", 1.0, 1.0))
+        sim.spawn(producer())
+        sim.run()
+        assert log[0][0] == "big"
+
+    def test_overflow_rejected(self):
+        cont = Container(5.0, initial=4.0)
+        with pytest.raises(SimulationError):
+            cont.put(2.0)
+
+    def test_invalid_get_amounts(self):
+        cont = Container(5.0)
+        with pytest.raises(SimulationError):
+            cont.get(0.0)
+        with pytest.raises(SimulationError):
+            cont.get(6.0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store()
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append(item)
+
+        store.put("x")
+        sim.spawn(getter())
+        sim.run()
+        assert got == ["x"]
+
+    def test_blocking_get(self):
+        sim = Simulator()
+        store = Store()
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        def putter():
+            yield Timeout(2.0)
+            store.put(42)
+
+        sim.spawn(getter())
+        sim.spawn(putter())
+        sim.run()
+        assert got == [(42, 2.0)]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store()
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append(item)
+
+        for value in (1, 2, 3):
+            store.put(value)
+        for _ in range(3):
+            sim.spawn(getter())
+        sim.run()
+        assert got == [1, 2, 3]
+
+    def test_len(self):
+        store = Store()
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2

@@ -1,0 +1,127 @@
+"""Tests for the RNG registry and trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import RngRegistry, TraceRecorder
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        reg = RngRegistry(7)
+        assert reg.get("arrivals") is reg.get("arrivals")
+
+    def test_reproducible_across_registries(self):
+        a = RngRegistry(7).get("arrivals").random(5)
+        b = RngRegistry(7).get("arrivals").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_differ(self):
+        reg = RngRegistry(7)
+        a = reg.get("arrivals").random(5)
+        b = reg.get("drift").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).get("x").random(5)
+        b = RngRegistry(2).get("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_irrelevant(self):
+        r1 = RngRegistry(3)
+        r1.get("a")
+        values1 = r1.get("b").random(4)
+        r2 = RngRegistry(3)
+        values2 = r2.get("b").random(4)  # created first here
+        np.testing.assert_array_equal(values1, values2)
+
+    def test_reset_restarts_stream(self):
+        reg = RngRegistry(5)
+        first = reg.get("s").random(3)
+        reg.reset("s")
+        again = reg.get("s").random(3)
+        np.testing.assert_array_equal(first, again)
+
+    def test_fork_disjoint_from_parent(self):
+        reg = RngRegistry(9)
+        parent = reg.get("x").random(4)
+        child = reg.fork("rep0").get("x").random(4)
+        assert not np.array_equal(parent, child)
+
+    def test_fork_reproducible(self):
+        a = RngRegistry(9).fork("rep0").get("x").random(4)
+        b = RngRegistry(9).fork("rep0").get("x").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_fork_empty_suffix_rejected(self):
+        with pytest.raises(SimulationError):
+            RngRegistry(0).fork("")
+
+    def test_names_sorted(self):
+        reg = RngRegistry(0)
+        reg.get("z")
+        reg.get("a")
+        assert reg.names() == ["a", "z"]
+
+
+class TestTraceRecorder:
+    def test_emit_and_filter(self):
+        tr = TraceRecorder()
+        tr.emit(1.0, "slurm", "job_submit", job_id=1)
+        tr.emit(2.0, "daemon", "job_submit", job_id=2)
+        tr.emit(3.0, "slurm", "job_start", job_id=1)
+        assert len(tr.records(component="slurm")) == 2
+        assert len(tr.records(event="job_submit")) == 2
+        assert len(tr.records(component="slurm", event="job_start")) == 1
+
+    def test_time_window_filter(self):
+        tr = TraceRecorder()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            tr.emit(t, "c", "e")
+        assert len(tr.records(since=1.0, until=2.0)) == 2
+
+    def test_subscriber_sees_live_records(self):
+        tr = TraceRecorder()
+        seen = []
+        tr.subscribe(lambda rec: seen.append(rec.event))
+        tr.emit(0.0, "c", "first")
+        tr.emit(1.0, "c", "second")
+        assert seen == ["first", "second"]
+
+    def test_pairs_matching(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "qpu", "busy_start", job_id=1)
+        tr.emit(2.0, "qpu", "busy_end", job_id=1)
+        tr.emit(3.0, "qpu", "busy_start", job_id=2)
+        tr.emit(7.0, "qpu", "busy_end", job_id=2)
+        pairs = tr.pairs("busy_start", "busy_end", key="job_id", component="qpu")
+        assert pairs == [(0.0, 2.0, 1), (3.0, 7.0, 2)]
+
+    def test_pairs_drop_unmatched(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "qpu", "busy_start", job_id=1)
+        pairs = tr.pairs("busy_start", "busy_end", key="job_id")
+        assert pairs == []
+
+    def test_busy_fraction_simple(self):
+        frac = TraceRecorder.busy_fraction([(0.0, 2.0, None), (4.0, 6.0, None)], horizon=10.0)
+        assert frac == pytest.approx(0.4)
+
+    def test_busy_fraction_overlaps_merged(self):
+        frac = TraceRecorder.busy_fraction([(0.0, 5.0, None), (3.0, 6.0, None)], horizon=10.0)
+        assert frac == pytest.approx(0.6)
+
+    def test_busy_fraction_clamped_to_horizon(self):
+        frac = TraceRecorder.busy_fraction([(8.0, 20.0, None)], horizon=10.0)
+        assert frac == pytest.approx(0.2)
+
+    def test_busy_fraction_zero_horizon(self):
+        assert TraceRecorder.busy_fraction([], horizon=0.0) == 0.0
+
+    def test_len_and_iter(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "c", "e")
+        tr.emit(1.0, "c", "e")
+        assert len(tr) == 2
+        assert [r.time for r in tr] == [0.0, 1.0]

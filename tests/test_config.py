@@ -1,0 +1,122 @@
+"""Tests for the environment-variable configuration layer."""
+
+import pytest
+
+from repro.config import (
+    DictConfig,
+    LayeredConfig,
+    ResourceConfig,
+    parse_bool,
+    parse_resource_list,
+)
+from repro.errors import ConfigError
+
+
+class TestParseBool:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "On"])
+    def test_truthy(self, value):
+        assert parse_bool(value) is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "NO", "off", ""])
+    def test_falsy(self, value):
+        assert parse_bool(value) is False
+
+    def test_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_bool("maybe")
+
+
+class TestDictConfig:
+    def test_typed_getters(self):
+        config = DictConfig({"A": "5", "B": "2.5", "C": "true", "D": "text"})
+        assert config.get_int("A") == 5
+        assert config.get_float("B") == 2.5
+        assert config.get_bool("C") is True
+        assert config.get_str("D") == "text"
+
+    def test_defaults(self):
+        config = DictConfig({})
+        assert config.get_int("MISSING", 7) == 7
+        assert config.get_str("MISSING", "x") == "x"
+        assert config.get_bool("MISSING", False) is False
+
+    def test_missing_required(self):
+        with pytest.raises(ConfigError):
+            DictConfig({}).get_str("NEEDED")
+
+    def test_bad_types(self):
+        config = DictConfig({"A": "not-a-number"})
+        with pytest.raises(ConfigError):
+            config.get_int("A")
+        with pytest.raises(ConfigError):
+            config.get_float("A")
+
+    def test_mutation_and_copy(self):
+        config = DictConfig({"A": "1"})
+        copy = config.copy()
+        config["A"] = "2"
+        assert copy["A"] == "1"
+        del config["A"]
+        assert len(config) == 0
+
+
+class TestLayeredConfig:
+    def test_later_layer_wins(self):
+        site = DictConfig({"X": "site", "Y": "site"})
+        user = DictConfig({"X": "user"})
+        layered = LayeredConfig(site, user)
+        assert layered["X"] == "user"
+        assert layered["Y"] == "site"
+
+    def test_scheduler_injection_highest(self):
+        """The paper's three levels: site < IDE/dev < scheduler-injected."""
+        site = DictConfig({"QRMI_DEFAULT_RESOURCE": "emulator"})
+        dev = DictConfig({"QRMI_DEFAULT_RESOURCE": "cloud-emu"})
+        layered = LayeredConfig(site, dev)
+        layered.push_layer(DictConfig({"QRMI_DEFAULT_RESOURCE": "onprem"}))
+        assert layered["QRMI_DEFAULT_RESOURCE"] == "onprem"
+
+    def test_iteration_dedupes(self):
+        layered = LayeredConfig(DictConfig({"A": "1", "B": "1"}), DictConfig({"A": "2"}))
+        assert sorted(layered) == ["A", "B"]
+        assert len(layered) == 2
+
+    def test_needs_layers(self):
+        with pytest.raises(ConfigError):
+            LayeredConfig()
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            LayeredConfig(DictConfig({}))["GHOST"]
+
+
+class TestResourceConfig:
+    def test_from_config_full(self):
+        config = DictConfig(
+            {
+                "QRMI_DEV_TYPE": "local-emulator",
+                "QRMI_DEV_ENDPOINT": "http://x",
+                "QRMI_DEV_CREDENTIALS": "secret",
+                "QRMI_DEV_EMULATOR": "emu-mps",
+            }
+        )
+        rc = ResourceConfig.from_config(config, "dev")
+        assert rc.resource_type == "local-emulator"
+        assert rc.endpoint == "http://x"
+        assert rc.extras == {"emulator": "emu-mps"}
+
+    def test_missing_type(self):
+        with pytest.raises(ConfigError):
+            ResourceConfig.from_config(DictConfig({}), "ghost")
+
+    def test_env_roundtrip(self):
+        rc = ResourceConfig(
+            name="dev", resource_type="cloud-qpu", endpoint="http://q", extras={"latency_s": "2.0"}
+        )
+        env = rc.to_env()
+        again = ResourceConfig.from_config(DictConfig(env), "dev")
+        assert again == rc
+
+    def test_resource_list(self):
+        assert parse_resource_list(DictConfig({"QRMI_RESOURCES": "a, b ,c"})) == ["a", "b", "c"]
+        assert parse_resource_list(DictConfig({})) == []

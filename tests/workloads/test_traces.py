@@ -1,0 +1,85 @@
+"""Tests for arrival-trace record/replay."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.scheduling import WorkloadPattern
+from repro.workloads import ArrivalTrace, StreamConfig
+from repro.workloads.traces import TraceEntry
+
+
+def make_trace(seed=0, num_jobs=8):
+    return ArrivalTrace.from_stream_config(StreamConfig(num_jobs=num_jobs), root_seed=seed)
+
+
+class TestRecordReplay:
+    def test_record_matches_stream(self):
+        trace = make_trace()
+        assert len(trace) == 8
+        assert trace.horizon > 0
+
+    def test_jobs_reconstructed_identically(self):
+        trace = make_trace()
+        jobs = trace.jobs()
+        for (arrival, job), entry in zip(jobs, trace.entries):
+            assert job.name == entry.name
+            assert job.pattern.value == entry.pattern
+            assert arrival == entry.arrival_s
+
+    def test_same_seed_same_trace(self):
+        a, b = make_trace(seed=3), make_trace(seed=3)
+        assert a.entries == b.entries
+
+    def test_different_seed_differs(self):
+        assert make_trace(seed=1).entries != make_trace(seed=2).entries
+
+    def test_pattern_mix(self):
+        trace = make_trace(num_jobs=20)
+        mix = trace.pattern_mix()
+        assert sum(mix.values()) == 20
+        assert set(mix) <= {"A", "B", "C"}
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        trace = make_trace()
+        again = ArrivalTrace.from_json(trace.to_json())
+        assert again.entries == trace.entries
+
+    def test_malformed_json(self):
+        with pytest.raises(SchedulerError):
+            ArrivalTrace.from_json("not json")
+        with pytest.raises(SchedulerError):
+            ArrivalTrace.from_json('[{"bogus": 1}]')
+
+    def test_unordered_entries_rejected(self):
+        entry = dict(
+            arrival_s=5.0, name="x", user="u", pattern="A",
+            shots_per_burst=10, classical_seconds=1.0, iterations=1, n_atoms=2,
+        )
+        later = TraceEntry(**entry)
+        earlier = TraceEntry(**{**entry, "arrival_s": 1.0, "name": "y"})
+        with pytest.raises(SchedulerError):
+            ArrivalTrace([later, earlier])
+
+
+class TestPolicyFairness:
+    def test_replay_gives_identical_estimates_to_both_policies(self):
+        """The point of traces: both planners see byte-identical input."""
+        from repro.scheduling import PatternAwarePlanner, SequentialPlanner
+
+        trace = make_trace(num_jobs=10)
+        estimates_a = [job.estimate(1.0) for _, job in trace.jobs()]
+        estimates_b = [job.estimate(1.0) for _, job in trace.jobs()]
+        assert estimates_a == estimates_b
+        plan_seq = SequentialPlanner().plan(estimates_a)
+        plan_int = PatternAwarePlanner().plan(estimates_b)
+        assert sorted(j.job_name for j in plan_seq.jobs()) == sorted(
+            j.job_name for j in plan_int.jobs()
+        )
+
+    def test_trace_pattern_matches_reconstructed_job(self):
+        trace = make_trace(num_jobs=15)
+        for _, job in trace.jobs():
+            estimate = job.estimate(1.0)
+            assert estimate.pattern is WorkloadPattern(job.pattern.value)
