@@ -1,0 +1,4 @@
+"""Benchmark suite (pytest + pytest-benchmark).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks -q
+"""

@@ -17,6 +17,7 @@ Subpackages (bottom-up):
 ``sdk``             multi-SDK frontends (pulser-like, qiskit-like) + shared IR
 ``daemon``          middleware REST daemon with second-level scheduling
 ``runtime``         THE core contribution: portable hybrid runtime
+``federation``      multi-site broker: route jobs across whole sites
 ``scheduling``      workload-pattern taxonomy, interleaving, malleability
 ``observability``   metrics / TSDB / dashboards / alerting / drift detection
 ``workloads``       synthetic hybrid workload generators

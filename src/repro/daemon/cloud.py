@@ -28,7 +28,31 @@ from ..errors import AuthError, DaemonError
 from .queue import PriorityClass
 from .service import MiddlewareDaemon
 
-__all__ = ["CloudGateway", "CloudTenant"]
+__all__ = ["CloudGateway", "CloudTenant", "ensure_session"]
+
+
+def ensure_session(
+    daemon: MiddlewareDaemon,
+    cache: dict[str, str],
+    owner: str,
+    priority_class: PriorityClass,
+) -> str:
+    """Return a live session token for ``owner``, reopening on expiry.
+
+    Shared by every external intake in front of a daemon (cloud gateway,
+    federation broker): the caller keeps a ``{owner: token}`` cache and
+    this helper revalidates/refreshes it against the daemon.
+    """
+    token = cache.get(owner)
+    if token is not None:
+        try:
+            daemon.resolve_session(token)
+            return token
+        except Exception:
+            pass  # expired: open a fresh one
+    session = daemon.create_session(owner, priority_class)
+    cache[owner] = session.token
+    return session.token
 
 
 @dataclass
@@ -60,7 +84,7 @@ class CloudGateway:
         self._seed = seed
         self._key_counter = itertools.count(1)
         self._tenants: dict[str, CloudTenant] = {}      # api_key -> tenant
-        self._sessions: dict[str, str] = {}             # tenant -> session token
+        self._sessions: dict[str, str] = {}             # session owner -> token
         self._task_owner: dict[str, str] = {}           # task_id -> tenant
 
     # -- provisioning (site admin) ------------------------------------------
@@ -95,7 +119,7 @@ class CloudGateway:
         for key, tenant in list(self._tenants.items()):
             if tenant.name == name:
                 del self._tenants[key]
-                self._sessions.pop(name, None)
+                self._sessions.pop(f"cloud:{name}", None)
                 return
         raise DaemonError(f"unknown tenant {name!r}")
 
@@ -110,18 +134,9 @@ class CloudGateway:
         return self._tenants[api_key]
 
     def _session_token(self, tenant: CloudTenant) -> str:
-        token = self._sessions.get(tenant.name)
-        if token is not None:
-            try:
-                self.daemon.resolve_session(token)
-                return token
-            except Exception:
-                pass  # expired: open a fresh one
-        session = self.daemon.create_session(
-            f"cloud:{tenant.name}", tenant.priority_class
+        return ensure_session(
+            self.daemon, self._sessions, f"cloud:{tenant.name}", tenant.priority_class
         )
-        self._sessions[tenant.name] = session.token
-        return session.token
 
     def submit(
         self, api_key: str, program: Any, resource: str, shots: int | None = None

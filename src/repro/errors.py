@@ -147,6 +147,31 @@ class QueueError(DaemonError):
 
 
 # ---------------------------------------------------------------------------
+# Federation
+# ---------------------------------------------------------------------------
+
+
+class FederationError(ReproError):
+    """Base class for multi-site federation errors."""
+
+
+class SiteUnavailable(FederationError):
+    """No registered site can currently accept the job."""
+
+    def __init__(self, message: str, site: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class PlacementError(FederationError):
+    """A federated job exhausted its placement attempts."""
+
+    def __init__(self, message: str, job_id: str | None = None) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+
+
+# ---------------------------------------------------------------------------
 # SDK / IR
 # ---------------------------------------------------------------------------
 

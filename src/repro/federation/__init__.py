@@ -1,0 +1,56 @@
+"""Multi-site federation: broker hybrid jobs across HPC-QC sites.
+
+The paper's stack serves one site; its §3.3 points outward ("the
+system could be extended to also accept jobs via a cloud interface,
+similar to ... the JHPC-Quantum project").  This subsystem is that
+extension taken to its multi-site conclusion: several independent
+sites — each a full cluster + daemon + QRMI resource pool — register
+into a federation that routes incoming hybrid jobs by live resource
+profiles instead of static assignment.
+
+* :mod:`site`     — :class:`FederatedSite`, the per-site adapter
+  (intake via daemon sessions, load/health/calibration introspection),
+* :mod:`registry` — :class:`SiteRegistry` membership + heartbeats with
+  expiry; produces the :class:`SiteSnapshot` views routing runs on,
+* :mod:`policies` — pluggable routing: round-robin, least-queue,
+  calibration-aware (drift-weighted by program geometry), sticky
+  affinity for iterative workloads,
+* :mod:`broker`   — :class:`FederationBroker`: placement, spillover
+  when sites saturate, failover with bounded retries and stable job
+  ids when sites die,
+* :mod:`client`   — :class:`FederatedClient`, the DaemonClient-shaped
+  front end returning uniform :class:`~repro.runtime.results.RunResult`,
+* :mod:`metrics`  — per-site + aggregate federation metrics through
+  the existing observability registry/TSDB path.
+"""
+
+from .broker import FederatedJob, FederationBroker, JobState, Placement
+from .client import FederatedClient
+from .metrics import FederationMetrics
+from .policies import (
+    CalibrationAwarePolicy,
+    LeastQueuePolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    StickyPolicy,
+)
+from .registry import SiteHealth, SiteRegistry, SiteSnapshot
+from .site import FederatedSite
+
+__all__ = [
+    "CalibrationAwarePolicy",
+    "FederatedClient",
+    "FederatedJob",
+    "FederatedSite",
+    "FederationBroker",
+    "FederationMetrics",
+    "JobState",
+    "LeastQueuePolicy",
+    "Placement",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "SiteHealth",
+    "SiteRegistry",
+    "SiteSnapshot",
+    "StickyPolicy",
+]

@@ -1,0 +1,396 @@
+"""The federation broker: place hybrid jobs across HPC-QC sites.
+
+Lifts the paper's second-level-scheduling idea one level up: where the
+daemon schedules *tasks within a site*, the broker schedules *jobs
+across sites*.  A submitted job gets a federation-stable ID, is placed
+on a site chosen by the active routing policy, and is tracked until its
+result is fetched.  Placement respects:
+
+* **health** — only sites with fresh heartbeats are candidates,
+* **capability** — the site must export a resource that can take the
+  program (register fits, federable type),
+* **spillover** — saturated sites are skipped while any unsaturated
+  candidate exists; when the whole federation is saturated the least
+  unlucky site still absorbs the job (bounded queues, not rejection),
+* **failover** — when a placement's site dies (heartbeat expiry or
+  mid-run crash) or the site-level task fails, the job re-routes to a
+  surviving site with a bounded number of attempts.  The federated job
+  ID never changes across re-placements, so callers never see
+  duplicates.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import (
+    FederationError,
+    PlacementError,
+    ResourceNotFound,
+    SiteUnavailable,
+)
+from ..runtime.backend_select import select_resource
+from ..simkernel import Simulator, Timeout
+from .metrics import FederationMetrics
+from .policies import LeastQueuePolicy, RoutingPolicy
+from .registry import SiteHealth, SiteRegistry, SiteSnapshot
+
+__all__ = ["FederatedJob", "FederationBroker", "JobState", "Placement"]
+
+
+class JobState(enum.Enum):
+    PLACED = "placed"        # live on some site
+    COMPLETED = "completed"
+    FAILED = "failed"        # exhausted placement attempts
+
+
+@dataclass
+class Placement:
+    """One attempt to run a job on a site."""
+
+    site: str
+    task_id: str
+    placed_at: float
+    abandoned: bool = False
+    abandon_reason: str = ""
+
+
+@dataclass
+class FederatedJob:
+    """Broker-side record of one submitted hybrid job."""
+
+    job_id: str
+    program: Any
+    shots: int | None
+    owner: str
+    affinity_key: str | None
+    n_qubits: int
+    submitted_at: float
+    pin: str | None = None  # "site/resource": bypasses policy routing
+    state: JobState = JobState.PLACED
+    placements: list[Placement] = field(default_factory=list)
+    result: Any = None
+    error: str = ""
+
+    @property
+    def current(self) -> Placement | None:
+        if self.placements and not self.placements[-1].abandoned:
+            return self.placements[-1]
+        return None
+
+    @property
+    def attempts(self) -> int:
+        return len(self.placements)
+
+
+def _program_qubits(program: Any) -> int:
+    register = getattr(program, "register", None)
+    if register is None and isinstance(program, dict):
+        register = program.get("register")
+    try:
+        return len(register)  # Register and IR-dict register lists both size
+    except TypeError:
+        return 0
+
+
+class FederationBroker:
+    """Route jobs across a :class:`SiteRegistry` with a pluggable policy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: SiteRegistry,
+        policy: RoutingPolicy | None = None,
+        max_attempts: int = 3,
+    ) -> None:
+        if max_attempts < 1:
+            raise PlacementError("max_attempts must be >= 1")
+        self.sim = sim
+        self.registry = registry
+        self.policy = policy or LeastQueuePolicy()
+        self.max_attempts = max_attempts
+        self.metrics = FederationMetrics()
+        self._jobs: dict[str, FederatedJob] = {}
+        self._id_counter = itertools.count(1)
+
+    # -- intake ---------------------------------------------------------------
+
+    def submit(
+        self,
+        program: Any,
+        shots: int | None = None,
+        owner: str = "fed-user",
+        affinity_key: str | None = None,
+        pin: str | None = None,
+    ) -> str:
+        """Accept a job into the federation; returns its stable job id.
+
+        ``pin`` is a qualified ``site/resource`` name: the job runs
+        exactly there (the ``--qpu`` contract — an explicit request is
+        honored or fails, never silently rerouted) instead of going
+        through the routing policy.
+        """
+        if pin is not None and "/" not in pin:
+            raise PlacementError(
+                f"pin must be a 'site/resource' name, got {pin!r}"
+            )
+        job = FederatedJob(
+            job_id=f"fed-job-{next(self._id_counter)}",
+            program=program,
+            shots=shots,
+            owner=owner,
+            affinity_key=affinity_key,
+            n_qubits=_program_qubits(program),
+            submitted_at=self.sim.now,
+            pin=pin,
+        )
+        self._jobs[job.job_id] = job
+        self._place(job)
+        return job.job_id
+
+    def available_resources(self) -> dict[str, str]:
+        """Aggregate catalog over healthy sites, names qualified as
+        ``site/resource`` — the federation-aware fall-through surface
+        :func:`~repro.runtime.backend_select.select_resource` consumes."""
+        merged: dict[str, str] = {}
+        for snap in self.registry.healthy_snapshots(self.sim.now):
+            for name, rtype in sorted(snap.catalog.items()):
+                merged[f"{snap.name}/{name}"] = rtype
+        return merged
+
+    def has_resource(self, qualified: str) -> bool:
+        """Does some registered site export this ``site/resource`` name?
+        (Membership only — no snapshot materialization; use
+        :meth:`available_resources` for the health-filtered catalog.)"""
+        site_name, _, resource = qualified.partition("/")
+        if not resource:
+            return False
+        try:
+            site = self.registry.site(site_name)
+        except FederationError:
+            return False
+        return resource in site.catalog()
+
+    def target(self, qualified: str) -> dict[str, Any]:
+        """Spec document for a ``site/resource`` name from
+        :meth:`available_resources` (the runtime's validation input)."""
+        site_name, _, resource = qualified.partition("/")
+        if not resource:
+            raise PlacementError(
+                f"federated resource names are 'site/resource', got {qualified!r}"
+            )
+        return self.registry.site(site_name).daemon.resource_target(resource)
+
+    # -- placement ------------------------------------------------------------
+
+    def _candidates(
+        self, job: FederatedJob, exclude: tuple[str, ...]
+    ) -> list[SiteSnapshot]:
+        now = self.sim.now
+        healthy = self.registry.healthy_snapshots(now, exclude=exclude)
+        capable = [
+            snap
+            for snap in healthy
+            if snap.catalog and snap.max_qubits >= job.n_qubits
+        ]
+        unsaturated = [snap for snap in capable if not snap.is_saturated]
+        return unsaturated or capable  # spillover: saturated only as last resort
+
+    def _place_pinned(self, job: FederatedJob) -> None:
+        """Honor an explicit ``site/resource`` request or fail — pinned
+        jobs retry on *their* site only, never reroute elsewhere."""
+        site_name, _, resource = job.pin.partition("/")
+        if job.attempts >= self.max_attempts:
+            self._fail(job, f"exhausted {self.max_attempts} placement attempts")
+            return
+        try:
+            health = self.registry.health_of(site_name, self.sim.now)
+            site = self.registry.site(site_name)
+        except FederationError as err:
+            self._fail(job, str(err))
+            return
+        if health is SiteHealth.UNHEALTHY:
+            self._fail(job, f"pinned site {site_name!r} is unhealthy")
+            return
+        if resource not in site.capable_catalog(job.n_qubits):
+            self._fail(
+                job,
+                f"pinned resource {job.pin!r} cannot take a "
+                f"{job.n_qubits}-qubit program",
+            )
+            return
+        try:
+            task_id = site.submit(
+                job.program, resource, shots=job.shots, owner=job.owner
+            )
+        except SiteUnavailable as err:
+            self._fail(job, str(err))
+            return
+        job.placements.append(
+            Placement(site=site_name, task_id=task_id, placed_at=self.sim.now)
+        )
+        job.state = JobState.PLACED
+        self.metrics.record_placement(site_name)
+
+    def _place(self, job: FederatedJob, exclude: tuple[str, ...] = ()) -> None:
+        if job.pin is not None:
+            self._place_pinned(job)
+            return
+        excluded = list(exclude)
+        while True:
+            if job.attempts >= self.max_attempts:
+                self._fail(job, f"exhausted {self.max_attempts} placement attempts")
+                return
+            candidates = self._candidates(job, tuple(excluded))
+            if not candidates:
+                self._fail(
+                    job,
+                    f"no healthy site can take a {job.n_qubits}-qubit program "
+                    f"(excluded: {sorted(excluded)})",
+                )
+                return
+            choice = self.policy.choose(job, candidates, self.sim.now)
+            site = self.registry.site(choice.name)
+            try:
+                # select among the resources that can actually hold the
+                # register — the site filter only guarantees one exists
+                resource = select_resource(site.capable_catalog(job.n_qubits))
+                task_id = site.submit(
+                    job.program, resource, shots=job.shots, owner=job.owner
+                )
+            except (SiteUnavailable, ResourceNotFound):
+                # lost a race with a mid-decision crash or a shrunk
+                # catalog: exclude this site and retry
+                excluded.append(choice.name)
+                continue
+            job.placements.append(
+                Placement(site=choice.name, task_id=task_id, placed_at=self.sim.now)
+            )
+            job.state = JobState.PLACED
+            self.metrics.record_placement(choice.name)
+            return
+
+    def _fail(self, job: FederatedJob, reason: str) -> None:
+        job.state = JobState.FAILED
+        job.error = reason
+        self.metrics.record_outcome("failed")
+
+    def _abandon_and_reroute(self, job: FederatedJob, reason: str) -> None:
+        placement = job.placements[-1]
+        placement.abandoned = True
+        placement.abandon_reason = reason
+        dead_site = placement.site
+        try:
+            self.registry.site(dead_site).cancel(placement.task_id)
+        except Exception:
+            pass  # the site may be gone entirely; cancellation is best-effort
+        self.metrics.record_abandonment(dead_site)
+        self._place(job, exclude=(dead_site,))
+
+    # -- tracking --------------------------------------------------------------
+
+    def _refresh(self, job: FederatedJob) -> None:
+        """Advance one job's state from its current placement."""
+        if job.state is not JobState.PLACED:
+            return
+        placement = job.current
+        if placement is None:  # defensive: PLACED jobs always have one
+            self._place(job)
+            return
+        now = self.sim.now
+        if self.registry.health_of(placement.site, now) is SiteHealth.UNHEALTHY:
+            self._abandon_and_reroute(job, f"site {placement.site} unhealthy")
+            return
+        site = self.registry.site(placement.site)
+        try:
+            status = site.task_status(job.owner, placement.task_id)
+            if status["state"] == "completed":
+                job.result = site.task_result(job.owner, placement.task_id)
+        except Exception as err:
+            # the site answers but won't serve us (e.g. our session
+            # idle-expired and the reopened one no longer owns the
+            # task): treat like a lost placement, never crash the
+            # reconcile sweep that failover depends on
+            self._abandon_and_reroute(
+                job, f"query failed on {placement.site}: {err}"
+            )
+            return
+        if status["state"] == "completed":
+            job.state = JobState.COMPLETED
+            self.metrics.record_outcome("completed")
+        elif status["state"] in ("failed", "cancelled"):
+            self._abandon_and_reroute(
+                job, f"task {placement.task_id} {status['state']} on {placement.site}"
+            )
+
+    def reconcile(self) -> None:
+        """One failover sweep over every live job + a metrics snapshot."""
+        for job in self._jobs.values():
+            self._refresh(job)
+        self.metrics.observe_sites(self.registry.snapshots(self.sim.now))
+
+    def spawn_housekeeping(self, interval: float = 15.0) -> None:
+        """Run :meth:`reconcile` on a cadence inside the simulation."""
+
+        def run():
+            while True:
+                yield Timeout(interval)
+                self.reconcile()
+
+        self.sim.spawn(run(), name="federation-housekeeping", background=True)
+
+    # -- queries ---------------------------------------------------------------
+
+    def job(self, job_id: str) -> FederatedJob:
+        if job_id not in self._jobs:
+            raise PlacementError(f"unknown federated job {job_id!r}", job_id=job_id)
+        return self._jobs[job_id]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        job = self.job(job_id)
+        self._refresh(job)
+        placement = job.current
+        return {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "site": placement.site if placement else None,
+            "task_id": placement.task_id if placement else None,
+            "attempts": job.attempts,
+            "submitted_at": job.submitted_at,
+            "error": job.error,
+        }
+
+    def result(self, job_id: str) -> Any:
+        job = self.job(job_id)
+        self._refresh(job)
+        if job.state is JobState.FAILED:
+            raise PlacementError(
+                f"job {job_id} failed: {job.error}", job_id=job_id
+            )
+        if job.state is not JobState.COMPLETED:
+            raise PlacementError(
+                f"job {job_id} not finished (state {job.state.value})",
+                job_id=job_id,
+            )
+        return job.result
+
+    def jobs(self, state: JobState | None = None) -> list[FederatedJob]:
+        return [
+            j for j in self._jobs.values() if state is None or j.state is state
+        ]
+
+    def stats(self) -> dict[str, Any]:
+        by_state: dict[str, int] = {s.value: 0 for s in JobState}
+        reroutes = 0
+        for job in self._jobs.values():
+            by_state[job.state.value] += 1
+            reroutes += max(0, job.attempts - 1)
+        return {
+            "jobs": len(self._jobs),
+            "by_state": by_state,
+            "reroutes": reroutes,
+            "sites": self.registry.names(),
+        }

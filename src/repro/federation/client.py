@@ -1,0 +1,96 @@
+"""FederatedClient: the one-interface view of a multi-site federation.
+
+Mirrors the call conventions of :class:`~repro.runtime.client.DaemonClient`
+(submit / status / result, plus a generator ``run_process`` for use
+inside simulated jobs) but speaks to the :class:`FederationBroker`
+instead of one site's REST router, so user code written against the
+single-site runtime moves to the federation by swapping the client.
+Results come back as the same :class:`~repro.runtime.results.RunResult`
+the single-site path produces, with the executing site recorded in
+metadata — users keep one mental model from laptop to federation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..runtime.results import RunResult
+from ..sdk.translate import to_ir
+from ..simkernel import Timeout
+from .broker import FederationBroker
+
+__all__ = ["FederatedClient"]
+
+#: terminal federated-job states
+_TERMINAL = ("completed", "failed")
+
+
+class FederatedClient:
+    """Typed client over a federation broker."""
+
+    def __init__(self, broker: FederationBroker, user: str = "fed-user") -> None:
+        self.broker = broker
+        self.user = user
+
+    # -- discovery ----------------------------------------------------------
+
+    def resources(self) -> dict[str, str]:
+        """``site/resource`` -> type across all healthy sites."""
+        return self.broker.available_resources()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        program: Any,
+        shots: int | None = None,
+        affinity_key: str | None = None,
+        pin: str | None = None,
+    ) -> str:
+        ir = to_ir(program, shots=shots or 100)
+        if shots is not None and ir.shots != shots:
+            ir = ir.with_shots(shots)
+        return self.broker.submit(
+            ir, shots=ir.shots, owner=self.user, affinity_key=affinity_key, pin=pin
+        )
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.broker.status(job_id)
+
+    def result(self, job_id: str) -> RunResult:
+        """Fetch the result from whichever site ran the job, wrapped in
+        the uniform single-site result type."""
+        job = self.broker.job(job_id)
+        emulation = self.broker.result(job_id)
+        placement = job.current
+        assert placement is not None  # completed jobs have a live placement
+        result = RunResult.from_emulation(
+            emulation,
+            f"{placement.site}/{job_id}",
+            to_ir(job.program).content_hash(),
+        )
+        result.metadata["federation_site"] = placement.site
+        result.metadata["federation_attempts"] = job.attempts
+        return result
+
+    # -- simulation-aware polling ---------------------------------------------
+
+    def run_process(
+        self,
+        program: Any,
+        shots: int | None = None,
+        affinity_key: str | None = None,
+        poll_interval: float = 5.0,
+        pin: str | None = None,
+    ):
+        """Generator form for simulated jobs: submit, poll the broker on
+        the simulated clock, return the fetched result."""
+        job_id = self.submit(
+            program, shots=shots, affinity_key=affinity_key, pin=pin
+        )
+        while True:
+            status = self.status(job_id)
+            if status["state"] in _TERMINAL:
+                break
+            yield Timeout(poll_interval)
+        return self.result(job_id)

@@ -1,0 +1,115 @@
+"""Federated observability: per-site and aggregate metrics.
+
+Reuses the existing observability path end-to-end: instruments live in
+a :class:`~repro.observability.metrics.MetricRegistry`, render through
+the standard Prometheus exposition, and flow into any site's (or a
+dedicated federation) :class:`~repro.observability.tsdb.TimeSeriesDB`
+via the ordinary :class:`~repro.observability.scrape.Scraper` target
+protocol (:meth:`FederationMetrics.collector`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..observability import MetricRegistry, render_exposition
+from .registry import SiteHealth, SiteSnapshot
+
+__all__ = ["FederationMetrics"]
+
+#: numeric encoding for the health gauge (dashboards threshold on it)
+_HEALTH_VALUE = {
+    SiteHealth.ONLINE: 2.0,
+    SiteHealth.SATURATED: 1.0,
+    SiteHealth.UNHEALTHY: 0.0,
+}
+
+
+class FederationMetrics:
+    """Instrument set for one broker."""
+
+    def __init__(self) -> None:
+        self.registry = MetricRegistry()
+        self.placements = self.registry.counter(
+            "federation_placements_total",
+            "Job placements per site",
+            label_names=("site",),
+        )
+        self.reroutes = self.registry.counter(
+            "federation_reroutes_total",
+            "Failover re-placements per abandoning site",
+            label_names=("site",),
+        )
+        self.outcomes = self.registry.counter(
+            "federation_jobs_total",
+            "Federated jobs by terminal outcome",
+            label_names=("outcome",),
+        )
+        self.site_depth = self.registry.gauge(
+            "federation_site_queue_depth",
+            "Queued+running tasks per site",
+            label_names=("site",),
+        )
+        self.site_health = self.registry.gauge(
+            "federation_site_health",
+            "2=online 1=saturated 0=unhealthy",
+            label_names=("site",),
+        )
+        self.site_fidelity = self.registry.gauge(
+            "federation_site_fidelity",
+            "Worst-case hardware fidelity proxy per site",
+            label_names=("site",),
+        )
+        self.sites_healthy = self.registry.gauge(
+            "federation_sites_healthy", "Sites currently routable"
+        )
+
+    # -- recording (broker calls) -------------------------------------------
+
+    def record_placement(self, site: str) -> None:
+        self.placements.inc(labels={"site": site})
+
+    def record_abandonment(self, site: str) -> None:
+        self.reroutes.inc(labels={"site": site})
+
+    def record_outcome(self, outcome: str) -> None:
+        self.outcomes.inc(labels={"outcome": outcome})
+
+    def observe_sites(self, snapshots: list[SiteSnapshot]) -> None:
+        healthy = 0
+        for snap in snapshots:
+            labels = {"site": snap.name}
+            self.site_depth.set(float(snap.queue_depth), labels=labels)
+            self.site_health.set(_HEALTH_VALUE[snap.health], labels=labels)
+            self.site_fidelity.set(snap.fidelity_proxy, labels=labels)
+            if snap.is_healthy:
+                healthy += 1
+        self.sites_healthy.set(float(healthy))
+
+    # -- export ----------------------------------------------------------------
+
+    def text(self) -> str:
+        """Prometheus exposition of the whole federation view."""
+        return render_exposition(self.registry)
+
+    def collector(self) -> "callable":
+        """A ``Scraper.add_target`` collector: aggregate federation
+        numbers flow into the TSDB on the same cadence as QPU telemetry.
+        """
+
+        def collect(now: float) -> Mapping[str, float]:
+            out: dict[str, float] = {
+                "federation_sites_healthy": self._gauge_or(self.sites_healthy, 0.0),
+            }
+            for _, labels, value in self.site_depth.samples():
+                out[f"federation_queue_depth_{labels['site']}"] = value
+            for _, labels, value in self.site_health.samples():
+                out[f"federation_health_{labels['site']}"] = value
+            return out
+
+        return collect
+
+    @staticmethod
+    def _gauge_or(gauge, default: float) -> float:
+        samples = gauge.samples()
+        return samples[0][2] if samples else default

@@ -1,0 +1,148 @@
+"""Pluggable routing policies for the federation broker.
+
+A policy answers one question: given the healthy candidate sites for a
+job (the broker has already filtered health, capability, and — when any
+unsaturated site exists — saturation), which site runs it?  The four
+policies mirror the routing families from the co-scheduling literature
+(see PAPERS.md: Uberun-style profile-informed placement, malleable
+spillover):
+
+* :class:`RoundRobinPolicy`   — fairness baseline, state is one cursor,
+* :class:`LeastQueuePolicy`   — route to the shallowest queue,
+* :class:`CalibrationAwarePolicy` — prefer the site whose QPU drift is
+  lowest for the program's geometry (big registers weight drift harder,
+  since blockade-scale errors compound with atom count),
+* :class:`StickyPolicy`       — locality/affinity: iterative workloads
+  (VQE/SQD sessions) keep hitting the site that holds their warm state,
+  falling back to an inner policy on first placement or failover.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import FederationError
+from .registry import SiteSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .broker import FederatedJob
+
+__all__ = [
+    "CalibrationAwarePolicy",
+    "LeastQueuePolicy",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "StickyPolicy",
+]
+
+
+class RoutingPolicy:
+    """Base class: choose one snapshot from a non-empty candidate list."""
+
+    name = "abstract"
+
+    def choose(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> SiteSnapshot:
+        raise NotImplementedError
+
+    def _require(self, candidates: list[SiteSnapshot]) -> None:
+        if not candidates:
+            raise FederationError(f"policy {self.name!r} called with no candidates")
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through sites in name order; fair under equal health."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> SiteSnapshot:
+        self._require(candidates)
+        ordered = sorted(candidates, key=lambda s: s.name)
+        choice = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return choice
+
+
+class LeastQueuePolicy(RoutingPolicy):
+    """Shallowest queue wins; ties break on name for determinism."""
+
+    name = "least-queue"
+
+    def choose(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> SiteSnapshot:
+        self._require(candidates)
+        return min(candidates, key=lambda s: (s.queue_depth, s.name))
+
+
+class CalibrationAwarePolicy(RoutingPolicy):
+    """Route by drift-adjusted score.
+
+    Score = geometry-weighted infidelity plus a queue-pressure term, so
+    a pristine-but-buried site does not starve a slightly-drifted idle
+    one.  ``1 - fidelity_proxy`` is scaled by the program's register
+    size relative to the site's capacity: the larger the register, the
+    more a drifted calibration costs (more atoms see the miscalibrated
+    drive), matching how drift degrades blockade-ordered outcomes.
+    """
+
+    name = "calibration-aware"
+
+    def __init__(self, queue_weight: float = 0.02) -> None:
+        self.queue_weight = queue_weight
+
+    def choose(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> SiteSnapshot:
+        self._require(candidates)
+        n_qubits = max(1, job.n_qubits)
+
+        def score(snap: SiteSnapshot) -> tuple[float, str]:
+            geometry_weight = 1.0 + n_qubits / max(1, snap.max_qubits)
+            drift_cost = (1.0 - snap.fidelity_proxy) * geometry_weight
+            return (drift_cost + self.queue_weight * snap.queue_depth, snap.name)
+
+        return min(candidates, key=score)
+
+
+class StickyPolicy(RoutingPolicy):
+    """Affinity routing: one site per affinity key while it stays healthy.
+
+    Iterative hybrid workloads (VQE parameter loops, SQD batches)
+    benefit from landing every burst on the same site: warm sessions,
+    one calibration context across iterations.  The binding breaks only
+    when the bound site leaves the candidate set (unhealthy/saturated),
+    at which point the inner policy re-places and the key re-binds —
+    that is the failover path.
+    """
+
+    name = "sticky"
+
+    def __init__(self, fallback: RoutingPolicy | None = None) -> None:
+        self.fallback = fallback or LeastQueuePolicy()
+        self._bindings: dict[str, str] = {}
+
+    def choose(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> SiteSnapshot:
+        self._require(candidates)
+        key = job.affinity_key
+        if key is None:
+            return self.fallback.choose(job, candidates, now)
+        bound = self._bindings.get(key)
+        if bound is not None:
+            for snap in candidates:
+                if snap.name == bound:
+                    return snap
+        choice = self.fallback.choose(job, candidates, now)
+        self._bindings[key] = choice.name
+        return choice
+
+    def binding(self, key: str) -> str | None:
+        return self._bindings.get(key)

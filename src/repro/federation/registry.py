@@ -1,0 +1,171 @@
+"""Site registry: the federation's membership and health table.
+
+Each registered site carries a descriptor snapshot the broker routes
+on: the exported resource catalog, current queue depth vs. capacity, a
+calibration/drift summary from the site's observability stack, and a
+health state maintained by heartbeats with expiry — a site that stops
+heartbeating (crash, network partition) is treated as unhealthy after
+``heartbeat_expiry`` seconds, triggering failover in the broker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import FederationError
+from ..simkernel import Simulator, Timeout
+from .site import FederatedSite
+
+__all__ = ["SiteHealth", "SiteRegistry", "SiteSnapshot"]
+
+
+class SiteHealth(enum.Enum):
+    ONLINE = "online"
+    SATURATED = "saturated"    # healthy but at queue capacity
+    UNHEALTHY = "unhealthy"    # heartbeat expired or marked down
+
+
+@dataclass(frozen=True)
+class SiteSnapshot:
+    """Immutable routing view of one site at decision time."""
+
+    name: str
+    health: SiteHealth
+    queue_depth: int
+    max_queue_depth: int
+    fidelity_proxy: float
+    max_qubits: int
+    catalog: dict[str, str] = field(default_factory=dict)
+    calibration: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def is_healthy(self) -> bool:
+        return self.health is not SiteHealth.UNHEALTHY
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.health is SiteHealth.SATURATED
+
+    @property
+    def headroom(self) -> int:
+        return max(0, self.max_queue_depth - self.queue_depth)
+
+
+@dataclass
+class _SiteRecord:
+    site: FederatedSite
+    registered_at: float
+    last_heartbeat: float
+
+
+class SiteRegistry:
+    """Membership, heartbeats, and snapshot production."""
+
+    def __init__(self, heartbeat_expiry: float = 60.0) -> None:
+        if heartbeat_expiry <= 0:
+            raise FederationError("heartbeat_expiry must be positive")
+        self.heartbeat_expiry = heartbeat_expiry
+        self._records: dict[str, _SiteRecord] = {}
+        self._beat_sim: Simulator | None = None
+        self._beat_interval: float = 0.0
+
+    # -- membership ---------------------------------------------------------
+
+    def register(self, site: FederatedSite, now: float = 0.0) -> None:
+        if site.name in self._records:
+            raise FederationError(f"site {site.name!r} already registered")
+        self._records[site.name] = _SiteRecord(
+            site=site, registered_at=now, last_heartbeat=now
+        )
+        if self._beat_sim is not None:
+            # heartbeats already running: late joiners beat too
+            self._spawn_beat(site)
+
+    def deregister(self, name: str) -> None:
+        if name not in self._records:
+            raise FederationError(f"unknown site {name!r}")
+        del self._records[name]
+
+    def site(self, name: str) -> FederatedSite:
+        if name not in self._records:
+            raise FederationError(f"unknown site {name!r}")
+        return self._records[name].site
+
+    def names(self) -> list[str]:
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- health -------------------------------------------------------------
+
+    def heartbeat(self, name: str, now: float) -> None:
+        if name not in self._records:
+            raise FederationError(f"heartbeat from unknown site {name!r}")
+        self._records[name].last_heartbeat = now
+
+    def health_of(self, name: str, now: float) -> SiteHealth:
+        record = self._records.get(name)
+        if record is None:
+            raise FederationError(f"unknown site {name!r}")
+        site = record.site
+        if not site.alive or now - record.last_heartbeat > self.heartbeat_expiry:
+            return SiteHealth.UNHEALTHY
+        if site.queue_depth() >= site.max_queue_depth:
+            return SiteHealth.SATURATED
+        return SiteHealth.ONLINE
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, name: str, now: float) -> SiteSnapshot:
+        site = self.site(name)
+        return SiteSnapshot(
+            name=name,
+            health=self.health_of(name, now),
+            queue_depth=site.queue_depth(),
+            max_queue_depth=site.max_queue_depth,
+            fidelity_proxy=site.fidelity_proxy(),
+            max_qubits=site.max_qubits(),
+            catalog=site.catalog(),
+            calibration=site.calibration_snapshot(),
+        )
+
+    def snapshots(self, now: float) -> list[SiteSnapshot]:
+        return [self.snapshot(name, now) for name in self.names()]
+
+    def healthy_snapshots(
+        self, now: float, exclude: tuple[str, ...] = ()
+    ) -> list[SiteSnapshot]:
+        return [
+            snap
+            for snap in self.snapshots(now)
+            if snap.is_healthy and snap.name not in exclude
+        ]
+
+    # -- heartbeat automation -------------------------------------------------
+
+    def start_heartbeats(self, sim: Simulator, interval: float = 15.0) -> None:
+        """Spawn one background heartbeat process per registered site.
+
+        A site stops heartbeating the moment it dies (``site.alive`` is
+        False), so expiry detection behaves exactly like a lost remote
+        peer rather than a graceful deregistration.
+        """
+        if interval <= 0:
+            raise FederationError("heartbeat interval must be positive")
+        self._beat_sim = sim
+        self._beat_interval = interval
+        for record in self._records.values():
+            self._spawn_beat(record.site)
+
+    def _spawn_beat(self, site: FederatedSite) -> None:
+        sim, interval = self._beat_sim, self._beat_interval
+        assert sim is not None
+
+        def beat():
+            while site.alive and site.name in self._records:
+                self.heartbeat(site.name, sim.now)
+                yield Timeout(interval)
+
+        sim.spawn(beat(), name=f"heartbeat:{site.name}", background=True)

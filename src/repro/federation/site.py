@@ -1,0 +1,153 @@
+"""One member site of a federation.
+
+A *site* is a complete instance of the paper's single-site stack — a
+middleware daemon in front of a QRMI resource pool, usually with a
+cluster feeding it locally — that additionally accepts brokered jobs
+from the federation.  :class:`FederatedSite` is the thin adapter the
+broker talks to: intake (reusing the daemon session machinery the cloud
+gateway uses), load/health introspection, and a calibration snapshot
+pulled from the site's own observability surface.
+
+All sites of one federation share a single simulated clock (their
+daemons are built on the same :class:`~repro.simkernel.Simulator`), so
+cross-site brokering decisions and executions interleave causally.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..daemon.cloud import ensure_session
+from ..daemon.queue import PriorityClass
+from ..daemon.service import MiddlewareDaemon
+from ..errors import SiteUnavailable
+from ..qpu.device import QPUDevice
+from ..qrmi.resources import ResourceType
+
+__all__ = ["FederatedSite"]
+
+
+class FederatedSite:
+    """Adapter between the federation broker and one site's daemon."""
+
+    def __init__(
+        self,
+        name: str,
+        daemon: MiddlewareDaemon,
+        max_queue_depth: int = 8,
+        priority_class: PriorityClass = PriorityClass.PRODUCTION,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise SiteUnavailable(f"site {name!r}: max_queue_depth must be >= 1")
+        self.name = name
+        self.daemon = daemon
+        self.max_queue_depth = max_queue_depth
+        self.priority_class = priority_class
+        self.alive = True
+        self._sessions: dict[str, str] = {}  # session owner -> token
+
+    # -- introspection (feeds SiteRegistry snapshots) -----------------------
+
+    def catalog(self) -> dict[str, str]:
+        """name -> type for the resources this site exports to the
+        federation (local emulators stay site-private)."""
+        return {
+            name: res.resource_type
+            for name, res in self.daemon.resources.items()
+            if ResourceType.parse(res.resource_type).is_federable
+        }
+
+    def queue_depth(self) -> int:
+        """Brokered-load signal: queued tasks plus the running one."""
+        depth = sum(self.daemon.queue.depth_by_class().values())
+        if self.daemon.scheduler.current is not None:
+            depth += 1
+        return depth
+
+    def hardware_devices(self) -> dict[str, QPUDevice]:
+        out: dict[str, QPUDevice] = {}
+        for name, res in self.daemon.resources.items():
+            device = getattr(res, "device", None)
+            if isinstance(device, QPUDevice):
+                out[name] = device
+        return out
+
+    def calibration_snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-hardware-resource calibration state (drift visibility)."""
+        return {
+            name: device.calibration.snapshot()
+            for name, device in self.hardware_devices().items()
+        }
+
+    def fidelity_proxy(self) -> float:
+        """Worst-case hardware health in [0, 1]; 1.0 for emulator-only sites."""
+        devices = self.hardware_devices()
+        if not devices:
+            return 1.0
+        return min(d.calibration.fidelity_proxy() for d in devices.values())
+
+    def resource_capacity(self) -> dict[str, int]:
+        """max_qubits per exported resource (from its live target doc)."""
+        return {
+            name: int(self.daemon.resources[name].target().get("max_qubits", 0))
+            for name in self.catalog()
+        }
+
+    def capable_catalog(self, n_qubits: int = 0) -> dict[str, str]:
+        """The exported catalog restricted to resources that can hold an
+        ``n_qubits`` register — what placement must select from."""
+        capacity = self.resource_capacity()
+        return {
+            name: rtype
+            for name, rtype in self.catalog().items()
+            if capacity[name] >= n_qubits
+        }
+
+    def max_qubits(self) -> int:
+        """Largest register any federable resource here accepts."""
+        return max(self.resource_capacity().values(), default=0)
+
+    # -- intake (brokered jobs) ---------------------------------------------
+
+    def submit(
+        self, program: Any, resource: str, shots: int | None = None,
+        owner: str = "federation",
+    ) -> str:
+        if not self.alive:
+            raise SiteUnavailable(f"site {self.name!r} is down", site=self.name)
+        token = ensure_session(
+            self.daemon, self._sessions, f"fed:{owner}", self.priority_class
+        )
+        task = self.daemon.submit_task(token, program, resource, shots=shots)
+        return task.task_id
+
+    def task_status(self, owner: str, task_id: str) -> dict[str, Any]:
+        token = ensure_session(
+            self.daemon, self._sessions, f"fed:{owner}", self.priority_class
+        )
+        return self.daemon.task_status(token, task_id)
+
+    def task_result(self, owner: str, task_id: str) -> Any:
+        token = ensure_session(
+            self.daemon, self._sessions, f"fed:{owner}", self.priority_class
+        )
+        return self.daemon.task_result(token, task_id)
+
+    def cancel(self, task_id: str) -> None:
+        self.daemon.queue.cancel(task_id)
+
+    # -- failure injection ----------------------------------------------------
+
+    def kill(self) -> None:
+        """Simulate a site outage: refuse intake, drop queued work, and
+        abort the running task.  Queued/running jobs become the broker's
+        problem — exactly the failover scenario the federation must absorb.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        for task in self.daemon.queue.all_tasks():
+            self.daemon.queue.cancel(task.task_id)
+        worker = self.daemon.scheduler._worker
+        if self.daemon.scheduler.current is not None and worker.alive:
+            worker.interrupt(cause=("site-down", self.name))

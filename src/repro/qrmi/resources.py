@@ -41,3 +41,13 @@ class ResourceType(enum.Enum):
     @property
     def is_remote(self) -> bool:
         return self in (ResourceType.CLOUD_EMULATOR, ResourceType.CLOUD_QPU)
+
+    @property
+    def is_federable(self) -> bool:
+        """Can a federation broker route *other* sites' jobs here?
+
+        Local emulators are pinned to a login/compute node and make no
+        sense as a cross-site target; everything reachable over a site
+        boundary (hardware and hosted emulators) federates.
+        """
+        return self is not ResourceType.LOCAL_EMULATOR

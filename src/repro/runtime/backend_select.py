@@ -34,24 +34,57 @@ def select_resource(
     requested: str | None = None,
     env_default: str | None = None,
     preference: tuple[ResourceType, ...] = DEFAULT_PREFERENCE,
+    federation=None,
 ) -> str:
     """Pick the resource name to execute on.
 
     ``available`` maps resource name -> resource type string.
+
+    ``federation`` is an optional handle exposing
+    ``available_resources() -> Mapping[name, type]`` (duck-typed; the
+    :class:`~repro.federation.FederationBroker` qualifies).  When the
+    *local* catalog is empty the resolution falls through to the remote
+    sites' aggregate catalog instead of raising :class:`ResourceNotFound`
+    immediately — the 3-step order (explicit > env > preference) is then
+    re-applied unchanged over the remote catalog.  An explicit request
+    (or env default) naming a ``site/resource`` the federation exports
+    also resolves when it is missing locally; local names always win.
     """
+    if not available and federation is not None:
+        remote = dict(federation.available_resources())
+        if remote:
+            return select_resource(
+                remote,
+                requested=requested,
+                env_default=env_default,
+                preference=preference,
+            )
+
+    def known_remotely(name: str) -> bool:
+        if federation is None:
+            return False
+        checker = getattr(federation, "has_resource", None)
+        if checker is not None:
+            return bool(checker(name))
+        return name in dict(federation.available_resources())
+
     if requested is not None:
-        if requested not in available:
-            raise ResourceNotFound(
-                f"--qpu={requested}: not configured (have {sorted(available)})"
-            )
-        return requested
+        if requested in available:
+            return requested
+        if known_remotely(requested):
+            return requested
+        raise ResourceNotFound(
+            f"--qpu={requested}: not configured (have {sorted(available)})"
+        )
     if env_default:
-        if env_default not in available:
-            raise ResourceNotFound(
-                f"QRMI_DEFAULT_RESOURCE={env_default}: not configured "
-                f"(have {sorted(available)})"
-            )
-        return env_default
+        if env_default in available:
+            return env_default
+        if known_remotely(env_default):
+            return env_default
+        raise ResourceNotFound(
+            f"QRMI_DEFAULT_RESOURCE={env_default}: not configured "
+            f"(have {sorted(available)})"
+        )
     if not available:
         raise ResourceNotFound("no QRMI resources configured")
     for wanted in preference:

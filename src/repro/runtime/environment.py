@@ -47,6 +47,7 @@ class RuntimeEnvironment:
         client: DaemonClient | None = None,
         default_resource: str | None = None,
         sdk_registry: SDKRegistry | None = None,
+        federation=None,
     ) -> None:
         if resources is None and client is None:
             raise QRMIError("runtime needs QRMI resources or a daemon client")
@@ -54,6 +55,9 @@ class RuntimeEnvironment:
         self.client = client
         self.default_resource = default_resource
         self.sdk_registry = sdk_registry or default_registry()
+        #: optional FederationBroker-shaped handle; lets resolution fall
+        #: through to remote sites when the local catalog is empty
+        self.federation = federation
 
     # -- constructors --------------------------------------------------------
 
@@ -96,13 +100,34 @@ class RuntimeEnvironment:
         """Fresh spec document for a resource."""
         if self.client is not None:
             return self.client.target(resource)
-        if resource not in self.resources:
-            raise QRMIError(f"unknown resource {resource!r}")
-        return self.resources[resource].target()
+        if resource in self.resources:
+            return self.resources[resource].target()
+        if self._is_federated(resource):
+            return self.federation.target(resource)
+        raise QRMIError(f"unknown resource {resource!r}")
+
+    def _is_federated(self, resource: str) -> bool:
+        """Does ``resource`` resolve through the federation fall-through
+        rather than the local catalog / daemon?"""
+        if (
+            self.federation is None
+            or self.client is not None
+            or resource in self.resources
+        ):
+            return False
+        checker = getattr(self.federation, "has_resource", None)
+        if checker is not None:
+            # membership probe — avoids materializing full site
+            # snapshots on every fetch_target/run call
+            return bool(checker(resource))
+        return resource in self.federation.available_resources()
 
     def resolve(self, qpu: str | None = None) -> str:
         return select_resource(
-            self.available_resources(), requested=qpu, env_default=self.default_resource
+            self.available_resources(),
+            requested=qpu,
+            env_default=self.default_resource,
+            federation=self.federation,
         )
 
     # -- execution ---------------------------------------------------------------
@@ -118,6 +143,13 @@ class RuntimeEnvironment:
         resource = self.resolve(qpu)
         target = self.fetch_target(resource)
         ensure_valid(ir, target)
+        if self._is_federated(resource):
+            # federated execution is asynchronous across site daemons —
+            # same constraint as daemon mode inside a simulation
+            raise TaskError(
+                f"resource {resource!r} lives on a federated site; use "
+                "run_process() from a simulated job (or a FederatedClient)"
+            )
         if self.client is None:
             return self._run_direct(ir, resource)
         return self._run_daemon(ir, resource)
@@ -168,20 +200,29 @@ class RuntimeEnvironment:
         shots: int | None = None,
         poll_interval: float = 1.0,
     ):
-        """Generator form of :meth:`run` for daemon mode inside a
-        simulation: submits, then polls on the simulated clock until the
-        task reaches a terminal state.  Yield it from a job payload."""
-        if self.client is None:
-            # direct mode: synchronous, but keep the generator protocol
-            result = self.run(program, qpu=qpu, shots=shots)
-            return result
-            yield  # pragma: no cover - makes this a generator
+        """Generator form of :meth:`run` for daemon/federated mode inside
+        a simulation: submits, then polls on the simulated clock until
+        the task reaches a terminal state.  Yield it from a job payload.
+        In direct mode it completes synchronously (no yields)."""
         ir = to_ir(program, shots=shots or 100)
         if shots is not None and ir.shots != shots:
             ir = ir.with_shots(shots)
         resource = self.resolve(qpu)
         target = self.fetch_target(resource)
         ensure_valid(ir, target)
+        if self._is_federated(resource):
+            from ..federation.client import FederatedClient
+
+            # pin to the resolved site/resource: the --qpu contract means
+            # the job runs exactly where it was validated, not wherever
+            # the routing policy would send it
+            result = yield from FederatedClient(self.federation).run_process(
+                ir, shots=ir.shots, poll_interval=poll_interval, pin=resource
+            )
+            return result
+        if self.client is None:
+            # direct mode: synchronous, but keep the generator protocol
+            return self._run_direct(ir, resource)
         task_id = self.client.submit(ir.to_dict(), resource, shots=ir.shots)
         while True:
             status = self.client.status(task_id)

@@ -11,13 +11,13 @@ results for exact reproduction.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 
 from ..errors import SchedulerError
 from ..scheduling.patterns import WorkloadPattern
 from .generator import HybridJobFactory, JobStream, StreamConfig, SyntheticHybridJob
 
-__all__ = ["ArrivalTrace", "TraceEntry"]
+__all__ = ["ArrivalTrace", "TraceEntry", "multi_site_trace"]
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,14 @@ class ArrivalTrace:
 
         return cls.record(JobStream(config, RngRegistry(root_seed), factory))
 
+    @classmethod
+    def merge(cls, *traces: "ArrivalTrace") -> "ArrivalTrace":
+        """Interleave several traces into one time-ordered stream."""
+        entries = sorted(
+            (e for trace in traces for e in trace.entries), key=lambda e: e.arrival_s
+        )
+        return cls(list(entries))
+
     # -- serialization ------------------------------------------------------
 
     def to_json(self) -> str:
@@ -113,3 +121,27 @@ class ArrivalTrace:
             return cls([TraceEntry(**item) for item in data])
         except (TypeError, KeyError, json.JSONDecodeError) as exc:
             raise SchedulerError(f"malformed trace JSON: {exc}") from exc
+
+
+def multi_site_trace(
+    streams: int = 3,
+    config: StreamConfig | None = None,
+    root_seed: int = 0,
+) -> ArrivalTrace:
+    """An aggregate arrival stream heavy enough to need a federation.
+
+    Overlays ``streams`` independent Poisson tenant streams (distinct
+    user populations, distinct RNG lineages) into one trace whose total
+    rate is ``streams`` times one site's — the workload a single site
+    saturates on but an N-site federation absorbs.  One shared factory
+    keeps job names unique across the overlay.
+    """
+    if streams < 1:
+        raise SchedulerError("multi_site_trace needs at least one stream")
+    base = config or StreamConfig()
+    factory = HybridJobFactory()
+    parts = []
+    for k in range(streams):
+        cfg = replace(base, users=tuple(f"tenant{k}-{u}" for u in base.users))
+        parts.append(ArrivalTrace.from_stream_config(cfg, root_seed + 7919 * (k + 1), factory))
+    return ArrivalTrace.merge(*parts)

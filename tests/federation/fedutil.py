@@ -1,0 +1,54 @@
+"""Shared builders for the federation test suite."""
+
+import numpy as np
+
+from repro.daemon import MiddlewareDaemon
+from repro.federation import FederatedSite, FederationBroker, SiteRegistry
+from repro.qpu import QPUDevice, Register, ShotClock
+from repro.qrmi import OnPremQPUResource
+from repro.sdk import AnalogCircuit
+from repro.simkernel import RngRegistry, Simulator
+
+
+def make_program(n_atoms=3, shots=50, name="fed-prog"):
+    return (
+        AnalogCircuit(Register.chain(n_atoms, spacing=6.0), name=name)
+        .rx_global(np.pi / 2, duration=0.3)
+        .measure_all()
+        .transpile(shots=shots)
+    )
+
+
+def build_federation(
+    n_sites=3,
+    policy=None,
+    shot_rates=None,
+    heartbeat_expiry=60.0,
+    heartbeat_interval=15.0,
+    max_queue_depth=4,
+    max_attempts=3,
+    seed=0,
+):
+    """N single-QPU sites on one shared clock, wired into a broker."""
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    registry = SiteRegistry(heartbeat_expiry=heartbeat_expiry)
+    sites = {}
+    for i in range(n_sites):
+        rate = shot_rates[i] if shot_rates is not None else 10.0
+        device = QPUDevice(
+            clock=ShotClock(shot_rate_hz=rate, setup_overhead_s=0.0, batch_overhead_s=0.0),
+            rng=rng.get(f"dev{i}"),
+        )
+        daemon = MiddlewareDaemon(
+            sim,
+            {"onprem": OnPremQPUResource("onprem", device)},
+            scrape_interval=120.0,
+        )
+        site = FederatedSite(f"site-{i}", daemon, max_queue_depth=max_queue_depth)
+        registry.register(site, now=0.0)
+        sites[site.name] = site
+    registry.start_heartbeats(sim, interval=heartbeat_interval)
+    broker = FederationBroker(sim, registry, policy=policy, max_attempts=max_attempts)
+    broker.spawn_housekeeping(interval=heartbeat_interval)
+    return sim, registry, broker, sites

@@ -83,3 +83,38 @@ class TestPolicyFairness:
         for _, job in trace.jobs():
             estimate = job.estimate(1.0)
             assert estimate.pattern is WorkloadPattern(job.pattern.value)
+
+
+class TestMultiSiteTrace:
+    def test_merge_preserves_order_and_entries(self):
+        a, b = make_trace(seed=1), make_trace(seed=2)
+        merged = ArrivalTrace.merge(a, b)
+        assert len(merged) == len(a) + len(b)
+        times = [e.arrival_s for e in merged]
+        assert times == sorted(times)
+
+    def test_multi_site_trace_overlays_tenant_streams(self):
+        from repro.workloads import multi_site_trace
+
+        trace = multi_site_trace(
+            streams=3, config=StreamConfig(num_jobs=5), root_seed=4
+        )
+        assert len(trace) == 15
+        # distinct tenant populations, unique job names across the overlay
+        tenants = {e.user.split("-")[0] for e in trace.entries}
+        assert tenants == {"tenant0", "tenant1", "tenant2"}
+        names = [e.name for e in trace.entries]
+        assert len(names) == len(set(names))
+
+    def test_multi_site_trace_is_reproducible(self):
+        from repro.workloads import multi_site_trace
+
+        one = multi_site_trace(streams=2, config=StreamConfig(num_jobs=4), root_seed=9)
+        two = multi_site_trace(streams=2, config=StreamConfig(num_jobs=4), root_seed=9)
+        assert one.to_json() == two.to_json()
+
+    def test_rejects_zero_streams(self):
+        from repro.workloads import multi_site_trace
+
+        with pytest.raises(SchedulerError):
+            multi_site_trace(streams=0)
