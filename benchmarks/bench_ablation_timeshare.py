@@ -14,7 +14,6 @@ many QPU-share units a job can hold concurrently.
 import numpy as np
 
 from repro.analysis import format_table
-from repro.daemon.queue import PriorityClass
 from repro.qpu import Register
 from repro.scheduling import TimeshareAllocator, WeightedFairPolicy
 from repro.sdk import AnalogCircuit

@@ -24,7 +24,6 @@ asserting:
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.config import DictConfig

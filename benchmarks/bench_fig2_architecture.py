@@ -23,7 +23,6 @@ development throughput pays the price (no free lunch).
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.daemon import SharingMode

@@ -13,9 +13,6 @@ testable claims; this bench quantifies each:
    recalibration and the alert resolves.
 """
 
-import numpy as np
-import pytest
-
 from repro.analysis import format_table
 from repro.observability import (
     AlertManager,
@@ -27,8 +24,6 @@ from repro.observability import (
 )
 from repro.qpu import (
     CalibrationState,
-    DriftModel,
-    DriftProcess,
     QAJob,
     QPUDevice,
     ShotClock,

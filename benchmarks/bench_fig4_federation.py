@@ -15,7 +15,7 @@ Poisson streams heavy enough to saturate any single site):
    retrieved through the :class:`~repro.federation.FederatedClient`.
 """
 
-import pytest
+import os
 
 from repro.analysis import format_table
 from repro.daemon import MiddlewareDaemon
@@ -35,13 +35,28 @@ from repro.qrmi import OnPremQPUResource
 from repro.simkernel import RngRegistry, Simulator
 from repro.workloads import StreamConfig, multi_site_trace
 
+#: BENCH_SMOKE=1 (the CI smoke step) shrinks the trace so the whole
+#: module re-simulates in a couple of seconds; the shape assertions are
+#: identical — only the statistics get coarser.
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
 #: aggregate stream: 3 tenant overlays, ~1 arrival/10 s, ~70 QPU-s/job —
 #: roughly 7x what one 1 Hz site can clear in real time.
 TRACE = multi_site_trace(
     streams=3,
-    config=StreamConfig(arrival_rate_per_hour=120.0, num_jobs=8),
+    config=StreamConfig(
+        arrival_rate_per_hour=120.0, num_jobs=3 if SMOKE else 8
+    ),
     root_seed=11,
 )
+
+#: mid-run outage instant for the failover scenario: early enough that
+#: work is still queued on the doomed site at either trace scale
+KILL_AT = 150.0 if SMOKE else 400.0
+
+#: simulated horizon: generous slack over the slowest scenario's
+#: makespan (heartbeats tick the whole horizon, so smoke trims it)
+HORIZON = (2 * 3600.0) if SMOKE else (16 * 3600.0)
 
 POLICIES = {
     "round-robin": RoundRobinPolicy,
@@ -122,7 +137,7 @@ def run_policy(policy_name, n_sites=3, degraded_site=None, kill=None):
     ids = drive_trace(sim, client, TRACE)
     if kill is not None:
         sim.call_in(kill, sites[f"site-{n_sites - 1}"].kill)
-    sim.run(until=16 * 3600.0)
+    sim.run(until=HORIZON)
     jobs = [broker.job(i) for i in ids]
     return {
         "sim": sim,
@@ -196,11 +211,11 @@ def test_mid_run_site_kill_loses_zero_jobs(benchmark):
     """Failover: site-2 dies at t=400 s with work queued on it."""
 
     def run():
-        return run_policy("round-robin", kill=400.0)
+        return run_policy("round-robin", kill=KILL_AT)
 
     out = benchmark.pedantic(run, rounds=1, iterations=1)
     print(
-        f"\nF4c — kill site-2 @400s: completed={out['completed']}/{len(TRACE)} "
+        f"\nF4c — kill site-2 @{KILL_AT:.0f}s: completed={out['completed']}/{len(TRACE)} "
         f"reroutes={out['reroutes']} makespan={out['makespan']:.0f}s"
     )
     assert out["completed"] == len(TRACE), "zero jobs may be lost"

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.daemon import MiddlewareDaemon, SharingMode, build_router
 from repro.daemon.queue import ShotCapPolicy
 from repro.qpu import QPUDevice, ShotClock
@@ -28,7 +26,7 @@ from repro.scheduling.interleave import InterleavePlan
 from repro.simkernel import RngRegistry, Simulator
 from repro.workloads.generator import SyntheticHybridJob
 
-__all__ = ["Stack", "build_stack", "run_interleave_plan"]
+__all__ = ["Stack", "build_federation_stack", "build_stack", "run_interleave_plan"]
 
 
 @dataclass
@@ -91,6 +89,46 @@ def build_stack(
     return Stack(sim=sim, daemon=daemon, device=device, router=build_router(daemon))
 
 
+def build_federation_stack(
+    n_sites: int = 3,
+    shot_rate_hz: float = 1.0,
+    max_queue_depth: int = 12,
+    policy=None,
+    seed: int = 0,
+    heartbeat_interval: float = 15.0,
+):
+    """N single-QPU sites on one clock behind a broker — the shared
+    scenario base for the federation and cross-site-malleability
+    benches.  Returns (sim, registry, broker, sites)."""
+    from repro.federation import FederatedSite, FederationBroker, SiteRegistry
+
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    registry = SiteRegistry(heartbeat_expiry=60.0)
+    sites = {}
+    for i in range(n_sites):
+        device = QPUDevice(
+            clock=ShotClock(
+                shot_rate_hz=shot_rate_hz,
+                setup_overhead_s=0.0,
+                batch_overhead_s=0.0,
+            ),
+            rng=rng.get(f"dev{i}"),
+        )
+        daemon = MiddlewareDaemon(
+            sim,
+            {"onprem": OnPremQPUResource("onprem", device)},
+            scrape_interval=120.0,
+        )
+        site = FederatedSite(f"site-{i}", daemon, max_queue_depth=max_queue_depth)
+        registry.register(site, now=0.0)
+        sites[site.name] = site
+    registry.start_heartbeats(sim, interval=heartbeat_interval)
+    broker = FederationBroker(sim, registry, policy=policy, max_attempts=4)
+    broker.spawn_housekeeping(interval=heartbeat_interval)
+    return sim, registry, broker, sites
+
+
 def run_interleave_plan(
     plan: InterleavePlan,
     jobs_by_name: dict[str, SyntheticHybridJob],
@@ -123,3 +161,114 @@ def run_interleave_plan(
     driver_proc = stack.sim.spawn(driver(), name="wave-driver")
     stack.sim.run_until_process(driver_proc)
     return stack.metrics()
+
+
+# -- bench-regression gate (CI) ---------------------------------------------
+#
+# Every simulation above is a deterministic discrete-event run from
+# fixed seeds, so makespan/throughput numbers are exact and
+# machine-independent: a changed number means the *scheduling logic*
+# changed, not the weather.  CI runs this module as a script, writes
+# BENCH_pr.json, and fails when any metric regresses more than the
+# tolerance against the committed benchmarks/BENCH_baseline.json.
+# Metric direction is encoded in the name prefix: ``makespan_*`` must
+# not rise, ``throughput_*`` must not fall.
+
+
+def bench_regression_suite() -> dict:
+    """Run the federation + malleable ablation benches; returns
+    ``{"mode": ..., "metrics": {name: value}}``."""
+    import os
+
+    from benchmarks.bench_ablation_malleable import run_all, run_c4c
+    from benchmarks.bench_fig4_federation import POLICIES, run_policy
+
+    metrics: dict[str, float] = {}
+    rows, _ = run_all()
+    for row in rows:
+        metrics[f"makespan_c4_{row['scenario']}_rigid_s"] = float(
+            row["rigid_makespan_s"]
+        )
+        metrics[f"makespan_c4_{row['scenario']}_malleable_s"] = float(
+            row["malleable_makespan_s"]
+        )
+    c4c = run_c4c()
+    metrics["makespan_c4c_rigid_s"] = round(c4c["rigid"]["makespan"], 3)
+    metrics["makespan_c4c_malleable_s"] = round(c4c["malleable"]["makespan"], 3)
+    for name in POLICIES:
+        out = run_policy(name)
+        metrics[f"makespan_f4_{name}_s"] = round(out["makespan"], 3)
+        metrics[f"throughput_f4_{name}_jobs_per_h"] = round(
+            out["completed"] / out["makespan"] * 3600.0, 3
+        )
+    mode = "smoke" if os.environ.get("BENCH_SMOKE", "") not in ("", "0") else "full"
+    return {"mode": mode, "metrics": metrics}
+
+
+def compare_runs(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Regressions of ``current`` against ``baseline``; empty == pass."""
+    failures: list[str] = []
+    if baseline.get("mode") != current.get("mode"):
+        failures.append(
+            f"mode mismatch: baseline is {baseline.get('mode')!r}, "
+            f"this run is {current.get('mode')!r} — regenerate the baseline"
+        )
+        return failures
+    for name, base in sorted(baseline.get("metrics", {}).items()):
+        value = current.get("metrics", {}).get(name)
+        if value is None:
+            failures.append(f"{name}: missing from this run (was {base})")
+            continue
+        if name.startswith("makespan_") and value > base * (1.0 + tolerance):
+            failures.append(
+                f"{name}: {value:.1f} vs baseline {base:.1f} "
+                f"(+{100 * (value / base - 1):.1f}% > {100 * tolerance:.0f}%)"
+            )
+        elif name.startswith("throughput_") and value < base * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {value:.3f} vs baseline {base:.3f} "
+                f"({100 * (value / base - 1):.1f}% < -{100 * tolerance:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+    import pathlib
+
+    from repro.analysis import format_table
+
+    parser = argparse.ArgumentParser(
+        description="Run the bench-regression suite and optionally gate "
+        "against a committed baseline."
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=None, help="write this run's metrics JSON here")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None, help="baseline JSON to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.10, help="allowed fractional regression (default 0.10)")
+    args = parser.parse_args(argv)
+
+    current = bench_regression_suite()
+    if args.out is not None:
+        args.out.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+    table = [
+        {"metric": name, "value": value}
+        for name, value in sorted(current["metrics"].items())
+    ]
+    print(format_table(table, title=f"bench-regression ({current['mode']} mode)"))
+
+    if args.baseline is None:
+        return 0
+    baseline = json.loads(args.baseline.read_text())
+    failures = compare_runs(baseline, current, args.tolerance)
+    if failures:
+        print("\nREGRESSIONS:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nno regressions beyond {100 * args.tolerance:.0f}% tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

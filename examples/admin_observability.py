@@ -18,8 +18,6 @@ This example plays a two-day story:
 Run:  python examples/admin_observability.py
 """
 
-import numpy as np
-
 from repro.daemon import MiddlewareDaemon, build_router
 from repro.observability import CusumDetector, Dashboard
 from repro.qpu import QPUDevice, ShotClock

@@ -18,8 +18,6 @@ This example runs the real pipeline:
 Run:  python examples/sqd_workflow.py
 """
 
-import numpy as np
-
 from repro.analysis import format_table
 from repro.config import DictConfig
 from repro.runtime import RuntimeEnvironment

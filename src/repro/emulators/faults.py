@@ -21,7 +21,7 @@ whole point of the paper's "same interface everywhere" design.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np

@@ -18,6 +18,10 @@ profiles instead of static assignment.
 * :mod:`broker`   — :class:`FederationBroker`: placement, spillover
   when sites saturate, failover with bounded retries and stable job
   ids when sites die,
+* :mod:`malleable` — cross-site malleable placements: an iterative
+  job's burst units spread over a :class:`~repro.scheduling.ShareLedger`
+  and a broker-driven resize loop shrinks/grows each site's share as
+  queue depth, latency, or heartbeat health moves,
 * :mod:`client`   — :class:`FederatedClient`, the DaemonClient-shaped
   front end returning uniform :class:`~repro.runtime.results.RunResult`,
 * :mod:`metrics`  — per-site + aggregate federation metrics through
@@ -26,6 +30,14 @@ profiles instead of static assignment.
 
 from .broker import FederatedJob, FederationBroker, JobState, Placement
 from .client import FederatedClient
+from .malleable import (
+    MalleableJob,
+    MalleableManager,
+    MalleablePlacement,
+    ResizeConfig,
+    ShareEvent,
+    UnitDispatch,
+)
 from .metrics import FederationMetrics
 from .policies import (
     CalibrationAwarePolicy,
@@ -46,8 +58,14 @@ __all__ = [
     "FederationMetrics",
     "JobState",
     "LeastQueuePolicy",
+    "MalleableJob",
+    "MalleableManager",
+    "MalleablePlacement",
     "Placement",
+    "ResizeConfig",
     "RoundRobinPolicy",
+    "ShareEvent",
+    "UnitDispatch",
     "RoutingPolicy",
     "SiteHealth",
     "SiteRegistry",

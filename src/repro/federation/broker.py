@@ -115,6 +115,26 @@ class FederationBroker:
         self.metrics = FederationMetrics()
         self._jobs: dict[str, FederatedJob] = {}
         self._id_counter = itertools.count(1)
+        self._malleable = None  # lazily-built MalleableManager
+
+    @property
+    def malleable(self):
+        """The resize-loop manager for multi-site malleable jobs
+        (created on first use; see :mod:`repro.federation.malleable`)."""
+        if self._malleable is None:
+            from .malleable import MalleableManager
+
+            self._malleable = MalleableManager(self)
+        return self._malleable
+
+    def configure_resize(self, config) -> None:
+        """Install a non-default :class:`~repro.federation.malleable.ResizeConfig`.
+        Must happen before the first malleable submission."""
+        from .malleable import MalleableManager
+
+        if self._malleable is not None and self._malleable.jobs():
+            raise PlacementError("resize config must be set before submissions")
+        self._malleable = MalleableManager(self, config=config)
 
     # -- intake ---------------------------------------------------------------
 
@@ -150,6 +170,29 @@ class FederationBroker:
         self._jobs[job.job_id] = job
         self._place(job)
         return job.job_id
+
+    def submit_malleable(
+        self,
+        program: Any,
+        iterations: int,
+        shots: int | None = None,
+        owner: str = "fed-user",
+        affinity_key: str | None = None,
+        sites: tuple[str, ...] | None = None,
+        malleable: bool = True,
+    ) -> str:
+        """Accept an iterative job whose burst units spread across sites
+        and get re-divided by the resize loop; returns its stable id.
+        See :meth:`repro.federation.malleable.MalleableManager.submit`."""
+        return self.malleable.submit(
+            program,
+            iterations,
+            shots=shots,
+            owner=owner,
+            affinity_key=affinity_key,
+            sites=sites,
+            malleable=malleable,
+        )
 
     def available_resources(self) -> dict[str, str]:
         """Aggregate catalog over healthy sites, names qualified as
@@ -327,9 +370,12 @@ class FederationBroker:
             )
 
     def reconcile(self) -> None:
-        """One failover sweep over every live job + a metrics snapshot."""
+        """One failover sweep over every live job (fixed-size refresh +
+        the malleable resize loop) + a metrics snapshot."""
         for job in self._jobs.values():
             self._refresh(job)
+        if self._malleable is not None:
+            self._malleable.tick()
         self.metrics.observe_sites(self.registry.snapshots(self.sim.now))
 
     def spawn_housekeeping(self, interval: float = 15.0) -> None:
@@ -382,15 +428,37 @@ class FederationBroker:
             j for j in self._jobs.values() if state is None or j.state is state
         ]
 
+    # -- malleable queries ------------------------------------------------------
+
+    def malleable_job(self, job_id: str):
+        return self.malleable.job(job_id)
+
+    def malleable_status(self, job_id: str) -> dict[str, Any]:
+        self.malleable.tick()
+        return self.malleable.status(job_id)
+
+    def malleable_result(self, job_id: str) -> dict[int, Any]:
+        """Per-unit results of a completed malleable job, keyed by unit."""
+        self.malleable.tick()
+        return self.malleable.results(job_id)
+
     def stats(self) -> dict[str, Any]:
         by_state: dict[str, int] = {s.value: 0 for s in JobState}
         reroutes = 0
         for job in self._jobs.values():
             by_state[job.state.value] += 1
             reroutes += max(0, job.attempts - 1)
+        malleable_jobs = (
+            self._malleable.jobs() if self._malleable is not None else []
+        )
+        resize_events = sum(len(j.placement.events) for j in malleable_jobs)
+        for job in malleable_jobs:
+            by_state[job.state.value] += 1
         return {
-            "jobs": len(self._jobs),
+            "jobs": len(self._jobs) + len(malleable_jobs),
             "by_state": by_state,
             "reroutes": reroutes,
+            "malleable_jobs": len(malleable_jobs),
+            "resize_events": resize_events,
             "sites": self.registry.names(),
         }

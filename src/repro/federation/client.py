@@ -73,6 +73,68 @@ class FederatedClient:
         result.metadata["federation_attempts"] = job.attempts
         return result
 
+    # -- malleable (multi-site) jobs ------------------------------------------
+
+    def submit_malleable(
+        self,
+        program: Any,
+        iterations: int,
+        shots: int | None = None,
+        affinity_key: str | None = None,
+        sites: tuple[str, ...] | None = None,
+        malleable: bool = True,
+    ) -> str:
+        """Submit an iterative job whose burst units the broker spreads
+        across sites and re-divides mid-flight (``malleable=False`` pins
+        the units to a static round-robin split — the rigid baseline).
+        IR normalization happens once, broker-side."""
+        return self.broker.submit_malleable(
+            program,
+            iterations,
+            shots=shots,
+            owner=self.user,
+            affinity_key=affinity_key,
+            sites=sites,
+            malleable=malleable,
+        )
+
+    def malleable_status(self, job_id: str) -> dict[str, Any]:
+        return self.broker.malleable_status(job_id)
+
+    def malleable_result(self, job_id: str) -> RunResult:
+        """Merge every unit's counts into one uniform result — the
+        multi-site job reads exactly like a single large burst."""
+        job = self.broker.malleable_job(job_id)
+        unit_results = self.broker.malleable_result(job_id)
+        counts: dict[str, int] = {}
+        shots = 0
+        execution_s = 0.0
+        backends = set()
+        for unit in sorted(unit_results):
+            emulation = unit_results[unit]
+            for bitstring, n in emulation.counts.items():
+                counts[bitstring] = counts.get(bitstring, 0) + n
+            shots += emulation.shots
+            execution_s += float(
+                emulation.metadata.get("execution_seconds", 0.0)
+            )
+            backends.add(emulation.backend)
+        ledger = job.placement.ledger
+        return RunResult(
+            counts=counts,
+            shots=shots,
+            backend="+".join(sorted(backends)),
+            resource=f"malleable/{job_id}",
+            program_hash=to_ir(job.program).content_hash(),
+            execution_s=execution_s,
+            metadata={
+                "federation_sites": ledger.completions_by_site(),
+                "federation_units": job.units,
+                "federation_resize_events": len(job.placement.events),
+                "federation_malleable": job.malleable,
+            },
+        )
+
     # -- simulation-aware polling ---------------------------------------------
 
     def run_process(
@@ -94,3 +156,30 @@ class FederatedClient:
                 break
             yield Timeout(poll_interval)
         return self.result(job_id)
+
+    def run_malleable_process(
+        self,
+        program: Any,
+        iterations: int,
+        shots: int | None = None,
+        affinity_key: str | None = None,
+        sites: tuple[str, ...] | None = None,
+        malleable: bool = True,
+        poll_interval: float = 5.0,
+    ):
+        """Generator form of the malleable path: submit, poll on the
+        simulated clock, return the merged :class:`RunResult`."""
+        job_id = self.submit_malleable(
+            program,
+            iterations,
+            shots=shots,
+            affinity_key=affinity_key,
+            sites=sites,
+            malleable=malleable,
+        )
+        while True:
+            status = self.malleable_status(job_id)
+            if status["state"] in _TERMINAL:
+                break
+            yield Timeout(poll_interval)
+        return self.malleable_result(job_id)

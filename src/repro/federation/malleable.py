@@ -1,0 +1,703 @@
+"""Cross-site malleable placements: the broker as a feedback controller.
+
+The paper's malleability model (§2.4) grows and shrinks a job's *node*
+allocation inside one site.  This module lifts the same idea one level
+up, to the federation: an iterative hybrid job — a sequence of
+identical quantum-burst *units* (VQE parameter sweeps, SQD sampling
+batches) — is split across several sites through a
+:class:`~repro.scheduling.malleable.ShareLedger`, and a resize loop
+re-divides the *future* units while the job runs:
+
+* **shrink** — a site whose queue depth crosses the high watermark, or
+  whose per-unit latency degrades against the federation's best, loses
+  weight; a site whose heartbeat lapses is retired outright and its
+  in-flight units return to the pool (preemption-safe: completed units
+  are checkpointed and never redone),
+* **grow** — idle healthy sites, including late joiners and recovered
+  sites, gain weight and start pulling units,
+* **rebalance** — every pass that changes a weight re-divides the
+  outstanding units by largest remainder.
+
+The ranking that decides *who deserves share* comes from the broker's
+routing policy (:meth:`~repro.federation.policies.RoutingPolicy.rank_resize`),
+so placement preference and resize preference cannot diverge.  Job ids
+stay stable across every resize, retry, and failover, exactly like the
+fixed-size path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import PlacementError, ResourceNotFound, SiteUnavailable
+from ..runtime.backend_select import select_resource
+from ..scheduling.malleable import ShareLedger
+from ..sdk.translate import to_ir
+from .broker import JobState, _program_qubits
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .broker import FederationBroker
+    from .registry import SiteSnapshot
+
+__all__ = [
+    "MalleableJob",
+    "MalleableManager",
+    "MalleablePlacement",
+    "ResizeConfig",
+    "ShareEvent",
+    "UnitDispatch",
+]
+
+
+@dataclass(frozen=True)
+class ResizeConfig:
+    """Knobs of the resize loop (the controller's transfer function)."""
+
+    #: queue_depth / max_queue_depth at or above this → share weight 0
+    high_watermark: float = 0.75
+    #: site EWMA unit latency > ratio x federation best → demote
+    slow_ratio: float = 2.5
+    #: smoothing for per-site unit latency
+    ewma_alpha: float = 0.5
+    #: floor weight a slow-but-alive site keeps (a trickle of units
+    #: keeps refreshing its latency estimate so recovery is observable)
+    demoted_weight: float = 0.25
+    #: max units concurrently in flight per site per job
+    max_outstanding_per_site: int = 2
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.high_watermark <= 1.0):
+            raise PlacementError("high_watermark must be in (0, 1]")
+        if self.slow_ratio <= 1.0:
+            raise PlacementError("slow_ratio must be > 1")
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise PlacementError("ewma_alpha must be in (0, 1]")
+        if self.max_outstanding_per_site < 1:
+            raise PlacementError("max_outstanding_per_site must be >= 1")
+
+
+@dataclass
+class ShareEvent:
+    """One resize decision, kept for observability and the benchmarks."""
+
+    time: float
+    kind: str  # "grow" | "shrink" | "retire"
+    site: str
+    weight_before: float
+    weight_after: float
+    reason: str
+
+
+@dataclass
+class UnitDispatch:
+    """One work unit live (or once live) on one site."""
+
+    unit: int
+    site: str
+    task_id: str
+    placed_at: float
+    started_at: float | None = None  # site-local execution start
+    abandoned: bool = False
+    abandon_reason: str = ""
+
+
+@dataclass
+class MalleablePlacement:
+    """The multi-site placement of one iterative job: the share ledger
+    plus the per-unit dispatches currently in flight."""
+
+    ledger: ShareLedger
+    dispatches: dict[int, UnitDispatch] = field(default_factory=dict)
+    history: list[UnitDispatch] = field(default_factory=list)
+    events: list[ShareEvent] = field(default_factory=list)
+    latency_ewma: dict[str, float] = field(default_factory=dict)
+
+    def weights(self) -> dict[str, float]:
+        return {
+            s.site: s.weight for s in self.ledger.shares.values() if not s.retired
+        }
+
+    def events_of(self, kind: str) -> list[ShareEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+@dataclass
+class MalleableJob:
+    """Broker-side record of one malleable (multi-site) job."""
+
+    job_id: str
+    program: Any  # IR; each unit runs it at shots_per_unit
+    units: int
+    shots_per_unit: int
+    owner: str
+    affinity_key: str | None
+    n_qubits: int
+    submitted_at: float
+    malleable: bool
+    restrict_sites: tuple[str, ...] | None
+    pins: dict[str, str]
+    placement: MalleablePlacement
+    state: Any  # JobState; Any avoids a broker import cycle
+    results: dict[int, Any] = field(default_factory=dict)
+    error: str = ""
+    finished_at: float | None = None
+
+    @property
+    def completed_units(self) -> int:
+        return self.placement.ledger.completed_units
+
+
+def _parse_site_spec(spec: str) -> tuple[str, str | None]:
+    """'site' or 'site/resource' -> (site, resource-pin-or-None)."""
+    site, _, resource = spec.partition("/")
+    if not site:
+        raise PlacementError(f"bad site spec {spec!r}")
+    return site, (resource or None)
+
+
+class MalleableManager:
+    """Owns the malleable jobs of one broker and runs their resize loop.
+
+    The broker's :meth:`~repro.federation.broker.FederationBroker.reconcile`
+    sweep calls :meth:`tick` — the same cadence that drives fixed-size
+    failover drives shrink/grow, so there is exactly one feedback loop
+    to reason about.
+    """
+
+    def __init__(
+        self, broker: "FederationBroker", config: ResizeConfig | None = None
+    ) -> None:
+        self.broker = broker
+        self.config = config or ResizeConfig()
+        self._jobs: dict[str, MalleableJob] = {}
+        self._id_counter = itertools.count(1)
+
+    # -- intake ---------------------------------------------------------------
+
+    def submit(
+        self,
+        program: Any,
+        iterations: int,
+        shots: int | None = None,
+        owner: str = "fed-user",
+        affinity_key: str | None = None,
+        sites: tuple[str, ...] | None = None,
+        malleable: bool = True,
+    ) -> str:
+        """Accept an iterative job of ``iterations`` burst units; returns
+        a stable job id that survives every resize and failover.
+
+        ``sites`` optionally restricts the candidate set; entries may be
+        bare site names or qualified ``site/resource`` pins.  With
+        ``malleable=False`` the units are pre-assigned round-robin and
+        never rebalanced — the rigid baseline the ablation measures
+        against (health failover still applies: rigidity is about load,
+        not about losing jobs).
+        """
+        if iterations < 1:
+            raise PlacementError("a malleable job needs >= 1 iteration")
+        ir = to_ir(program, shots=shots or 100)
+        if shots is not None and ir.shots != shots:
+            ir = ir.with_shots(shots)
+        restrict: tuple[str, ...] | None = None
+        pins: dict[str, str] = {}
+        if sites is not None:
+            parsed = [_parse_site_spec(s) for s in sites]
+            if not parsed:
+                raise PlacementError("sites restriction cannot be empty")
+            restrict = tuple(site for site, _ in parsed)
+            if len(set(restrict)) != len(restrict):
+                # shares are per-site: two legs on one site (e.g. two
+                # QPUs) would silently collapse to the last pin
+                raise PlacementError(
+                    f"duplicate site in placement: {sorted(restrict)}"
+                )
+            pins = {site: res for site, res in parsed if res is not None}
+        ledger = ShareLedger(iterations, max_attempts=self.broker.max_attempts)
+        job = MalleableJob(
+            job_id=f"fed-mjob-{next(self._id_counter)}",
+            program=ir,
+            units=iterations,
+            shots_per_unit=ir.shots,
+            owner=owner,
+            affinity_key=affinity_key,
+            n_qubits=_program_qubits(ir),
+            submitted_at=self.broker.sim.now,
+            malleable=malleable,
+            restrict_sites=restrict,
+            pins=pins,
+            placement=MalleablePlacement(ledger=ledger),
+            state=JobState.PLACED,
+        )
+        self._jobs[job.job_id] = job
+        self._seed_shares(job)
+        self._dispatch(job)
+        return job.job_id
+
+    def _seed_shares(self, job: MalleableJob) -> None:
+        candidates = self._candidates(job)
+        if not candidates:
+            # mirror the fixed-size intake contract: accept the job and
+            # fail it with a diagnosis rather than raising after the
+            # job id is already registered
+            job.state = JobState.FAILED
+            job.error = (
+                f"no healthy site can take a {job.n_qubits}-qubit malleable job"
+            )
+            self.broker.metrics.record_outcome("failed")
+            return
+        now = self.broker.sim.now
+        ranked = self.broker.policy.rank_resize(job, candidates, now)
+        ledger = job.placement.ledger
+        if job.malleable:
+            for i, snap in enumerate(ranked):
+                weight = float(len(ranked) - i)
+                ledger.add_site(snap.name, weight)
+                self._record_event(job, "grow", snap.name, 0.0, weight, "join")
+        else:
+            for snap in ranked:
+                ledger.add_site(snap.name, 1.0)
+            ledger.freeze()
+        self.broker.metrics.observe_share_weights(job.placement.weights())
+
+    # -- candidate view --------------------------------------------------------
+
+    def _candidates(self, job: MalleableJob) -> list["SiteSnapshot"]:
+        """Healthy, capable sites — saturated ones stay in (the
+        watermark zeroes their weight instead of retiring them)."""
+        now = self.broker.sim.now
+        healthy = self.broker.registry.healthy_snapshots(now)
+        capable = [
+            snap
+            for snap in healthy
+            if snap.catalog and snap.max_qubits >= job.n_qubits
+        ]
+        if job.restrict_sites is not None:
+            capable = [s for s in capable if s.name in job.restrict_sites]
+        return capable
+
+    # -- the resize loop -------------------------------------------------------
+
+    def tick(self) -> None:
+        """One controller pass: refresh unit states, then rebalance and
+        top up dispatches for every live job."""
+        for job in self._jobs.values():
+            if job.state is not JobState.PLACED:
+                continue
+            self._refresh(job)
+            if job.state is not JobState.PLACED:
+                continue
+            if job.malleable:
+                self._rebalance(job)
+            else:
+                self._retire_unhealthy(job)
+            self._dispatch(job)
+            self._fail_if_stranded(job)
+
+    def _refresh(self, job: MalleableJob) -> None:
+        """Advance every in-flight unit from its site's task state."""
+        now = self.broker.sim.now
+        placement = job.placement
+        for unit, dispatch in list(placement.dispatches.items()):
+            if job.state is not JobState.PLACED:
+                return  # a prior unit exhausted its retries mid-sweep
+            if unit not in placement.dispatches:
+                continue  # dropped by a retire/cancel earlier this sweep
+            try:
+                site = self.broker.registry.site(dispatch.site)
+                status = site.task_status(job.owner, dispatch.task_id)
+                if status["state"] == "completed":
+                    result = site.task_result(job.owner, dispatch.task_id)
+                else:
+                    result = None
+            except Exception as err:
+                # deregistered site / refused session: lost placement
+                self._abandon_unit(job, unit, f"query failed: {err}")
+                continue
+            started = status.get("started_at")
+            if started is not None:
+                dispatch.started_at = started
+            if status["state"] == "completed":
+                placement.ledger.checkpoint(unit)
+                job.results[unit] = result
+                del placement.dispatches[unit]
+                placement.history.append(dispatch)
+                # service latency from execution start (when known), so
+                # queue wait doesn't pollute the degradation signal —
+                # queue pressure is the watermark's job
+                base = started if started is not None else dispatch.placed_at
+                finished = status.get("finished_at")
+                end = finished if finished is not None else now
+                self._observe_latency(job, dispatch.site, end - base)
+                self.broker.metrics.record_unit(dispatch.site)
+            elif status["state"] in ("failed", "cancelled"):
+                self._abandon_unit(
+                    job, unit, f"unit task {status['state']} on {dispatch.site}"
+                )
+        if placement.ledger.done and job.state is JobState.PLACED:
+            job.state = JobState.COMPLETED
+            job.finished_at = now
+            self.broker.metrics.record_outcome("completed")
+
+    def _fail_if_stranded(self, job: MalleableJob) -> None:
+        """Mirror the fixed-size broker's behavior when the federation
+        runs out of options: a job with work left, nothing in flight,
+        and no candidate site fails loudly instead of polling forever."""
+        if job.state is not JobState.PLACED:
+            return
+        ledger = job.placement.ledger
+        if ledger.done or ledger.in_flight_units > 0:
+            return
+        if self._candidates(job):
+            return
+        job.state = JobState.FAILED
+        job.error = (
+            f"no healthy site can take a {job.n_qubits}-qubit malleable job "
+            f"({ledger.pending_units} units stranded)"
+        )
+        self.broker.metrics.record_outcome("failed")
+
+    def _site_latency(self, job: MalleableJob, site: str, now: float) -> float | None:
+        """Effective unit latency: the completion EWMA, or the running
+        age of an *executing* in-flight unit when that is already worse
+        — so a stall is detected mid-unit, not only after it finally
+        lands.  Queued-but-not-started units carry no evidence."""
+        ewma = job.placement.latency_ewma.get(site)
+        ages = [
+            now - d.started_at
+            for d in job.placement.dispatches.values()
+            if d.site == site and d.started_at is not None
+        ]
+        oldest = max(ages, default=None)
+        if ewma is None:
+            return oldest
+        if oldest is None:
+            return ewma
+        return max(ewma, oldest)
+
+    def _observe_latency(self, job: MalleableJob, site: str, latency: float) -> None:
+        ewma = job.placement.latency_ewma
+        alpha = self.config.ewma_alpha
+        ewma[site] = (
+            latency
+            if site not in ewma
+            else alpha * latency + (1.0 - alpha) * ewma[site]
+        )
+
+    def _drop_dispatch(self, job: MalleableJob, unit: int, reason: str) -> UnitDispatch:
+        """Shared bookkeeping for removing an in-flight dispatch: mark
+        it abandoned, move it to history, best-effort cancel the site
+        task.  Ledger accounting (abandon/reclaim/retire) stays with
+        the caller."""
+        placement = job.placement
+        dispatch = placement.dispatches.pop(unit)
+        dispatch.abandoned = True
+        dispatch.abandon_reason = reason
+        placement.history.append(dispatch)
+        try:
+            self.broker.registry.site(dispatch.site).cancel(dispatch.task_id)
+        except Exception:
+            pass  # best-effort, the site may be gone
+        return dispatch
+
+    def _fail_if_exhausted(self, job: MalleableJob, unit: int, reason: str) -> bool:
+        """Enforce the bounded-retry contract after any attempt charge."""
+        if job.state is not JobState.PLACED:
+            return True
+        ledger = job.placement.ledger
+        if not ledger.exhausted(unit):
+            return False
+        job.state = JobState.FAILED
+        job.error = (
+            f"unit {unit} exhausted {ledger.attempts(unit)} placement "
+            f"attempts: {reason}"
+        )
+        self._cancel_all(job)
+        self.broker.metrics.record_outcome("failed")
+        return True
+
+    def _abandon_unit(self, job: MalleableJob, unit: int, reason: str) -> None:
+        dispatch = self._drop_dispatch(job, unit, reason)
+        self.broker.metrics.record_abandonment(dispatch.site)
+        job.placement.ledger.abandon(unit)
+        self._fail_if_exhausted(job, unit, reason)
+
+    def _cancel_all(self, job: MalleableJob) -> None:
+        for unit in list(job.placement.dispatches):
+            self._drop_dispatch(job, unit, "job failed")
+
+    def _reclaim_queued(self, job: MalleableJob, site: str, reason: str) -> None:
+        """Trim a shrunk site's dispatches down to its new allocation by
+        cancelling queued-but-not-started units (newest first) — they
+        hold no work, so the pull-back is attempt-free.  Executing units
+        are left alone: the preemption-safe boundary is the unit."""
+        placement = job.placement
+        ledger = placement.ledger
+        allowed = ledger.allocation().get(site, 0)
+        queued = [
+            unit
+            for unit in ledger.in_flight_at(site)
+            if placement.dispatches[unit].started_at is None
+        ]
+        queued.sort(key=lambda u: placement.dispatches[u].placed_at)
+        while queued and len(ledger.in_flight_at(site)) > allowed:
+            unit = queued.pop()  # newest placement goes back first
+            self._drop_dispatch(job, unit, f"reclaimed: {reason}")
+            ledger.reclaim(unit)
+            self.broker.metrics.record_share_event(site, "reclaim")
+
+    def _retire_site(self, job: MalleableJob, site: str, reason: str) -> None:
+        """Shrink-to-zero with eviction: cancel the site's in-flight
+        units and return them to the pool (checkpointed units stay)."""
+        placement = job.placement
+        weight_before = placement.ledger.weight(site)
+        doomed = placement.ledger.in_flight_at(site)
+        for unit in doomed:
+            self._drop_dispatch(job, unit, reason)
+            self.broker.metrics.record_abandonment(site)
+        placement.ledger.retire(site)  # abandons the doomed units
+        self._record_event(job, "retire", site, weight_before, 0.0, reason)
+        for unit in doomed:
+            if self._fail_if_exhausted(job, unit, reason):
+                return
+
+    def _retire_unhealthy(self, job: MalleableJob) -> None:
+        """Rigid jobs still fail over on health — rigidity is about
+        load shares, not about losing work when a site dies."""
+        candidates = self._candidates(job)
+        candidate_names = {s.name for s in candidates}
+        ledger = job.placement.ledger
+        for site in list(ledger.active_sites()):
+            if site not in candidate_names:
+                self._retire_site(job, site, f"site {site} left the federation")
+        if job.state is not JobState.PLACED:
+            return
+        if not ledger.active_sites() and candidates:
+            # every shareholder died before a replacement existed:
+            # adopt the current candidates (equal rigid shares) and
+            # re-pin the orphaned units so the job survives the wipeout
+            for snap in candidates:
+                if snap.name in ledger.shares:
+                    ledger.revive(snap.name, 1.0)
+                else:
+                    ledger.add_site(snap.name, 1.0)
+                self._record_event(
+                    job, "grow", snap.name, 0.0, 1.0, "rigid re-seed"
+                )
+            ledger.assign_orphans()
+
+    def _rebalance(self, job: MalleableJob) -> None:
+        """Recompute target weights from the policy ranking plus the
+        controller's degradation signals; emit grow/shrink events."""
+        now = self.broker.sim.now
+        candidates = self._candidates(job)
+        candidate_names = {s.name for s in candidates}
+        ledger = job.placement.ledger
+
+        # sites that fell out of the candidate set are evicted
+        for site in list(ledger.active_sites()):
+            if site not in candidate_names:
+                self._retire_site(job, site, f"site {site} left the federation")
+        if job.state is not JobState.PLACED or not candidates:
+            return
+
+        ranked = self.broker.policy.rank_resize(job, candidates, now)
+        latencies: dict[str, float] = {}
+        for snap in ranked:
+            lat = self._site_latency(job, snap.name, now)
+            if lat is None:
+                continue
+            # ratchet observed stalls into the EWMA: once a unit has
+            # visibly run for 600 s, a fresh unit starting must not
+            # reset the evidence — only genuinely fast completions
+            # (via the normal EWMA update) walk the estimate back down
+            ewma = job.placement.latency_ewma.get(snap.name)
+            if ewma is None or lat > ewma:
+                job.placement.latency_ewma[snap.name] = lat
+            latencies[snap.name] = lat
+        best_latency = min(latencies.values(), default=None)
+        target: dict[str, float] = {}
+        reasons: dict[str, str] = {}
+        demoted: set[str] = set()
+        for i, snap in enumerate(ranked):
+            weight = float(len(ranked) - i)
+            reason = "rank"
+            if snap.queue_depth >= self.config.high_watermark * snap.max_queue_depth:
+                weight, reason = 0.0, "queue depth over watermark"
+                demoted.add(snap.name)
+            else:
+                ewma = latencies.get(snap.name)
+                if (
+                    best_latency is not None
+                    and ewma is not None
+                    and ewma > self.config.slow_ratio * best_latency
+                ):
+                    # proportional shrink off the *bottom* rank weight —
+                    # a starved slow site ranks well on queue depth, and
+                    # letting that amplify a demoted share would make the
+                    # controller fight itself (shrink, drain, re-grow).
+                    # A 10x-slower site keeps ~1/10 of one share, floored
+                    # at a probing trickle.
+                    weight = max(
+                        best_latency / ewma, self.config.demoted_weight
+                    )
+                    reason = "unit latency degraded"
+                    demoted.add(snap.name)
+            target[snap.name] = weight
+            reasons[snap.name] = reason
+        # straggler avoidance: once the remaining units all fit on the
+        # healthy sites concurrently, a demoted site's trickle would
+        # anchor the tail of the job — starve it outright instead
+        outstanding = ledger.pending_units + ledger.in_flight_units
+        healthy_slots = (len(ranked) - len(demoted)) * (
+            self.config.max_outstanding_per_site
+        )
+        if demoted and healthy_slots >= outstanding:
+            for site in demoted:
+                if target[site] > 0.0:
+                    target[site] = 0.0
+                    reasons[site] += " (tail: no straggler units)"
+
+        changed = False
+        for site, weight in target.items():
+            share = ledger.shares.get(site)
+            if share is None:
+                ledger.add_site(site, weight)
+                self._record_event(job, "grow", site, 0.0, weight, "join")
+                changed = True
+                continue
+            if share.retired:
+                ledger.revive(site, weight)
+                self._record_event(job, "grow", site, 0.0, weight, "rejoin")
+                changed = True
+                continue
+            before = share.weight
+            # dead-band: ignore sub-0.1 drift so a slowly-aging EWMA
+            # does not emit a shrink event on every housekeeping tick
+            if abs(weight - before) < 0.1:
+                continue
+            ledger.set_weight(site, weight)
+            kind = "grow" if weight > before else "shrink"
+            self._record_event(job, kind, site, before, weight, reasons[site])
+            if kind == "shrink" and reasons[site] != "rank":
+                # degradation shrink: pull back units still *queued*
+                # there (never started executing, so no work is lost
+                # and no attempt is charged) for redispatch elsewhere
+                self._reclaim_queued(job, site, reasons[site])
+            changed = True
+        if changed:
+            self.broker.metrics.record_rebalance()
+            self.broker.metrics.observe_share_weights(job.placement.weights())
+
+    def _dispatch(self, job: MalleableJob) -> None:
+        """Top up every active site to its allocation (pull model: fast
+        sites come back for more units sooner)."""
+        placement = job.placement
+        ledger = placement.ledger
+        now = self.broker.sim.now
+        for site_name in ledger.active_sites():
+            if job.state is not JobState.PLACED:
+                return
+            try:
+                site = self.broker.registry.site(site_name)
+            except Exception:
+                continue
+            while (
+                len(ledger.in_flight_at(site_name))
+                < self.config.max_outstanding_per_site
+            ):
+                unit = ledger.claim(site_name)
+                if unit is None:
+                    break
+                try:
+                    catalog = site.capable_catalog(job.n_qubits)
+                    pin = job.pins.get(site_name)
+                    if pin is not None:
+                        if pin not in catalog:
+                            raise ResourceNotFound(
+                                f"pinned resource {site_name}/{pin} cannot take "
+                                f"a {job.n_qubits}-qubit program"
+                            )
+                        resource = pin
+                    else:
+                        resource = select_resource(catalog)
+                    task_id = site.submit(
+                        job.program.with_shots(job.shots_per_unit),
+                        resource,
+                        shots=job.shots_per_unit,
+                        owner=job.owner,
+                    )
+                except (SiteUnavailable, ResourceNotFound) as err:
+                    ledger.abandon(unit)
+                    self._retire_site(job, site_name, str(err))
+                    self._fail_if_exhausted(job, unit, str(err))
+                    break
+                placement.dispatches[unit] = UnitDispatch(
+                    unit=unit, site=site_name, task_id=task_id, placed_at=now
+                )
+
+    def _record_event(
+        self,
+        job: MalleableJob,
+        kind: str,
+        site: str,
+        before: float,
+        after: float,
+        reason: str,
+    ) -> None:
+        job.placement.events.append(
+            ShareEvent(
+                time=self.broker.sim.now,
+                kind=kind,
+                site=site,
+                weight_before=before,
+                weight_after=after,
+                reason=reason,
+            )
+        )
+        self.broker.metrics.record_share_event(site, kind)
+
+    # -- queries ---------------------------------------------------------------
+
+    def job(self, job_id: str) -> MalleableJob:
+        if job_id not in self._jobs:
+            raise PlacementError(
+                f"unknown malleable job {job_id!r}", job_id=job_id
+            )
+        return self._jobs[job_id]
+
+    def jobs(self) -> list[MalleableJob]:
+        return list(self._jobs.values())
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        job = self.job(job_id)
+        ledger = job.placement.ledger
+        return {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "units": job.units,
+            "completed_units": ledger.completed_units,
+            "in_flight_units": ledger.in_flight_units,
+            "shares": job.placement.weights(),
+            "completions_by_site": ledger.completions_by_site(),
+            "resize_events": len(job.placement.events),
+            "submitted_at": job.submitted_at,
+            "finished_at": job.finished_at,
+            "error": job.error,
+        }
+
+    def results(self, job_id: str) -> dict[int, Any]:
+        job = self.job(job_id)
+        if job.state is JobState.FAILED:
+            raise PlacementError(
+                f"malleable job {job_id} failed: {job.error}", job_id=job_id
+            )
+        if job.state is not JobState.COMPLETED:
+            raise PlacementError(
+                f"malleable job {job_id} not finished "
+                f"({job.completed_units}/{job.units} units)",
+                job_id=job_id,
+            )
+        return dict(job.results)

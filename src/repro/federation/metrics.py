@@ -63,6 +63,27 @@ class FederationMetrics:
         self.sites_healthy = self.registry.gauge(
             "federation_sites_healthy", "Sites currently routable"
         )
+        # -- malleable placements (resize loop) -----------------------------
+        self.share_events = self.registry.counter(
+            "federation_share_events_total",
+            "Malleable share resize events per site "
+            "(kind: grow/shrink/retire/reclaim)",
+            label_names=("site", "kind"),
+        )
+        self.rebalances = self.registry.counter(
+            "federation_rebalances_total",
+            "Resize-loop passes that changed at least one share weight",
+        )
+        self.units_completed = self.registry.counter(
+            "federation_malleable_units_total",
+            "Completed malleable work units per executing site",
+            label_names=("site",),
+        )
+        self.share_weight = self.registry.gauge(
+            "federation_share_weight",
+            "Aggregate live malleable share weight per site",
+            label_names=("site",),
+        )
 
     # -- recording (broker calls) -------------------------------------------
 
@@ -74,6 +95,19 @@ class FederationMetrics:
 
     def record_outcome(self, outcome: str) -> None:
         self.outcomes.inc(labels={"outcome": outcome})
+
+    def record_share_event(self, site: str, kind: str) -> None:
+        self.share_events.inc(labels={"site": site, "kind": kind})
+
+    def record_rebalance(self) -> None:
+        self.rebalances.inc()
+
+    def record_unit(self, site: str) -> None:
+        self.units_completed.inc(labels={"site": site})
+
+    def observe_share_weights(self, weights: Mapping[str, float]) -> None:
+        for site, weight in weights.items():
+            self.share_weight.set(float(weight), labels={"site": site})
 
     def observe_sites(self, snapshots: list[SiteSnapshot]) -> None:
         healthy = 0

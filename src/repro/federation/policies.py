@@ -37,13 +37,29 @@ __all__ = [
 
 
 class RoutingPolicy:
-    """Base class: choose one snapshot from a non-empty candidate list."""
+    """Base class: choose one snapshot from a non-empty candidate list.
+
+    Policies answer two questions, and every concrete policy must
+    declare both:
+
+    * :meth:`choose` — which site runs a fixed-size job,
+    * :meth:`rank_resize` — for malleable placements, the *order* in
+      which candidate sites deserve share.  The broker's resize loop
+      turns that order into share weights, so a policy's routing
+      preference and its grow/shrink preference cannot drift apart.
+    """
 
     name = "abstract"
 
     def choose(
         self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
     ) -> SiteSnapshot:
+        raise NotImplementedError
+
+    def rank_resize(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> list[SiteSnapshot]:
+        """Candidates ordered most- to least-deserving of malleable share."""
         raise NotImplementedError
 
     def _require(self, candidates: list[SiteSnapshot]) -> None:
@@ -68,6 +84,17 @@ class RoundRobinPolicy(RoutingPolicy):
         self._cursor += 1
         return choice
 
+    def rank_resize(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> list[SiteSnapshot]:
+        """Rotate name order by the cursor: shares stay fair over time
+        without thrashing within one resize tick (the cursor only
+        advances on placements)."""
+        self._require(candidates)
+        ordered = sorted(candidates, key=lambda s: s.name)
+        pivot = self._cursor % len(ordered)
+        return ordered[pivot:] + ordered[:pivot]
+
 
 class LeastQueuePolicy(RoutingPolicy):
     """Shallowest queue wins; ties break on name for determinism."""
@@ -79,6 +106,13 @@ class LeastQueuePolicy(RoutingPolicy):
     ) -> SiteSnapshot:
         self._require(candidates)
         return min(candidates, key=lambda s: (s.queue_depth, s.name))
+
+    def rank_resize(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> list[SiteSnapshot]:
+        """Shallowest queues deserve the biggest shares."""
+        self._require(candidates)
+        return sorted(candidates, key=lambda s: (s.queue_depth, s.name))
 
 
 class CalibrationAwarePolicy(RoutingPolicy):
@@ -97,18 +131,24 @@ class CalibrationAwarePolicy(RoutingPolicy):
     def __init__(self, queue_weight: float = 0.02) -> None:
         self.queue_weight = queue_weight
 
+    def _score(self, job: "FederatedJob", snap: SiteSnapshot) -> tuple[float, str]:
+        n_qubits = max(1, job.n_qubits)
+        geometry_weight = 1.0 + n_qubits / max(1, snap.max_qubits)
+        drift_cost = (1.0 - snap.fidelity_proxy) * geometry_weight
+        return (drift_cost + self.queue_weight * snap.queue_depth, snap.name)
+
     def choose(
         self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
     ) -> SiteSnapshot:
         self._require(candidates)
-        n_qubits = max(1, job.n_qubits)
+        return min(candidates, key=lambda snap: self._score(job, snap))
 
-        def score(snap: SiteSnapshot) -> tuple[float, str]:
-            geometry_weight = 1.0 + n_qubits / max(1, snap.max_qubits)
-            drift_cost = (1.0 - snap.fidelity_proxy) * geometry_weight
-            return (drift_cost + self.queue_weight * snap.queue_depth, snap.name)
-
-        return min(candidates, key=score)
+    def rank_resize(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> list[SiteSnapshot]:
+        """Least drift-adjusted cost deserves the biggest share."""
+        self._require(candidates)
+        return sorted(candidates, key=lambda snap: self._score(job, snap))
 
 
 class StickyPolicy(RoutingPolicy):
@@ -143,6 +183,21 @@ class StickyPolicy(RoutingPolicy):
         choice = self.fallback.choose(job, candidates, now)
         self._bindings[key] = choice.name
         return choice
+
+    def rank_resize(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> list[SiteSnapshot]:
+        """The bound site keeps the lion's share while it stays a
+        candidate; everyone else ranks by the fallback policy."""
+        self._require(candidates)
+        ranked = self.fallback.rank_resize(job, candidates, now)
+        key = job.affinity_key
+        bound = self._bindings.get(key) if key is not None else None
+        if bound is not None:
+            head = [s for s in ranked if s.name == bound]
+            if head:
+                return head + [s for s in ranked if s.name != bound]
+        return ranked
 
     def binding(self, key: str) -> str | None:
         return self._bindings.get(key)

@@ -17,7 +17,7 @@ them live; both report the detection time for the latency experiment
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -16,8 +16,6 @@ twin), but differs in exactly the ways real hardware differs:
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
 
 from ..errors import DeviceError

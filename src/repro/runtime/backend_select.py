@@ -31,11 +31,11 @@ DEFAULT_PREFERENCE = (
 
 def select_resource(
     available: Mapping[str, str],
-    requested: str | None = None,
+    requested: str | tuple[str, ...] | list[str] | None = None,
     env_default: str | None = None,
     preference: tuple[ResourceType, ...] = DEFAULT_PREFERENCE,
     federation=None,
-) -> str:
+) -> str | tuple[str, ...]:
     """Pick the resource name to execute on.
 
     ``available`` maps resource name -> resource type string.
@@ -49,7 +49,27 @@ def select_resource(
     re-applied unchanged over the remote catalog.  An explicit request
     (or env default) naming a ``site/resource`` the federation exports
     also resolves when it is missing locally; local names always win.
+
+    ``requested`` may also be a *multi-site placement*: a non-empty
+    tuple/list of names.  Every member must resolve individually (the
+    ``--qpu`` contract applies to each leg) and the placement comes back
+    as a tuple — the runtime feeds it to the federation's malleable
+    path, which spreads the job's iterations across those sites.
     """
+    if requested is not None and not isinstance(requested, str):
+        names = tuple(requested)
+        if not names:
+            raise ResourceNotFound("multi-site placement cannot be empty")
+        return tuple(
+            select_resource(
+                available,
+                requested=name,
+                env_default=None,
+                preference=preference,
+                federation=federation,
+            )
+            for name in names
+        )
     if not available and federation is not None:
         remote = dict(federation.available_resources())
         if remote:

@@ -122,7 +122,11 @@ class RuntimeEnvironment:
             return bool(checker(resource))
         return resource in self.federation.available_resources()
 
-    def resolve(self, qpu: str | None = None) -> str:
+    def resolve(
+        self, qpu: str | tuple[str, ...] | list[str] | None = None
+    ) -> str | tuple[str, ...]:
+        """Resolve ``--qpu``; a tuple/list request resolves every leg
+        and returns a multi-site placement (see :meth:`run_process`)."""
         return select_resource(
             self.available_resources(),
             requested=qpu,
@@ -141,6 +145,11 @@ class RuntimeEnvironment:
         if shots is not None and ir.shots != shots:
             ir = ir.with_shots(shots)
         resource = self.resolve(qpu)
+        if isinstance(resource, tuple):
+            raise TaskError(
+                "multi-site placements are asynchronous by construction; "
+                "use run_process() from a simulated job"
+            )
         target = self.fetch_target(resource)
         ensure_valid(ir, target)
         if self._is_federated(resource):
@@ -196,18 +205,54 @@ class RuntimeEnvironment:
     def run_process(
         self,
         program: Any,
-        qpu: str | None = None,
+        qpu: str | tuple[str, ...] | list[str] | None = None,
         shots: int | None = None,
         poll_interval: float = 1.0,
+        iterations: int | None = None,
     ):
         """Generator form of :meth:`run` for daemon/federated mode inside
         a simulation: submits, then polls on the simulated clock until
         the task reaches a terminal state.  Yield it from a job payload.
-        In direct mode it completes synchronously (no yields)."""
+        In direct mode it completes synchronously (no yields).
+
+        A tuple/list ``qpu`` is a *multi-site placement*: the program
+        runs as a malleable federated job of ``iterations`` burst units
+        (default: two per named site) spread over exactly those
+        ``site/resource`` legs, with the broker's resize loop shifting
+        the remaining units between them as load and health move."""
         ir = to_ir(program, shots=shots or 100)
         if shots is not None and ir.shots != shots:
             ir = ir.with_shots(shots)
         resource = self.resolve(qpu)
+        if isinstance(resource, tuple):
+            if self.federation is None:
+                raise TaskError(
+                    "multi-site placements need a federation= handle"
+                )
+            for name in resource:
+                if not self._is_federated(name):
+                    # a local catalog name resolves, but it is not a
+                    # site the broker can hold a share on — rejecting
+                    # beats silently running every unit elsewhere
+                    raise TaskError(
+                        f"multi-site placement leg {name!r} is not a "
+                        "federated site/resource"
+                    )
+                ensure_valid(ir, self.fetch_target(name))
+            from ..federation.client import FederatedClient
+
+            result = yield from FederatedClient(self.federation).run_malleable_process(
+                ir,
+                iterations if iterations is not None else 2 * len(resource),
+                shots=ir.shots,
+                sites=resource,
+                poll_interval=poll_interval,
+            )
+            return result
+        if iterations is not None:
+            raise TaskError(
+                "iterations= only applies to multi-site (tuple) placements"
+            )
         target = self.fetch_target(resource)
         ensure_valid(ir, target)
         if self._is_federated(resource):

@@ -14,7 +14,7 @@ claim checkable:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ReproError
 from .results import RunResult, total_variation_distance

@@ -6,14 +6,16 @@ The paper's Table 1 taxonomy and the mechanisms built around it:
   Low-QC/High-CC, Balanced) + ``--hint=...`` parsing,
 * :mod:`interleave` — pattern-aware co-scheduling that "interleaves
   jobs to kill QPU idle time" (Table 1, pattern B hint),
-* :mod:`malleable`  — grow/shrink classical allocations (§2.4, ref [25]),
+* :mod:`malleable`  — grow/shrink classical allocations (§2.4, ref [25])
+  plus the site-aware :class:`~repro.scheduling.malleable.ShareLedger`
+  behind cross-site malleable placements,
 * :mod:`timeshare`  — fractional QPU shares in 10% increments via
   licenses/GRES (§3.5) with a deficit-weighted fair queue,
 * :mod:`metrics`    — utilization/wait/makespan extraction from traces.
 """
 
 from .interleave import InterleavePlan, PatternAwarePlanner, SequentialPlanner
-from .malleable import MalleablePool, MalleableTask
+from .malleable import MalleablePool, MalleableTask, ShareLedger, SiteShare
 from .metrics import SchedulingMetrics, qpu_busy_fraction
 from .patterns import SchedulerHint, WorkloadPattern, classify_pattern, hint_for_pattern
 from .timeshare import TimeshareAllocator, WeightedFairPolicy
@@ -26,6 +28,8 @@ __all__ = [
     "SchedulerHint",
     "SchedulingMetrics",
     "SequentialPlanner",
+    "ShareLedger",
+    "SiteShare",
     "TimeshareAllocator",
     "WeightedFairPolicy",
     "WorkloadPattern",

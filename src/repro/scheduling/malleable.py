@@ -10,6 +10,18 @@ currently granted; a :class:`MalleablePool` re-divides a fixed CPU pool
 equally among live tasks whenever membership changes (grow on
 departure, shrink on arrival).  The C4 experiment compares this against
 static allocation on SQD-style pattern-B workloads.
+
+Two levels of malleability live here:
+
+* **nodes within a site** — :class:`MalleablePool` / :class:`MalleableTask`
+  resize CPU grants at task boundaries,
+* **sites within a federation** — :class:`ShareLedger` /
+  :class:`SiteShare` divide the *units* (iteration bursts) of one
+  iterative hybrid job across sites, with preemption-safe checkpoints
+  at unit boundaries: completed units are never redone, an abandoned
+  in-flight unit returns to the pool intact, and grow/shrink only
+  changes who runs the units that have not started yet.  The
+  federation broker's resize loop drives this ledger.
 """
 
 from __future__ import annotations
@@ -18,7 +30,7 @@ from dataclasses import dataclass, field
 
 from ..errors import SchedulerError
 
-__all__ = ["MalleablePool", "MalleableTask"]
+__all__ = ["MalleablePool", "MalleableTask", "ShareLedger", "SiteShare"]
 
 
 @dataclass
@@ -79,8 +91,39 @@ class MalleablePool:
         if not live:
             return
         share = max(1, self.total_cpus // len(live))
-        for task in live:
-            task.cpus = int(min(task.max_cpus, max(task.min_cpus, share)))
+        grants = [
+            int(min(t.max_cpus, max(t.min_cpus, share))) for t in live
+        ]
+        if sum(grants) > self.total_cpus:
+            # oversubscribed (too many tasks, or min_cpus floors exceed
+            # the equal share): fall back to bare min_cpus grants and
+            # give the overflow zero CPUs — those tasks wait for the
+            # next resize boundary instead of running on invented
+            # capacity.  A task whose min_cpus alone exceeds the pool
+            # surfaces as a loud convergence error, never silent magic.
+            budget = self.total_cpus
+            for task in live:
+                if budget >= task.min_cpus:
+                    task.cpus = task.min_cpus
+                    budget -= task.min_cpus
+                else:
+                    task.cpus = 0
+            # top up leftover budget round-robin over the admitted
+            # tasks (a huge min_cpus floor skipping the queue must not
+            # strand the CPUs it could not claim)
+            admitted = [t for t in live if t.cpus > 0]
+            while budget > 0:
+                grew = False
+                for task in admitted:
+                    if budget > 0 and task.cpus < task.max_cpus:
+                        task.cpus += 1
+                        budget -= 1
+                        grew = True
+                if not grew:
+                    break
+            return
+        for task, grant in zip(live, grants):
+            task.cpus = grant
 
     def run(
         self,
@@ -115,7 +158,9 @@ class MalleablePool:
             # rigid mode must respect the pool size: only the first
             # pool/width tasks run concurrently, the rest wait.
             if self.malleable:
-                running = live
+                running = [t for t in live if t.cpus >= 1]
+                if not running:
+                    raise SchedulerError("no task holds a CPU grant")
             else:
                 width = live[0].cpus
                 concurrent = max(1, self.total_cpus // max(1, width))
@@ -137,3 +182,272 @@ class MalleablePool:
     def makespan(self, tasks: list[MalleableTask], **kwargs) -> float:
         finish = self.run(tasks, **kwargs)
         return max(finish.values()) if finish else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Site-aware shares (cross-site malleability)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SiteShare:
+    """One site's slice of an iterative malleable job."""
+
+    site: str
+    weight: float = 1.0
+    completed_units: int = 0
+    retired: bool = False
+
+    @property
+    def active(self) -> bool:
+        return not self.retired and self.weight > 0.0
+
+
+class ShareLedger:
+    """Divide the work units of one iterative job across sites.
+
+    A *unit* is one iteration burst — the natural preemption boundary of
+    an iterative hybrid job.  The ledger is the bookkeeping half of
+    cross-site malleability; a controller (the federation broker's
+    resize loop) owns the policy half and calls:
+
+    * :meth:`set_weight` / :meth:`retire` — grow, shrink, or evict a
+      site's share.  Only *future* units move; nothing in flight is
+      preempted mid-unit,
+    * :meth:`claim` — hand a site its next unit when the current
+      proportional allocation grants it one,
+    * :meth:`checkpoint` — durably record a finished unit (never
+      redone, even if the site later dies),
+    * :meth:`abandon` — return an in-flight unit to the pending pool
+      intact, counting one attempt against it.
+
+    ``freeze()`` switches the ledger to rigid mode: pending units are
+    pre-assigned round-robin and never rebalanced — the no-malleability
+    baseline the ablation benchmark compares against.
+    """
+
+    def __init__(self, total_units: int, max_attempts: int = 3) -> None:
+        if total_units < 1:
+            raise SchedulerError("a malleable job needs >= 1 unit")
+        if max_attempts < 1:
+            raise SchedulerError("max_attempts must be >= 1")
+        self.total_units = total_units
+        self.max_attempts = max_attempts
+        self.shares: dict[str, SiteShare] = {}
+        self._pending: list[int] = list(range(total_units))
+        self._in_flight: dict[int, str] = {}
+        self._completed: dict[int, str] = {}
+        self._attempts: dict[int, int] = {}
+        self._frozen: dict[int, str] | None = None
+
+    # -- membership / weights ------------------------------------------------
+
+    def add_site(self, site: str, weight: float = 1.0) -> SiteShare:
+        if site in self.shares:
+            raise SchedulerError(f"site {site!r} already holds a share")
+        if weight < 0:
+            raise SchedulerError("share weight must be >= 0")
+        share = SiteShare(site=site, weight=weight)
+        self.shares[site] = share
+        return share
+
+    def set_weight(self, site: str, weight: float) -> None:
+        if weight < 0:
+            raise SchedulerError("share weight must be >= 0")
+        share = self._share(site)
+        if share.retired:
+            raise SchedulerError(f"site {site!r} share is retired")
+        if self._frozen is not None:
+            raise SchedulerError("frozen ledgers cannot be rebalanced")
+        share.weight = weight
+
+    def retire(self, site: str) -> list[int]:
+        """Evict a site: its in-flight units return to the pool and its
+        pending (frozen-mode) units are reassigned.  Returns the
+        reclaimed in-flight unit indices so the controller can cancel
+        the matching site tasks."""
+        share = self._share(site)
+        share.retired = True
+        share.weight = 0.0
+        reclaimed = [u for u, s in self._in_flight.items() if s == site]
+        for unit in reclaimed:
+            self.abandon(unit)
+        if self._frozen is not None:
+            survivors = [s.site for s in self.shares.values() if s.active]
+            orphans = [u for u in self._pending if self._frozen.get(u) == site]
+            if survivors:
+                for i, unit in enumerate(orphans):
+                    self._frozen[unit] = survivors[i % len(survivors)]
+        return reclaimed
+
+    def revive(self, site: str, weight: float = 1.0) -> None:
+        """Re-activate a retired share (a recovered site rejoining).
+        Allowed even on frozen ledgers — failover is not rebalancing."""
+        if weight < 0:
+            raise SchedulerError("share weight must be >= 0")
+        share = self._share(site)
+        if not share.retired:
+            raise SchedulerError(f"site {site!r} share is not retired")
+        share.retired = False
+        share.weight = weight
+
+    def weight(self, site: str) -> float:
+        return self._share(site).weight
+
+    def active_sites(self) -> list[str]:
+        return sorted(s.site for s in self.shares.values() if s.active)
+
+    def _share(self, site: str) -> SiteShare:
+        if site not in self.shares:
+            raise SchedulerError(f"site {site!r} holds no share")
+        return self.shares[site]
+
+    # -- rigid baseline -------------------------------------------------------
+
+    def freeze(self) -> None:
+        """Pin every pending unit to a site round-robin; disables
+        rebalancing (the rigid baseline)."""
+        sites = self.active_sites()
+        if not sites:
+            raise SchedulerError("cannot freeze a ledger with no active site")
+        self._frozen = {
+            unit: sites[i % len(sites)] for i, unit in enumerate(self._pending)
+        }
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen is not None
+
+    def assign_orphans(self) -> None:
+        """Frozen mode: re-pin pending units whose assigned site is no
+        longer active onto the current active set, round-robin.  Covers
+        the case where *every* shareholder died before replacements
+        joined — :meth:`retire` can only reassign to survivors that
+        exist at retire time."""
+        if self._frozen is None:
+            return
+        active = self.active_sites()
+        if not active:
+            return
+        orphans = [
+            unit
+            for unit in self._pending
+            if self._frozen.get(unit) not in active
+        ]
+        for i, unit in enumerate(orphans):
+            self._frozen[unit] = active[i % len(active)]
+
+    # -- dispatch cycle --------------------------------------------------------
+
+    def allocation(self) -> dict[str, int]:
+        """Largest-remainder split of outstanding (pending + in-flight)
+        units over active share weights — the target concurrent load per
+        site the controller dispatches toward."""
+        active = [s for s in self.shares.values() if s.active]
+        outstanding = len(self._pending) + len(self._in_flight)
+        alloc = {s.site: 0 for s in active}
+        if not active or outstanding == 0:
+            return alloc
+        if self._frozen is not None:
+            for unit in self._pending:
+                site = self._frozen[unit]
+                if site in alloc:
+                    alloc[site] += 1
+            for unit, site in self._in_flight.items():
+                if site in alloc:
+                    alloc[site] += 1
+            return alloc
+        total_weight = sum(s.weight for s in active)
+        quota = {s.site: outstanding * s.weight / total_weight for s in active}
+        for site, q in quota.items():
+            alloc[site] = int(q)
+        leftover = outstanding - sum(alloc.values())
+        by_remainder = sorted(
+            quota, key=lambda site: (-(quota[site] - alloc[site]), site)
+        )
+        for site in by_remainder[:leftover]:
+            alloc[site] += 1
+        return alloc
+
+    def in_flight_at(self, site: str) -> list[int]:
+        return sorted(u for u, s in self._in_flight.items() if s == site)
+
+    def capacity(self, site: str) -> int:
+        """How many more units the current allocation lets ``site`` start."""
+        share = self.shares.get(site)
+        if share is None or not share.active:
+            return 0
+        alloc = self.allocation().get(site, 0)
+        return max(0, alloc - len(self.in_flight_at(site)))
+
+    def claim(self, site: str) -> int | None:
+        """Hand ``site`` its next unit, or None if its share is spent."""
+        if self.capacity(site) <= 0 or not self._pending:
+            return None
+        if self._frozen is not None:
+            mine = [u for u in self._pending if self._frozen[u] == site]
+            if not mine:
+                return None
+            unit = mine[0]
+        else:
+            unit = self._pending[0]
+        self._pending.remove(unit)
+        self._in_flight[unit] = site
+        return unit
+
+    def checkpoint(self, unit: int) -> None:
+        """Durably record ``unit`` as done (preemption-safe boundary)."""
+        site = self._in_flight.pop(unit, None)
+        if site is None:
+            raise SchedulerError(f"unit {unit} is not in flight")
+        self._completed[unit] = site
+        self.shares[site].completed_units += 1
+
+    def abandon(self, unit: int) -> int:
+        """Return an in-flight unit to the pool; returns its attempt
+        count so the controller can enforce bounded retries."""
+        if self._in_flight.pop(unit, None) is None:
+            raise SchedulerError(f"unit {unit} is not in flight")
+        self._attempts[unit] = self._attempts.get(unit, 0) + 1
+        self._pending.append(unit)
+        self._pending.sort()
+        return self._attempts[unit]
+
+    def reclaim(self, unit: int) -> None:
+        """Voluntarily pull back a unit that never started executing
+        (resize-driven redistribution): no work is lost, so no attempt
+        is charged against the unit's retry budget."""
+        if self._in_flight.pop(unit, None) is None:
+            raise SchedulerError(f"unit {unit} is not in flight")
+        self._pending.append(unit)
+        self._pending.sort()
+
+    def attempts(self, unit: int) -> int:
+        return self._attempts.get(unit, 0)
+
+    def exhausted(self, unit: int) -> bool:
+        return self.attempts(unit) >= self.max_attempts
+
+    # -- progress ---------------------------------------------------------------
+
+    @property
+    def completed_units(self) -> int:
+        return len(self._completed)
+
+    @property
+    def pending_units(self) -> int:
+        return len(self._pending)
+
+    @property
+    def in_flight_units(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def done(self) -> bool:
+        return len(self._completed) == self.total_units
+
+    def completions_by_site(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for site in self._completed.values():
+            out[site] = out.get(site, 0) + 1
+        return out

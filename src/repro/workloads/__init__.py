@@ -17,7 +17,12 @@ The applications the paper's environment exists to serve:
 from .generator import HybridJobFactory, JobStream, StreamConfig
 from .qaa import make_qaa_program, qaa_energy
 from .sqd import SQDWorkload, sqd_postprocess
-from .traces import ArrivalTrace, TraceEntry, multi_site_trace
+from .traces import (
+    ArrivalTrace,
+    TraceEntry,
+    contention_burst_trace,
+    multi_site_trace,
+)
 from .vqe import ising_energy_from_counts, make_vqe
 
 __all__ = [
@@ -30,6 +35,7 @@ __all__ = [
     "ising_energy_from_counts",
     "make_qaa_program",
     "make_vqe",
+    "contention_burst_trace",
     "multi_site_trace",
     "qaa_energy",
     "sqd_postprocess",

@@ -17,7 +17,12 @@ from ..errors import SchedulerError
 from ..scheduling.patterns import WorkloadPattern
 from .generator import HybridJobFactory, JobStream, StreamConfig, SyntheticHybridJob
 
-__all__ = ["ArrivalTrace", "TraceEntry", "multi_site_trace"]
+__all__ = [
+    "ArrivalTrace",
+    "TraceEntry",
+    "contention_burst_trace",
+    "multi_site_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -145,3 +150,48 @@ def multi_site_trace(
         cfg = replace(base, users=tuple(f"tenant{k}-{u}" for u in base.users))
         parts.append(ArrivalTrace.from_stream_config(cfg, root_seed + 7919 * (k + 1), factory))
     return ArrivalTrace.merge(*parts)
+
+
+def contention_burst_trace(
+    config: StreamConfig | None = None,
+    streams: int = 2,
+    burst_at: float = 600.0,
+    burst_jobs: int = 12,
+    burst_spacing_s: float = 2.0,
+    burst_shots: int = 400,
+    root_seed: int = 0,
+) -> ArrivalTrace:
+    """A trace that forces mid-flight contraction of malleable shares.
+
+    Overlays a steady multi-tenant background stream with a tight burst
+    of ``burst_jobs`` heavy quantum-dominated jobs starting at
+    ``burst_at``: wherever the federation routes the burst, queue depth
+    spikes past the resize loop's high watermark, so any malleable
+    placement running there must shrink its share mid-flight and shift
+    the remaining units to calmer sites.  Deterministic in
+    ``root_seed`` like every other trace.
+    """
+    if burst_jobs < 1:
+        raise SchedulerError("contention_burst_trace needs >= 1 burst job")
+    if burst_at < 0 or burst_spacing_s < 0:
+        raise SchedulerError("burst timing must be non-negative")
+    background = multi_site_trace(
+        streams=streams, config=config, root_seed=root_seed
+    )
+    factory = HybridJobFactory()
+    burst_entries = []
+    for i in range(burst_jobs):
+        job = factory.make(WorkloadPattern.HIGH_QC_LOW_CC, user=f"burst-{i}")
+        burst_entries.append(
+            TraceEntry(
+                arrival_s=burst_at + i * burst_spacing_s,
+                name=f"burst-{job.name}",
+                user=job.user,
+                pattern=job.pattern.value,
+                shots_per_burst=burst_shots,
+                classical_seconds=0.0,
+                iterations=1,
+                n_atoms=job.n_atoms,
+            )
+        )
+    return ArrivalTrace.merge(background, ArrivalTrace(burst_entries))

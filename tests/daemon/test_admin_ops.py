@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.daemon import MiddlewareDaemon, build_router
+from repro.daemon import MiddlewareDaemon
 from repro.daemon.queue import TaskState
 from repro.qpu import ConstantWaveform, QPUDevice, Register, ShotClock
 from repro.qrmi import CloudEmulatorResource, OnPremQPUResource
-from repro.runtime import DaemonClient
 from repro.sdk import Pulse, Sequence
 from repro.simkernel import Simulator
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import DictConfig
 from repro.errors import ResourceNotFound
 from repro.federation import FederatedClient, JobState
 from repro.runtime import RuntimeEnvironment

@@ -1,14 +1,12 @@
 """End-to-end integration tests crossing every layer of the stack."""
 
 import numpy as np
-import pytest
 
 from repro.cluster import JobSpec, JobState, Node, Partition, PreemptMode, SlurmController
 from repro.config import DictConfig
 from repro.daemon import MiddlewareDaemon, SharingMode, build_router
 from repro.daemon.queue import ShotCapPolicy
 from repro.qpu import (
-    CalibrationState,
     DriftModel,
     DriftProcess,
     QPUDevice,

@@ -65,6 +65,29 @@ class TestBackendSelect:
     def test_preference_defaults_to_emulator(self):
         assert select_resource(self.AVAILABLE) == "local"
 
+    def test_multi_site_placement_resolves_every_leg(self):
+        class FakeFederation:
+            def available_resources(self):
+                return {"site-0/onprem": "onprem-qpu", "site-1/onprem": "onprem-qpu"}
+
+            def has_resource(self, name):
+                return name in self.available_resources()
+
+        placement = select_resource(
+            self.AVAILABLE,
+            requested=("site-0/onprem", "local"),
+            federation=FakeFederation(),
+        )
+        assert placement == ("site-0/onprem", "local")
+
+    def test_multi_site_placement_fails_on_unknown_leg(self):
+        with pytest.raises(ResourceNotFound):
+            select_resource(self.AVAILABLE, requested=("local", "nowhere/qpu"))
+
+    def test_multi_site_placement_rejects_empty(self):
+        with pytest.raises(ResourceNotFound):
+            select_resource(self.AVAILABLE, requested=())
+
     def test_no_resources(self):
         with pytest.raises(ResourceNotFound):
             select_resource({})

@@ -1,6 +1,5 @@
 """Property-based tests for scheduling policies (hypothesis)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -92,6 +91,133 @@ class TestMalleableProperties:
         task = MalleableTask("t", work_cpu_seconds=work, serial_fraction=0.0, max_cpus=16)
         makespan = MalleablePool(16, malleable=True).makespan([task])
         assert makespan >= work / 16 - 1e-9
+
+    # -- run() edge cases -------------------------------------------------
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(
+            st.floats(min_value=1.0, max_value=500.0), min_size=1, max_size=12
+        ),
+    )
+    def test_zero_cpu_grants_respect_pool_capacity(self, cpus, works):
+        """Oversubscription grants zero CPUs instead of inventing cores:
+        the aggregate consumption rate can never exceed the pool, so the
+        makespan is bounded below by perfect parallelism and above by a
+        fully serial schedule."""
+        tasks = [
+            MalleableTask(f"t{i}", work_cpu_seconds=w, serial_fraction=0.0)
+            for i, w in enumerate(works)
+        ]
+        finish = MalleablePool(cpus, malleable=True).run(tasks)
+        assert set(finish) == {t.name for t in tasks}
+        makespan = max(finish.values())
+        total = sum(works)
+        assert makespan >= total / cpus - 1e-6
+        assert makespan <= total + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=200.0),
+                st.integers(min_value=1, max_value=4),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_min_cpus_floors_never_oversubscribe(self, cpus, specs):
+        """min_cpus > 1 floors must not grant more aggregate CPUs than
+        the pool holds (the makespan lower bound stays physical)."""
+        from hypothesis import assume
+
+        assume(all(m <= cpus for _, m in specs))
+        tasks = [
+            MalleableTask(
+                f"t{i}", work_cpu_seconds=w, serial_fraction=0.0, min_cpus=m
+            )
+            for i, (w, m) in enumerate(specs)
+        ]
+        finish = MalleablePool(cpus, malleable=True).run(tasks)
+        total = sum(w for w, _ in specs)
+        assert max(finish.values()) >= total / cpus - 1e-6
+
+    def test_zero_cpu_grants_run_in_waves(self):
+        """5 equal tasks on 2 CPUs: two waves of pairs (the overflow
+        waits on zero CPUs), then the lone survivor grows to the whole
+        pool and finishes in half the time."""
+        tasks = [
+            MalleableTask(f"t{i}", work_cpu_seconds=10.0, serial_fraction=0.0)
+            for i in range(5)
+        ]
+        finish = MalleablePool(2, malleable=True).run(tasks)
+        assert sorted(finish.values()) == pytest.approx([10, 10, 20, 20, 25])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_simultaneous_finish_at_resize_boundary(self, n, work, serial):
+        """Identical tasks all finish at exactly the same boundary —
+        the resize that fires there must not double-count work or spin."""
+        tasks = [
+            MalleableTask(
+                f"t{i}", work_cpu_seconds=work, serial_fraction=serial, max_cpus=64
+            )
+            for i in range(n)
+        ]
+        finish = MalleablePool(64, malleable=True).run(tasks)
+        times = list(finish.values())
+        assert all(t == pytest.approx(times[0]) for t in times)
+        for task in tasks:
+            assert task.remaining_work == pytest.approx(0.0, abs=1e-6)
+
+    def test_finish_exactly_at_resize_boundary_then_regrow(self):
+        """One task finishes exactly when another does: the survivor's
+        regrow happens once, at the shared boundary."""
+        a = MalleableTask("a", work_cpu_seconds=8.0, serial_fraction=0.0, max_cpus=8)
+        b = MalleableTask("b", work_cpu_seconds=8.0, serial_fraction=0.0, max_cpus=8)
+        c = MalleableTask("c", work_cpu_seconds=24.0, serial_fraction=0.0, max_cpus=8)
+        # 8 CPUs / 3 live -> 2 each; a and b finish together at t=4 with
+        # c at 24-8=16 left; c then takes the whole pool: 4 + 16/8 = 6
+        finish = MalleablePool(8, malleable=True).run([a, b, c])
+        assert finish["a"] == pytest.approx(4.0)
+        assert finish["b"] == pytest.approx(4.0)
+        assert finish["c"] == pytest.approx(6.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_rigid_parity_for_symmetric_workloads(self, n, work, serial):
+        """With identical tasks and a pool an exact multiple of n, there
+        is nothing for malleability to exploit: malleable=True must
+        reproduce the rigid path exactly."""
+        total = 8 * n
+
+        def tasks():
+            return [
+                MalleableTask(
+                    f"t{i}",
+                    work_cpu_seconds=work,
+                    serial_fraction=serial,
+                    max_cpus=total,
+                )
+                for i in range(n)
+            ]
+
+        rigid = MalleablePool(total, malleable=False).run(tasks())
+        flexible = MalleablePool(total, malleable=True).run(tasks())
+        assert set(rigid) == set(flexible)
+        for name in rigid:
+            assert flexible[name] == pytest.approx(rigid[name])
 
 
 class TestTimeshareProperties:

@@ -1,6 +1,5 @@
 """Tests for patterns, interleaving, malleability, timeshares, metrics."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SchedulerError
