@@ -96,10 +96,14 @@ def build_federation_stack(
     policy=None,
     seed: int = 0,
     heartbeat_interval: float = 15.0,
+    accounting=None,
+    housekeeping_jitter: float = 0.0,
 ):
     """N single-QPU sites on one clock behind a broker — the shared
-    scenario base for the federation and cross-site-malleability
-    benches.  Returns (sim, registry, broker, sites)."""
+    scenario base for the federation, cross-site-malleability, and
+    accounting benches.  ``accounting`` optionally wires a
+    :class:`~repro.accounting.FederationAccounting` into the broker.
+    Returns (sim, registry, broker, sites)."""
     from repro.federation import FederatedSite, FederationBroker, SiteRegistry
 
     sim = Simulator()
@@ -124,8 +128,12 @@ def build_federation_stack(
         registry.register(site, now=0.0)
         sites[site.name] = site
     registry.start_heartbeats(sim, interval=heartbeat_interval)
-    broker = FederationBroker(sim, registry, policy=policy, max_attempts=4)
-    broker.spawn_housekeeping(interval=heartbeat_interval)
+    broker = FederationBroker(
+        sim, registry, policy=policy, max_attempts=4, accounting=accounting
+    )
+    broker.spawn_housekeeping(
+        interval=heartbeat_interval, jitter=housekeeping_jitter, seed=seed
+    )
     return sim, registry, broker, sites
 
 
@@ -176,10 +184,11 @@ def run_interleave_plan(
 
 
 def bench_regression_suite() -> dict:
-    """Run the federation + malleable ablation benches; returns
-    ``{"mode": ..., "metrics": {name: value}}``."""
+    """Run the federation + malleable + accounting ablation benches;
+    returns ``{"mode": ..., "metrics": {name: value}}``."""
     import os
 
+    from benchmarks.bench_ablation_accounting import run_c5_budget, run_c5_fairshare
     from benchmarks.bench_ablation_malleable import run_all, run_c4c
     from benchmarks.bench_fig4_federation import POLICIES, run_policy
 
@@ -201,6 +210,26 @@ def bench_regression_suite() -> dict:
         metrics[f"throughput_f4_{name}_jobs_per_h"] = round(
             out["completed"] / out["makespan"] * 3600.0, 3
         )
+    # C5 — federated accounting: budget cap + fair-share convergence.
+    # The capped steady-tenant makespan and the cost-aware burst
+    # completions are the gated wins; the fair-share ratio rides along
+    # presence-checked (the bench test asserts its bounds).
+    c5 = run_c5_budget()
+    metrics["makespan_c5_steady_capped_s"] = round(
+        c5["capped"]["steady_makespan"], 3
+    )
+    metrics["makespan_c5_steady_uncapped_s"] = round(
+        c5["uncapped"]["steady_makespan"], 3
+    )
+    metrics["throughput_c5_costaware_burst_jobs"] = float(
+        c5["capped_cost_aware"]["burst_completed"]
+    )
+    metrics["spend_c5_burst_capped_credits"] = round(
+        c5["capped"]["burst_spend"], 3
+    )
+    fair = run_c5_fairshare()
+    metrics["makespan_c5f_heavy_s"] = round(fair["heavy_finished_at"], 3)
+    metrics["fairshare_c5f_contended_ratio"] = round(fair["contended_ratio"], 3)
     mode = "smoke" if os.environ.get("BENCH_SMOKE", "") not in ("", "0") else "full"
     return {"mode": mode, "metrics": metrics}
 

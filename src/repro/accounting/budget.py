@@ -1,0 +1,143 @@
+"""Tenant budgets and federation-level admission control.
+
+A :class:`TenantBudget` caps what one tenant may spend across the whole
+federation (the per-site quota models — cloud-gateway shot quotas,
+cluster allocations — stay in force underneath; this is the cross-site
+cap they cannot provide).  The :class:`BudgetBook` owns every tenant's
+budget, computes remaining headroom against the shared
+:class:`~repro.accounting.ledger.UsageLedger`, and answers the broker's
+admission question: admit, hold, or reject.
+
+Enforcement uses an encumbrance model: when the broker places a job it
+**reserves** the job's priced shot cost against the tenant's budget,
+and on completion the reservation is released as the actual usage is
+metered.  ``remaining = limit - metered spend - live reservations``, so
+admission sees in-flight work immediately instead of waiting for the
+completion sweep — a queue full of uncompleted jobs cannot blow past
+the cap.  Only the classical seconds (unknown until a job finishes)
+land post-paid, so overshoot is bounded by one job's metering lag.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import AccountingError
+from .ledger import UsageLedger
+
+__all__ = ["AdmissionDecision", "BudgetAction", "BudgetBook", "TenantBudget"]
+
+
+class BudgetAction(enum.Enum):
+    """What an exhausted budget does to new submissions."""
+
+    REJECT = "reject"   # refuse loudly (BudgetExceededError at the broker)
+    HOLD = "hold"       # park the job; it places when the budget is topped up
+
+
+class AdmissionDecision(enum.Enum):
+    ADMIT = "admit"
+    HOLD = "hold"
+    REJECT = "reject"
+
+
+@dataclass
+class TenantBudget:
+    """One tenant's federation-wide spending cap."""
+
+    tenant: str
+    limit: float
+    action: BudgetAction = BudgetAction.REJECT
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise AccountingError("budget limit must be >= 0")
+
+
+class BudgetBook:
+    """All tenant budgets of one federation, backed by one ledger."""
+
+    def __init__(self, ledger: UsageLedger) -> None:
+        self.ledger = ledger
+        self._budgets: dict[str, TenantBudget] = {}
+        self._reservations: dict[str, tuple[str, float]] = {}  # key -> (tenant, cost)
+        # running per-tenant totals so remaining()/admission() — called
+        # per submit, per candidate site in cost-aware scoring, and per
+        # reconcile gauge refresh — never scan the reservation table
+        self._reserved_total: dict[str, float] = {}
+
+    def set_budget(
+        self,
+        tenant: str,
+        limit: float,
+        action: BudgetAction = BudgetAction.REJECT,
+    ) -> TenantBudget:
+        budget = TenantBudget(tenant=tenant, limit=limit, action=action)
+        self._budgets[tenant] = budget
+        return budget
+
+    def grant(self, tenant: str, extra: float) -> TenantBudget:
+        """Top up a tenant's limit (the release path for held jobs)."""
+        if extra < 0:
+            raise AccountingError("budget grant must be >= 0")
+        budget = self.budget(tenant)
+        if budget is None:
+            raise AccountingError(f"tenant {tenant!r} has no budget to top up")
+        budget.limit += extra
+        return budget
+
+    def budget(self, tenant: str) -> TenantBudget | None:
+        return self._budgets.get(tenant)
+
+    def budgets(self) -> dict[str, TenantBudget]:
+        return dict(self._budgets)
+
+    # -- reservations (encumbrance) ------------------------------------------
+
+    def reserve(self, tenant: str, key: str, cost: float) -> None:
+        """Encumber ``cost`` against ``tenant`` for in-flight work
+        ``key`` (a job or unit id); replaces any prior reservation under
+        the same key (a re-placement re-prices at the new site)."""
+        if cost < 0:
+            raise AccountingError("reserved cost must be >= 0")
+        prior = self._reservations.get(key)
+        if prior is not None:
+            self._reserved_total[prior[0]] -= prior[1]
+        self._reservations[key] = (tenant, cost)
+        self._reserved_total[tenant] = self._reserved_total.get(tenant, 0.0) + cost
+
+    def release(self, key: str) -> None:
+        """Drop the reservation for ``key`` (completed, abandoned, or
+        failed work); unknown keys are a no-op so every terminal path
+        can release unconditionally."""
+        entry = self._reservations.pop(key, None)
+        if entry is not None:
+            self._reserved_total[entry[0]] -= entry[1]
+
+    def reserved(self, tenant: str) -> float:
+        # floored at zero: repeated add/subtract of floats may drift a
+        # hair below it once every reservation is released
+        return max(0.0, self._reserved_total.get(tenant, 0.0))
+
+    # -- headroom ------------------------------------------------------------
+
+    def remaining(self, tenant: str) -> float:
+        """Headroom before exhaustion (metered spend plus live
+        reservations); +inf for unbudgeted tenants."""
+        budget = self._budgets.get(tenant)
+        if budget is None:
+            return float("inf")
+        return budget.limit - self.ledger.spend(tenant) - self.reserved(tenant)
+
+    def exhausted(self, tenant: str) -> bool:
+        return self.remaining(tenant) <= 0.0
+
+    def admission(self, tenant: str) -> AdmissionDecision:
+        """The broker's intake question for one new submission."""
+        budget = self._budgets.get(tenant)
+        if budget is None or not self.exhausted(tenant):
+            return AdmissionDecision.ADMIT
+        if budget.action is BudgetAction.HOLD:
+            return AdmissionDecision.HOLD
+        return AdmissionDecision.REJECT

@@ -1,0 +1,75 @@
+"""Per-site pricing: rate cards and the federation's rate book.
+
+Each site of a federation prices its resources independently — a
+national HPC center charging nominal core-hours, a commercial cloud QPU
+charging per shot.  A :class:`SiteRateCard` fixes the unit prices one
+site charges; the :class:`RateBook` is the broker's lookup table from
+site name to card, with a default card for sites that never published
+one (every metered event is priced, even from late-joining sites).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import AccountingError
+
+__all__ = ["RateBook", "SiteRateCard", "UsageKind"]
+
+
+class UsageKind(enum.Enum):
+    """The three metered quantities of the federation."""
+
+    CPU_SECONDS = "cpu_seconds"   # classical runtime on site resources
+    QPU_SHOTS = "qpu_shots"       # quantum shots executed
+    RETRIES = "retries"           # abandoned placements / malleable-unit retries
+
+
+@dataclass(frozen=True)
+class SiteRateCard:
+    """One site's published unit prices (in federation credits)."""
+
+    site: str
+    cpu_second_price: float = 0.001
+    qpu_shot_price: float = 0.01
+    #: flat surcharge per abandoned placement or malleable-unit retry —
+    #: sites that crash mid-run still bill the rework they caused, so
+    #: the invoice explains *why* a flaky federation costs more
+    retry_surcharge: float = 0.0
+    currency: str = "credits"
+
+    def __post_init__(self) -> None:
+        for field_name in ("cpu_second_price", "qpu_shot_price", "retry_surcharge"):
+            if getattr(self, field_name) < 0:
+                raise AccountingError(f"{field_name} must be >= 0")
+
+    def unit_price(self, kind: UsageKind) -> float:
+        if kind is UsageKind.CPU_SECONDS:
+            return self.cpu_second_price
+        if kind is UsageKind.QPU_SHOTS:
+            return self.qpu_shot_price
+        return self.retry_surcharge
+
+    def price(self, kind: UsageKind, quantity: float) -> float:
+        if quantity < 0:
+            raise AccountingError("metered quantity must be >= 0")
+        return self.unit_price(kind) * quantity
+
+
+class RateBook:
+    """site name -> :class:`SiteRateCard`, with a default for the rest."""
+
+    def __init__(self, default: SiteRateCard | None = None) -> None:
+        self.default = default or SiteRateCard(site="*")
+        self._cards: dict[str, SiteRateCard] = {}
+
+    def publish(self, card: SiteRateCard) -> None:
+        """Install (or replace) one site's card."""
+        self._cards[card.site] = card
+
+    def card_for(self, site: str) -> SiteRateCard:
+        return self._cards.get(site, self.default)
+
+    def sites(self) -> list[str]:
+        return sorted(self._cards)

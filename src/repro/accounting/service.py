@@ -1,0 +1,111 @@
+"""FederationAccounting: the one object the broker wires in.
+
+Bundles the four accounting concerns — metering
+(:class:`~repro.accounting.ledger.UsageLedger`), pricing
+(:class:`~repro.accounting.rates.RateBook`), enforcement
+(:class:`~repro.accounting.budget.BudgetBook`), and cross-job fairness
+(:class:`~repro.accounting.arbiter.FairShareArbiter`) — behind the
+narrow surface the federation calls:
+
+* ``admission(tenant)``        — may this submission enter right now?
+* ``meter_completion(...)``    — a job/unit finished somewhere: bill it,
+* ``meter_retry(...)``         — a placement was abandoned: bill the rework,
+* ``invoice(tenant)``          — the tenant's single cross-site bill.
+
+Construct one per federation and pass it to
+:class:`~repro.federation.broker.FederationBroker`; a ``None``
+accounting (the default) keeps the whole subsystem inert.
+"""
+
+from __future__ import annotations
+
+from .arbiter import FairShareArbiter
+from .budget import AdmissionDecision, BudgetAction, BudgetBook, TenantBudget
+from .ledger import Invoice, UsageLedger
+from .rates import RateBook, SiteRateCard, UsageKind
+
+__all__ = ["FederationAccounting"]
+
+
+class FederationAccounting:
+    """The accounting plane of one federation."""
+
+    def __init__(
+        self,
+        rates: RateBook | None = None,
+        arbiter: FairShareArbiter | None = None,
+    ) -> None:
+        self.rates = rates or RateBook()
+        self.ledger = UsageLedger(self.rates)
+        self.budgets = BudgetBook(self.ledger)
+        self.arbiter = arbiter or FairShareArbiter()
+
+    # -- configuration (site/tenant onboarding) ------------------------------
+
+    def publish_rate_card(self, card: SiteRateCard) -> None:
+        self.rates.publish(card)
+
+    def set_budget(
+        self,
+        tenant: str,
+        limit: float,
+        action: BudgetAction = BudgetAction.REJECT,
+    ) -> TenantBudget:
+        return self.budgets.set_budget(tenant, limit, action=action)
+
+    def set_share_weight(self, tenant: str, weight: float) -> None:
+        self.arbiter.set_weight(tenant, weight)
+
+    # -- the broker's surface ------------------------------------------------
+
+    def admission(self, tenant: str) -> AdmissionDecision:
+        return self.budgets.admission(tenant)
+
+    def reserve_placement(
+        self, tenant: str, site: str, *, shots: int, key: str
+    ) -> None:
+        """Encumber a placement's priced shot cost against the tenant's
+        budget until the matching completion/abandonment releases it —
+        admission sees in-flight work, not just the completion sweep."""
+        cost = self.rates.card_for(site).price(UsageKind.QPU_SHOTS, shots)
+        self.budgets.reserve(tenant, key, cost)
+
+    def release_placement(self, key: str) -> None:
+        self.budgets.release(key)
+
+    def meter_completion(
+        self,
+        tenant: str,
+        site: str,
+        *,
+        shots: int = 0,
+        cpu_seconds: float = 0.0,
+        now: float = 0.0,
+        job_id: str = "",
+    ) -> None:
+        """Bill one finished job (or malleable unit) at ``site``."""
+        if shots > 0:
+            self.ledger.meter(
+                tenant, site, UsageKind.QPU_SHOTS, shots, now, job_id=job_id
+            )
+        if cpu_seconds > 0:
+            self.ledger.meter(
+                tenant, site, UsageKind.CPU_SECONDS, cpu_seconds, now, job_id=job_id
+            )
+
+    def meter_retry(
+        self, tenant: str, site: str, now: float = 0.0, job_id: str = ""
+    ) -> None:
+        """Bill one abandoned placement / malleable-unit retry."""
+        self.ledger.meter(tenant, site, UsageKind.RETRIES, 1, now, job_id=job_id)
+
+    # -- reporting -----------------------------------------------------------
+
+    def invoice(self, tenant: str, now: float = 0.0) -> Invoice:
+        return self.ledger.invoice(tenant, now=now)
+
+    def spend(self, tenant: str) -> float:
+        return self.ledger.spend(tenant)
+
+    def remaining(self, tenant: str) -> float:
+        return self.budgets.remaining(tenant)

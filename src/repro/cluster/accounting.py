@@ -120,6 +120,16 @@ class AccountingDB:
         records = self._records if user is None else self.by_user(user)
         return float(sum(r.cpu_seconds for r in records))
 
+    def cpu_seconds_by_user(self) -> dict[str, float]:
+        """Per-user consumed CPU-seconds (the ``sacct``-style site
+        report).  Reporting only: federation billing goes through
+        :meth:`~repro.accounting.UsageLedger.ingest_accounting_db`,
+        which reads the raw records so re-runs stay idempotent."""
+        out: dict[str, float] = {}
+        for r in self._records:
+            out[r.user] = out.get(r.user, 0.0) + r.cpu_seconds
+        return out
+
     def throughput(self, horizon: float) -> float:
         """Completed jobs per simulated hour over ``[0, horizon]``."""
         if horizon <= 0:

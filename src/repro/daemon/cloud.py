@@ -15,6 +15,12 @@ Differences from the internal surface:
   per-key quota of total shots, since cloud users don't consume their
   own cluster allocation,
 * a simplified job model: submit -> poll -> fetch, no sessions exposed.
+
+When a :class:`~repro.accounting.FederationAccounting` is wired in,
+each cloud tenant doubles as a federation principal: gateway shots land
+on the federation-wide ledger (priced by this gateway's rate card) and
+an exhausted cross-site budget refuses intake here, so a tenant cannot
+route around its federation cap by entering through the cloud door.
 """
 
 from __future__ import annotations
@@ -79,11 +85,25 @@ class CloudTenant:
 class CloudGateway:
     """External intake in front of a MiddlewareDaemon."""
 
-    def __init__(self, daemon: MiddlewareDaemon, seed: int = 0) -> None:
+    def __init__(
+        self,
+        daemon: MiddlewareDaemon,
+        seed: int = 0,
+        accounting=None,
+        site_name: str = "cloud",
+    ) -> None:
         self.daemon = daemon
         self._seed = seed
+        #: optional :class:`~repro.accounting.FederationAccounting`:
+        #: when set, every cloud tenant is also a federation principal —
+        #: shots metered here land on the same cross-site ledger the
+        #: broker bills, and an exhausted federation budget refuses
+        #: intake at this gateway too (``site_name`` keys the rate card)
+        self.accounting = accounting
+        self.site_name = site_name
         self._key_counter = itertools.count(1)
         self._tenants: dict[str, CloudTenant] = {}      # api_key -> tenant
+        self._by_name: dict[str, CloudTenant] = {}      # name -> tenant (O(1) admin ops)
         self._sessions: dict[str, str] = {}             # session owner -> token
         self._task_owner: dict[str, str] = {}           # task_id -> tenant
 
@@ -97,7 +117,7 @@ class CloudGateway:
         shot_quota: int = 100_000,
     ) -> str:
         """Create a tenant; returns its API key."""
-        if any(t.name == name for t in self._tenants.values()):
+        if name in self._by_name:
             raise DaemonError(f"tenant {name!r} already provisioned")
         if priority_class is PriorityClass.PRODUCTION:
             raise DaemonError("cloud tenants cannot be granted production priority")
@@ -113,18 +133,18 @@ class CloudGateway:
             bucket_updated_at=self.daemon.now,
         )
         self._tenants[api_key] = tenant
+        self._by_name[name] = tenant
         return api_key
 
     def revoke_tenant(self, name: str) -> None:
-        for key, tenant in list(self._tenants.items()):
-            if tenant.name == name:
-                del self._tenants[key]
-                self._sessions.pop(f"cloud:{name}", None)
-                return
-        raise DaemonError(f"unknown tenant {name!r}")
+        tenant = self._by_name.pop(name, None)
+        if tenant is None:
+            raise DaemonError(f"unknown tenant {name!r}")
+        del self._tenants[tenant.api_key]
+        self._sessions.pop(f"cloud:{name}", None)
 
     def tenants(self) -> list[str]:
-        return sorted(t.name for t in self._tenants.values())
+        return sorted(self._by_name)
 
     # -- intake ------------------------------------------------------------
 
@@ -156,11 +176,31 @@ class CloudGateway:
                 f"{tenant.shot_quota - tenant.shots_used} shots left, "
                 f"requested {requested}"
             )
+        if self.accounting is not None:
+            from ..accounting import AdmissionDecision
+
+            if self.accounting.admission(tenant.name) is not AdmissionDecision.ADMIT:
+                # the gateway has no hold queue: an exhausted federation
+                # budget refuses intake here whatever the hold action
+                raise DaemonError(
+                    f"federation budget: tenant {tenant.name!r} has "
+                    f"{self.accounting.remaining(tenant.name):.3f} credits left"
+                )
         token = self._session_token(tenant)
         task = self.daemon.submit_task(token, program, resource, shots=shots)
         tenant.bucket_tokens -= 1.0
         tenant.shots_used += task.program.shots
         self._task_owner[task.task_id] = tenant.name
+        if self.accounting is not None:
+            # metered at intake (the gateway's prepaid-shots model), on
+            # the same ledger the federation broker bills at completion
+            self.accounting.meter_completion(
+                tenant.name,
+                self.site_name,
+                shots=task.program.shots,
+                now=self.daemon.now,
+                job_id=task.task_id,
+            )
         return task.task_id
 
     def status(self, api_key: str, task_id: str) -> dict[str, Any]:
@@ -177,13 +217,19 @@ class CloudGateway:
 
     def usage(self, api_key: str) -> dict[str, Any]:
         tenant = self._authenticate(api_key)
-        return {
+        out = {
             "tenant": tenant.name,
             "priority_class": tenant.priority_class.name.lower(),
             "shots_used": tenant.shots_used,
             "shot_quota": tenant.shot_quota,
             "submissions_available": int(tenant.bucket_tokens),
         }
+        if self.accounting is not None:
+            out["federation_spend"] = self.accounting.spend(tenant.name)
+            out["federation_budget_remaining"] = self.accounting.remaining(
+                tenant.name
+            )
+        return out
 
     def _check_owner(self, tenant: CloudTenant, task_id: str) -> None:
         owner = self._task_owner.get(task_id)

@@ -172,6 +172,23 @@ class PlacementError(FederationError):
 
 
 # ---------------------------------------------------------------------------
+# Accounting
+# ---------------------------------------------------------------------------
+
+
+class AccountingError(ReproError):
+    """Base class for federated accounting / quota errors."""
+
+
+class BudgetExceededError(AccountingError):
+    """A tenant's federation-wide budget is exhausted; submission refused."""
+
+    def __init__(self, message: str, tenant: str | None = None) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
+# ---------------------------------------------------------------------------
 # SDK / IR
 # ---------------------------------------------------------------------------
 

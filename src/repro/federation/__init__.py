@@ -26,6 +26,12 @@ profiles instead of static assignment.
   front end returning uniform :class:`~repro.runtime.results.RunResult`,
 * :mod:`metrics`  — per-site + aggregate federation metrics through
   the existing observability registry/TSDB path.
+
+The accounting plane (per-tenant metering, budgets, fair-share
+arbitration) lives in :mod:`repro.accounting`; wire a
+:class:`~repro.accounting.FederationAccounting` into the broker to
+activate it, and use :class:`CostAwarePolicy` to couple routing to the
+remaining budgets.
 """
 
 from .broker import FederatedJob, FederationBroker, JobState, Placement
@@ -41,6 +47,7 @@ from .malleable import (
 from .metrics import FederationMetrics
 from .policies import (
     CalibrationAwarePolicy,
+    CostAwarePolicy,
     LeastQueuePolicy,
     RoundRobinPolicy,
     RoutingPolicy,
@@ -51,6 +58,7 @@ from .site import FederatedSite
 
 __all__ = [
     "CalibrationAwarePolicy",
+    "CostAwarePolicy",
     "FederatedClient",
     "FederatedJob",
     "FederatedSite",

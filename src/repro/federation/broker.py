@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import enum
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import (
+    BudgetExceededError,
     FederationError,
     PlacementError,
     ResourceNotFound,
@@ -42,6 +44,7 @@ __all__ = ["FederatedJob", "FederationBroker", "JobState", "Placement"]
 
 
 class JobState(enum.Enum):
+    HELD = "held"            # admitted but parked: budget exhausted (HOLD action)
     PLACED = "placed"        # live on some site
     COMPLETED = "completed"
     FAILED = "failed"        # exhausted placement attempts
@@ -105,6 +108,7 @@ class FederationBroker:
         registry: SiteRegistry,
         policy: RoutingPolicy | None = None,
         max_attempts: int = 3,
+        accounting=None,
     ) -> None:
         if max_attempts < 1:
             raise PlacementError("max_attempts must be >= 1")
@@ -113,6 +117,11 @@ class FederationBroker:
         self.policy = policy or LeastQueuePolicy()
         self.max_attempts = max_attempts
         self.metrics = FederationMetrics()
+        #: optional :class:`~repro.accounting.FederationAccounting` —
+        #: when set, intake runs budget admission, every completion and
+        #: retry is metered per tenant, and the malleable resize loop
+        #: arbitrates slots across jobs by tenant fair-share weight
+        self.accounting = accounting
         self._jobs: dict[str, FederatedJob] = {}
         self._id_counter = itertools.count(1)
         self._malleable = None  # lazily-built MalleableManager
@@ -157,6 +166,7 @@ class FederationBroker:
             raise PlacementError(
                 f"pin must be a 'site/resource' name, got {pin!r}"
             )
+        hold = self._admit(owner)
         job = FederatedJob(
             job_id=f"fed-job-{next(self._id_counter)}",
             program=program,
@@ -168,8 +178,30 @@ class FederationBroker:
             pin=pin,
         )
         self._jobs[job.job_id] = job
-        self._place(job)
+        if hold:
+            job.state = JobState.HELD
+        else:
+            self._place(job)
         return job.job_id
+
+    def _admit(self, tenant: str) -> bool:
+        """Run budget admission for one new submission.  Returns True
+        when the job must enter HELD (budget exhausted, HOLD action);
+        raises :class:`~repro.errors.BudgetExceededError` on REJECT."""
+        if self.accounting is None:
+            return False
+        from ..accounting import AdmissionDecision
+
+        decision = self.accounting.admission(tenant)
+        self.metrics.record_admission(decision.value)
+        if decision is AdmissionDecision.REJECT:
+            raise BudgetExceededError(
+                f"tenant {tenant!r} exhausted its federation budget "
+                f"(spend {self.accounting.spend(tenant):.3f}, "
+                f"remaining {self.accounting.remaining(tenant):.3f})",
+                tenant=tenant,
+            )
+        return decision is AdmissionDecision.HOLD
 
     def submit_malleable(
         self,
@@ -277,6 +309,23 @@ class FederationBroker:
         )
         job.state = JobState.PLACED
         self.metrics.record_placement(site_name)
+        self._reserve(job, site_name)
+
+    def _job_shots(self, job: FederatedJob) -> int:
+        shots = job.shots
+        if shots is None:
+            shots = getattr(job.program, "shots", None)
+        # a shot-less submission executes at the intake default (the
+        # site's to_ir(shots=100) path) — bill what actually runs
+        return int(shots) if shots else 100
+
+    def _reserve(self, job: FederatedJob, site: str) -> None:
+        """Encumber the placement's shot cost against the tenant budget
+        (released on completion, abandonment, or terminal failure)."""
+        if self.accounting is not None:
+            self.accounting.reserve_placement(
+                job.owner, site, shots=self._job_shots(job), key=job.job_id
+            )
 
     def _place(self, job: FederatedJob, exclude: tuple[str, ...] = ()) -> None:
         if job.pin is not None:
@@ -314,12 +363,15 @@ class FederationBroker:
             )
             job.state = JobState.PLACED
             self.metrics.record_placement(choice.name)
+            self._reserve(job, choice.name)
             return
 
     def _fail(self, job: FederatedJob, reason: str) -> None:
         job.state = JobState.FAILED
         job.error = reason
         self.metrics.record_outcome("failed")
+        if self.accounting is not None:
+            self.accounting.release_placement(job.job_id)
 
     def _abandon_and_reroute(self, job: FederatedJob, reason: str) -> None:
         placement = job.placements[-1]
@@ -331,6 +383,10 @@ class FederationBroker:
         except Exception:
             pass  # the site may be gone entirely; cancellation is best-effort
         self.metrics.record_abandonment(dead_site)
+        if self.accounting is not None:
+            self.accounting.meter_retry(
+                job.owner, dead_site, now=self.sim.now, job_id=job.job_id
+            )
         self._place(job, exclude=(dead_site,))
 
     # -- tracking --------------------------------------------------------------
@@ -364,26 +420,99 @@ class FederationBroker:
         if status["state"] == "completed":
             job.state = JobState.COMPLETED
             self.metrics.record_outcome("completed")
+            self._meter_completion(job, placement.site, status)
         elif status["state"] in ("failed", "cancelled"):
             self._abandon_and_reroute(
                 job, f"task {placement.task_id} {status['state']} on {placement.site}"
             )
 
+    def _meter_completion(self, job: FederatedJob, site: str, status) -> None:
+        """Bill a finished fixed-size job: its shots plus the classical
+        seconds the site's resources actually held it."""
+        if self.accounting is None:
+            return
+        started = status.get("started_at")
+        finished = status.get("finished_at")
+        cpu_seconds = 0.0
+        if started is not None and finished is not None:
+            cpu_seconds = max(0.0, finished - started)
+        self.accounting.release_placement(job.job_id)
+        self.accounting.meter_completion(
+            job.owner,
+            site,
+            shots=self._job_shots(job),
+            cpu_seconds=cpu_seconds,
+            now=self.sim.now,
+            job_id=job.job_id,
+        )
+
+    def _releasable(self, job: FederatedJob) -> bool:
+        """Can a held job place *right now*?  During a transient
+        no-healthy-site window (heartbeat lapse) release must wait for
+        the next sweep — HELD means parked, never failed-by-timing."""
+        if job.pin is None:
+            return bool(self._candidates(job, ()))
+        site_name, _, resource = job.pin.partition("/")
+        try:
+            health = self.registry.health_of(site_name, self.sim.now)
+            site = self.registry.site(site_name)
+        except FederationError:
+            return False
+        return (
+            health is not SiteHealth.UNHEALTHY
+            and resource in site.capable_catalog(job.n_qubits)
+        )
+
+    def _release_held(self) -> None:
+        """Place held jobs whose tenant budget regained headroom
+        (submission order — the hold queue is FIFO per reconcile)."""
+        from ..accounting import AdmissionDecision
+
+        for job in self._jobs.values():
+            if job.state is not JobState.HELD:
+                continue
+            if self.accounting.admission(job.owner) is not AdmissionDecision.ADMIT:
+                continue
+            if not self._releasable(job):
+                continue  # stay parked; the next reconcile retries
+            self.metrics.record_admission("released")
+            self._place(job)
+
     def reconcile(self) -> None:
-        """One failover sweep over every live job (fixed-size refresh +
-        the malleable resize loop) + a metrics snapshot."""
+        """One failover sweep over every live job (held-job release,
+        fixed-size refresh, the malleable resize loop) + a metrics
+        snapshot."""
+        if self.accounting is not None:
+            self._release_held()
         for job in self._jobs.values():
             self._refresh(job)
         if self._malleable is not None:
             self._malleable.tick()
         self.metrics.observe_sites(self.registry.snapshots(self.sim.now))
+        if self.accounting is not None:
+            self.metrics.observe_accounting(self.accounting)
 
-    def spawn_housekeeping(self, interval: float = 15.0) -> None:
-        """Run :meth:`reconcile` on a cadence inside the simulation."""
+    def spawn_housekeeping(
+        self, interval: float = 15.0, jitter: float = 0.0, seed: int = 0
+    ) -> None:
+        """Run :meth:`reconcile` on a cadence inside the simulation.
+
+        ``jitter`` spreads each cycle uniformly over
+        ``interval ± jitter`` seconds (drawn from a private
+        deterministic stream seeded by ``seed``), so several brokers on
+        one clock don't reconcile in lockstep — multi-broker tests and
+        benches stop seeing synchronized sweep artifacts.
+        """
+        if not (0.0 <= jitter < interval):
+            raise PlacementError("jitter must be in [0, interval)")
+        rng = random.Random(seed) if jitter else None
 
         def run():
             while True:
-                yield Timeout(interval)
+                delay = interval
+                if rng is not None:
+                    delay += rng.uniform(-jitter, jitter)
+                yield Timeout(delay)
                 self.reconcile()
 
         self.sim.spawn(run(), name="federation-housekeeping", background=True)

@@ -215,6 +215,7 @@ class MalleableManager:
                     f"duplicate site in placement: {sorted(restrict)}"
                 )
             pins = {site: res for site, res in parsed if res is not None}
+        hold = self.broker._admit(owner)
         ledger = ShareLedger(iterations, max_attempts=self.broker.max_attempts)
         job = MalleableJob(
             job_id=f"fed-mjob-{next(self._id_counter)}",
@@ -229,12 +230,36 @@ class MalleableManager:
             restrict_sites=restrict,
             pins=pins,
             placement=MalleablePlacement(ledger=ledger),
-            state=JobState.PLACED,
+            state=JobState.HELD if hold else JobState.PLACED,
         )
         self._jobs[job.job_id] = job
-        self._seed_shares(job)
-        self._dispatch(job)
+        if not hold:
+            self._seed_shares(job)
+            # arbitrated from the first dispatch: a late-arriving job
+            # starts at its fair share instead of flooding the queues
+            # until the next tick notices the contention
+            self._dispatch(job, self._arbitrate_slots())
         return job.job_id
+
+    def _release_held(self) -> None:
+        """Activate held malleable jobs whose tenant budget regained
+        headroom (shares seed at release time, against the *current*
+        candidate set — the federation may have changed while parked)."""
+        from ..accounting import AdmissionDecision
+
+        accounting = self.broker.accounting
+        for job in self._jobs.values():
+            if job.state is not JobState.HELD:
+                continue
+            if accounting.admission(job.owner) is not AdmissionDecision.ADMIT:
+                continue
+            if not self._candidates(job):
+                continue  # transient no-site window: stay parked
+            self.broker.metrics.record_admission("released")
+            job.state = JobState.PLACED
+            self._seed_shares(job)
+            if job.state is JobState.PLACED:
+                self._dispatch(job, self._arbitrate_slots())
 
     def _seed_shares(self, job: MalleableJob) -> None:
         candidates = self._candidates(job)
@@ -282,7 +307,10 @@ class MalleableManager:
 
     def tick(self) -> None:
         """One controller pass: refresh unit states, then rebalance and
-        top up dispatches for every live job."""
+        top up dispatches for every live job — under the fair-share
+        slot caps when several jobs contend and accounting is wired."""
+        if self.broker.accounting is not None:
+            self._release_held()
         for job in self._jobs.values():
             if job.state is not JobState.PLACED:
                 continue
@@ -293,8 +321,57 @@ class MalleableManager:
                 self._rebalance(job)
             else:
                 self._retire_unhealthy(job)
-            self._dispatch(job)
+        caps = self._arbitrate_slots()
+        for job in self._jobs.values():
+            if job.state is not JobState.PLACED:
+                continue
+            self._dispatch(job, caps)
             self._fail_if_stranded(job)
+
+    def _arbitrate_slots(self) -> dict[tuple[str, str], int] | None:
+        """Couple the per-job resize loops through the federation's
+        :class:`~repro.accounting.FairShareArbiter`: on every site where
+        several live jobs hold an active share, the per-site
+        outstanding-unit budget (``max_outstanding_per_site``) becomes a
+        *shared* capacity divided weighted-max-min by tenant weight.
+        Returns ``{(job_id, site): slots}`` or ``None`` when no
+        arbitration applies (no accounting, or no contention)."""
+        accounting = self.broker.accounting
+        if accounting is None:
+            return None
+        live = [j for j in self._jobs.values() if j.state is JobState.PLACED]
+        if len(live) < 2:
+            return None
+        sites: set[str] = set()
+        for job in live:
+            sites.update(job.placement.ledger.active_sites())
+        caps: dict[tuple[str, str], int] = {}
+        capacity = self.config.max_outstanding_per_site
+        for site in sorted(sites):
+            contenders = [
+                j for j in live if site in j.placement.ledger.active_sites()
+            ]
+            if len(contenders) < 2:
+                continue  # sole occupant keeps the full per-site budget
+            # fairness attaches to the *tenant*: one owner's weight is
+            # split over however many jobs they run here, so submitting
+            # N jobs cannot multiply a tenant's aggregate share
+            owner_jobs: dict[str, int] = {}
+            for job in contenders:
+                owner_jobs[job.owner] = owner_jobs.get(job.owner, 0) + 1
+            demands = {}
+            weights = {}
+            for job in contenders:
+                ledger = job.placement.ledger
+                outstanding = ledger.pending_units + len(ledger.in_flight_at(site))
+                demands[job.job_id] = min(capacity, outstanding)
+                weights[job.job_id] = accounting.arbiter.weight(
+                    job.owner
+                ) / owner_jobs[job.owner]
+            alloc = accounting.arbiter.allocate(capacity, demands, weights)
+            for job_id, slots in alloc.items():
+                caps[(job_id, site)] = slots
+        return caps
 
     def _refresh(self, job: MalleableJob) -> None:
         """Advance every in-flight unit from its site's task state."""
@@ -324,6 +401,10 @@ class MalleableManager:
                 job.results[unit] = result
                 del placement.dispatches[unit]
                 placement.history.append(dispatch)
+                if self.broker.accounting is not None:
+                    self.broker.accounting.release_placement(
+                        f"{job.job_id}/u{unit}"
+                    )
                 # service latency from execution start (when known), so
                 # queue wait doesn't pollute the degradation signal —
                 # queue pressure is the watermark's job
@@ -332,6 +413,15 @@ class MalleableManager:
                 end = finished if finished is not None else now
                 self._observe_latency(job, dispatch.site, end - base)
                 self.broker.metrics.record_unit(dispatch.site)
+                if self.broker.accounting is not None:
+                    self.broker.accounting.meter_completion(
+                        job.owner,
+                        dispatch.site,
+                        shots=job.shots_per_unit,
+                        cpu_seconds=max(0.0, end - base),
+                        now=now,
+                        job_id=job.job_id,
+                    )
             elif status["state"] in ("failed", "cancelled"):
                 self._abandon_unit(
                     job, unit, f"unit task {status['state']} on {dispatch.site}"
@@ -400,6 +490,8 @@ class MalleableManager:
             self.broker.registry.site(dispatch.site).cancel(dispatch.task_id)
         except Exception:
             pass  # best-effort, the site may be gone
+        if self.broker.accounting is not None:
+            self.broker.accounting.release_placement(f"{job.job_id}/u{unit}")
         return dispatch
 
     def _fail_if_exhausted(self, job: MalleableJob, unit: int, reason: str) -> bool:
@@ -421,6 +513,13 @@ class MalleableManager:
     def _abandon_unit(self, job: MalleableJob, unit: int, reason: str) -> None:
         dispatch = self._drop_dispatch(job, unit, reason)
         self.broker.metrics.record_abandonment(dispatch.site)
+        if self.broker.accounting is not None:
+            self.broker.accounting.meter_retry(
+                job.owner,
+                dispatch.site,
+                now=self.broker.sim.now,
+                job_id=job.job_id,
+            )
         job.placement.ledger.abandon(unit)
         self._fail_if_exhausted(job, unit, reason)
 
@@ -457,6 +556,10 @@ class MalleableManager:
         for unit in doomed:
             self._drop_dispatch(job, unit, reason)
             self.broker.metrics.record_abandonment(site)
+            if self.broker.accounting is not None:
+                self.broker.accounting.meter_retry(
+                    job.owner, site, now=self.broker.sim.now, job_id=job.job_id
+                )
         placement.ledger.retire(site)  # abandons the doomed units
         self._record_event(job, "retire", site, weight_before, 0.0, reason)
         for unit in doomed:
@@ -591,9 +694,15 @@ class MalleableManager:
             self.broker.metrics.record_rebalance()
             self.broker.metrics.observe_share_weights(job.placement.weights())
 
-    def _dispatch(self, job: MalleableJob) -> None:
+    def _dispatch(
+        self,
+        job: MalleableJob,
+        caps: dict[tuple[str, str], int] | None = None,
+    ) -> None:
         """Top up every active site to its allocation (pull model: fast
-        sites come back for more units sooner)."""
+        sites come back for more units sooner).  ``caps`` are the
+        fair-share arbiter's per-(job, site) slot grants; absent an
+        entry the full per-site budget applies."""
         placement = job.placement
         ledger = placement.ledger
         now = self.broker.sim.now
@@ -604,10 +713,10 @@ class MalleableManager:
                 site = self.broker.registry.site(site_name)
             except Exception:
                 continue
-            while (
-                len(ledger.in_flight_at(site_name))
-                < self.config.max_outstanding_per_site
-            ):
+            slot_cap = self.config.max_outstanding_per_site
+            if caps is not None:
+                slot_cap = caps.get((job.job_id, site_name), slot_cap)
+            while len(ledger.in_flight_at(site_name)) < slot_cap:
                 unit = ledger.claim(site_name)
                 if unit is None:
                     break
@@ -637,6 +746,13 @@ class MalleableManager:
                 placement.dispatches[unit] = UnitDispatch(
                     unit=unit, site=site_name, task_id=task_id, placed_at=now
                 )
+                if self.broker.accounting is not None:
+                    self.broker.accounting.reserve_placement(
+                        job.owner,
+                        site_name,
+                        shots=job.shots_per_unit,
+                        key=f"{job.job_id}/u{unit}",
+                    )
 
     def _record_event(
         self,

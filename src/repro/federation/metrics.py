@@ -84,6 +84,23 @@ class FederationMetrics:
             "Aggregate live malleable share weight per site",
             label_names=("site",),
         )
+        # -- accounting (budgets + metering) ---------------------------------
+        self.admissions = self.registry.counter(
+            "federation_admissions_total",
+            "Budget admission decisions at intake "
+            "(decision: admit/hold/reject/released)",
+            label_names=("decision",),
+        )
+        self.tenant_spend = self.registry.gauge(
+            "federation_tenant_spend",
+            "Cumulative metered spend per tenant (federation credits)",
+            label_names=("tenant",),
+        )
+        self.tenant_remaining = self.registry.gauge(
+            "federation_tenant_budget_remaining",
+            "Remaining federation budget per tenant (+Inf when unbudgeted)",
+            label_names=("tenant",),
+        )
 
     # -- recording (broker calls) -------------------------------------------
 
@@ -108,6 +125,20 @@ class FederationMetrics:
     def observe_share_weights(self, weights: Mapping[str, float]) -> None:
         for site, weight in weights.items():
             self.share_weight.set(float(weight), labels={"site": site})
+
+    def record_admission(self, decision: str) -> None:
+        self.admissions.inc(labels={"decision": decision})
+
+    def observe_accounting(self, accounting) -> None:
+        """Refresh the per-tenant spend / remaining-budget gauges from a
+        :class:`~repro.accounting.FederationAccounting`."""
+        tenants = set(accounting.ledger.tenants()) | set(
+            accounting.budgets.budgets()
+        )
+        for tenant in tenants:
+            labels = {"tenant": tenant}
+            self.tenant_spend.set(accounting.spend(tenant), labels=labels)
+            self.tenant_remaining.set(accounting.remaining(tenant), labels=labels)
 
     def observe_sites(self, snapshots: list[SiteSnapshot]) -> None:
         healthy = 0
@@ -139,6 +170,13 @@ class FederationMetrics:
                 out[f"federation_queue_depth_{labels['site']}"] = value
             for _, labels, value in self.site_health.samples():
                 out[f"federation_health_{labels['site']}"] = value
+            for _, labels, value in self.tenant_spend.samples():
+                out[f"federation_spend_{labels['tenant']}"] = value
+            for _, labels, value in self.tenant_remaining.samples():
+                # +Inf (unbudgeted) stays out of the TSDB: a series that
+                # can never alert is noise in every dashboard query
+                if value != float("inf"):
+                    out[f"federation_budget_remaining_{labels['tenant']}"] = value
             return out
 
         return collect

@@ -14,7 +14,10 @@ spillover):
   since blockade-scale errors compound with atom count),
 * :class:`StickyPolicy`       — locality/affinity: iterative workloads
   (VQE/SQD sessions) keep hitting the site that holds their warm state,
-  falling back to an inner policy on first placement or failover.
+  falling back to an inner policy on first placement or failover,
+* :class:`CostAwarePolicy`    — budget-coupled: rank sites by the share
+  of the tenant's remaining federation budget a placement there would
+  burn (per-site rate cards) alongside queue depth.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "CalibrationAwarePolicy",
+    "CostAwarePolicy",
     "LeastQueuePolicy",
     "RoundRobinPolicy",
     "RoutingPolicy",
@@ -147,6 +151,67 @@ class CalibrationAwarePolicy(RoutingPolicy):
         self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
     ) -> list[SiteSnapshot]:
         """Least drift-adjusted cost deserves the biggest share."""
+        self._require(candidates)
+        return sorted(candidates, key=lambda snap: self._score(job, snap))
+
+
+class CostAwarePolicy(RoutingPolicy):
+    """Route by budget burn rate alongside queue depth.
+
+    For each candidate site, the score is the fraction of the tenant's
+    *remaining* federation budget one placement there would burn (the
+    job's shots priced at that site's
+    :class:`~repro.accounting.SiteRateCard`) plus a queue-pressure
+    term.  The coupling is deliberate:
+
+    * a tenant with plenty of budget routes essentially like
+      least-queue (burn is a rounding error against the headroom),
+    * as the budget drains, the cheap sites pull ahead even when their
+      queues are deeper — the policy stretches the remaining credits,
+    * unbudgeted tenants burn nothing and balance purely on load.
+
+    Classical runtime is unknown at placement time, so only the shot
+    component prices the burn; metered CPU-seconds still hit the ledger
+    at completion.
+    """
+
+    name = "cost-aware"
+
+    def __init__(self, accounting, queue_weight: float = 0.05) -> None:
+        if accounting is None:
+            raise FederationError("cost-aware routing needs a FederationAccounting")
+        self.accounting = accounting
+        self.queue_weight = queue_weight
+
+    def _job_shots(self, job) -> int:
+        shots = getattr(job, "shots", None)
+        if shots is None:
+            shots = getattr(job, "shots_per_unit", None)
+        if shots is None:
+            shots = getattr(getattr(job, "program", None), "shots", None)
+        return int(shots or 100)
+
+    def _score(self, job, snap: SiteSnapshot) -> tuple[float, str]:
+        card = self.accounting.rates.card_for(snap.name)
+        cost = card.qpu_shot_price * self._job_shots(job)
+        remaining = self.accounting.remaining(getattr(job, "owner", ""))
+        if remaining == float("inf"):
+            burn = 0.0
+        else:
+            burn = cost / max(remaining, 1e-9)
+        pressure = snap.queue_depth / max(1, snap.max_queue_depth)
+        return (burn + self.queue_weight * pressure, snap.name)
+
+    def choose(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> SiteSnapshot:
+        self._require(candidates)
+        return min(candidates, key=lambda snap: self._score(job, snap))
+
+    def rank_resize(
+        self, job: "FederatedJob", candidates: list[SiteSnapshot], now: float
+    ) -> list[SiteSnapshot]:
+        """Lowest burn-per-unit deserves the biggest malleable share."""
         self._require(candidates)
         return sorted(candidates, key=lambda snap: self._score(job, snap))
 

@@ -1,0 +1,80 @@
+"""Shared builders for the federated accounting test suite."""
+
+import numpy as np
+
+from repro.accounting import FederationAccounting, RateBook, SiteRateCard
+from repro.daemon import MiddlewareDaemon
+from repro.federation import FederatedSite, FederationBroker, SiteRegistry
+from repro.qpu import QPUDevice, Register, ShotClock
+from repro.qrmi import OnPremQPUResource
+from repro.sdk import AnalogCircuit
+from repro.simkernel import RngRegistry, Simulator
+
+
+def make_program(n_atoms=3, shots=50, name="acct-prog"):
+    return (
+        AnalogCircuit(Register.chain(n_atoms, spacing=6.0), name=name)
+        .rx_global(np.pi / 2, duration=0.3)
+        .measure_all()
+        .transpile(shots=shots)
+    )
+
+
+def make_accounting(shot_prices=None, default_shot_price=0.01):
+    """A FederationAccounting with per-site shot prices published."""
+    book = RateBook(
+        default=SiteRateCard(site="*", qpu_shot_price=default_shot_price)
+    )
+    accounting = FederationAccounting(rates=book)
+    for site, price in (shot_prices or {}).items():
+        accounting.publish_rate_card(
+            SiteRateCard(site=site, qpu_shot_price=price, retry_surcharge=0.05)
+        )
+    return accounting
+
+
+def build_accounted_federation(
+    n_sites=2,
+    policy=None,
+    shot_rates=None,
+    accounting=None,
+    max_queue_depth=8,
+    max_attempts=3,
+    heartbeat_interval=15.0,
+    resize_config=None,
+    seed=0,
+):
+    """N single-QPU sites behind a broker with accounting wired in."""
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    registry = SiteRegistry(heartbeat_expiry=60.0)
+    sites = {}
+    for i in range(n_sites):
+        rate = shot_rates[i] if shot_rates is not None else 10.0
+        device = QPUDevice(
+            clock=ShotClock(
+                shot_rate_hz=rate, setup_overhead_s=0.0, batch_overhead_s=0.0
+            ),
+            rng=rng.get(f"dev{i}"),
+        )
+        daemon = MiddlewareDaemon(
+            sim,
+            {"onprem": OnPremQPUResource("onprem", device)},
+            scrape_interval=120.0,
+        )
+        site = FederatedSite(f"site-{i}", daemon, max_queue_depth=max_queue_depth)
+        registry.register(site, now=0.0)
+        sites[site.name] = site
+    registry.start_heartbeats(sim, interval=heartbeat_interval)
+    accounting = accounting if accounting is not None else make_accounting()
+    broker = FederationBroker(
+        sim,
+        registry,
+        policy=policy,
+        max_attempts=max_attempts,
+        accounting=accounting,
+    )
+    if resize_config is not None:
+        broker.configure_resize(resize_config)
+    broker.spawn_housekeeping(interval=heartbeat_interval)
+    return sim, registry, broker, sites

@@ -1,0 +1,220 @@
+"""Broker-level budget enforcement: reject, hold, and cross-site bills."""
+
+import pytest
+
+from repro.accounting import BudgetAction, UsageKind
+from repro.errors import BudgetExceededError, DaemonError
+from repro.federation import JobState, RoundRobinPolicy
+
+from acctutil import build_accounted_federation, make_accounting, make_program
+
+
+def drain(sim, horizon=600.0):
+    sim.run(until=sim.now + horizon)
+
+
+class TestRejectAdmission:
+    def test_exhausted_budget_rejects_new_submissions(self):
+        accounting = make_accounting(default_shot_price=0.01)
+        accounting.set_budget("alpha", 1.0)  # two 50-shot jobs (0.5 each)
+        sim, _, broker, _ = build_accounted_federation(accounting=accounting)
+        j1 = broker.submit(make_program(shots=50), shots=50, owner="alpha")
+        j2 = broker.submit(make_program(shots=50), shots=50, owner="alpha")
+        drain(sim)
+        assert broker.job(j1).state is JobState.COMPLETED
+        assert broker.job(j2).state is JobState.COMPLETED
+        assert accounting.spend("alpha") >= 1.0
+        with pytest.raises(BudgetExceededError) as err:
+            broker.submit(make_program(shots=50), shots=50, owner="alpha")
+        assert err.value.tenant == "alpha"
+        # other tenants are untouched
+        ok = broker.submit(make_program(shots=50), shots=50, owner="beta")
+        drain(sim)
+        assert broker.job(ok).state is JobState.COMPLETED
+
+    def test_malleable_submission_also_gated(self):
+        accounting = make_accounting()
+        accounting.set_budget("alpha", 0.0)
+        _, _, broker, _ = build_accounted_federation(accounting=accounting)
+        with pytest.raises(BudgetExceededError):
+            broker.submit_malleable(make_program(shots=20), iterations=3, owner="alpha")
+
+    def test_one_invoice_across_two_sites(self):
+        """Acceptance: a tenant running on >=2 sites gets exactly one
+        invoice whose total is the per-site metered usage priced at each
+        site's own card."""
+        accounting = make_accounting(
+            shot_prices={"site-0": 0.02, "site-1": 0.005}
+        )
+        sim, _, broker, _ = build_accounted_federation(
+            n_sites=2, accounting=accounting, policy=RoundRobinPolicy()
+        )
+        for _ in range(4):  # round-robin: two jobs land on each site
+            broker.submit(make_program(shots=100), shots=100, owner="alpha")
+        drain(sim)
+        by_site = {
+            e.site
+            for e in accounting.ledger.events("alpha")
+            if e.kind is UsageKind.QPU_SHOTS
+        }
+        assert by_site == {"site-0", "site-1"}
+        invoice = accounting.invoice("alpha", now=sim.now)
+        shots_0 = sum(
+            e.quantity
+            for e in accounting.ledger.events("alpha")
+            if e.site == "site-0" and e.kind is UsageKind.QPU_SHOTS
+        )
+        shots_1 = sum(
+            e.quantity
+            for e in accounting.ledger.events("alpha")
+            if e.site == "site-1" and e.kind is UsageKind.QPU_SHOTS
+        )
+        assert shots_0 == shots_1 == 200
+        cpu_cost = sum(
+            e.cost
+            for e in accounting.ledger.events("alpha")
+            if e.kind is UsageKind.CPU_SECONDS
+        )
+        assert invoice.total == pytest.approx(
+            shots_0 * 0.02 + shots_1 * 0.005 + cpu_cost
+        )
+        assert invoice.total == pytest.approx(accounting.spend("alpha"))
+
+
+class TestHoldAdmission:
+    def test_held_job_places_after_top_up(self):
+        accounting = make_accounting()
+        accounting.set_budget("alpha", 0.0, action=BudgetAction.HOLD)
+        sim, _, broker, _ = build_accounted_federation(accounting=accounting)
+        job_id = broker.submit(make_program(shots=50), shots=50, owner="alpha")
+        job = broker.job(job_id)
+        assert job.state is JobState.HELD
+        assert job.attempts == 0
+        drain(sim)  # reconcile sweeps run; budget still exhausted
+        assert broker.job(job_id).state is JobState.HELD
+        accounting.budgets.grant("alpha", 5.0)
+        drain(sim)
+        assert broker.job(job_id).state is JobState.COMPLETED
+        assert accounting.spend("alpha") > 0
+
+    def test_held_malleable_job_releases_and_completes(self):
+        accounting = make_accounting()
+        accounting.set_budget("alpha", 0.0, action=BudgetAction.HOLD)
+        sim, _, broker, _ = build_accounted_federation(accounting=accounting)
+        job_id = broker.submit_malleable(
+            make_program(shots=20), iterations=4, shots=20, owner="alpha"
+        )
+        record = broker.malleable_job(job_id)
+        assert record.state is JobState.HELD
+        assert record.placement.ledger.in_flight_units == 0
+        drain(sim)
+        assert record.state is JobState.HELD
+        accounting.budgets.grant("alpha", 50.0)
+        drain(sim, horizon=1200.0)
+        assert record.state is JobState.COMPLETED
+        assert record.completed_units == 4
+
+    def test_release_waits_out_a_no_site_window(self):
+        """A top-up landing while every site is down must keep the job
+        parked — HELD never decays to FAILED on transient timing."""
+        accounting = make_accounting()
+        accounting.set_budget("alpha", 0.0, action=BudgetAction.HOLD)
+        sim, _, broker, sites = build_accounted_federation(
+            n_sites=1, accounting=accounting
+        )
+        job_id = broker.submit(make_program(shots=50), shots=50, owner="alpha")
+        site = sites["site-0"]
+        site.alive = False  # silent outage: heartbeats stop
+        accounting.budgets.grant("alpha", 5.0)
+        drain(sim, horizon=300.0)  # several reconciles with no healthy site
+        assert broker.job(job_id).state is JobState.HELD
+        site.alive = True  # recovery (the beat process died with the site,
+        registry = broker.registry  # so beat manually on the sweep cadence)
+        for i in range(40):
+            sim.call_in(15.0 * i, lambda: registry.heartbeat("site-0", sim.now))
+        drain(sim)
+        assert broker.job(job_id).state is JobState.COMPLETED
+
+    def test_reservations_bound_admission(self):
+        """Encumbrance: queued-but-uncompleted work already counts
+        against the budget at the next admission, and the running
+        reserved total tracks reserve/release exactly."""
+        accounting = make_accounting(default_shot_price=0.01)
+        accounting.set_budget("alpha", 1.0)
+        sim, _, broker, _ = build_accounted_federation(accounting=accounting)
+        for _ in range(2):  # 0.5 reserved each; no completions yet
+            broker.submit(make_program(shots=50), shots=50, owner="alpha")
+        assert accounting.budgets.reserved("alpha") == pytest.approx(1.0)
+        assert accounting.spend("alpha") == 0.0
+        with pytest.raises(BudgetExceededError):  # fully encumbered
+            broker.submit(make_program(shots=50), shots=50, owner="alpha")
+        drain(sim)
+        assert accounting.budgets.reserved("alpha") == 0.0
+        assert accounting.spend("alpha") >= 1.0
+
+    def test_status_reports_held_state(self):
+        accounting = make_accounting()
+        accounting.set_budget("alpha", 0.0, action=BudgetAction.HOLD)
+        _, _, broker, _ = build_accounted_federation(accounting=accounting)
+        job_id = broker.submit(make_program(shots=50), shots=50, owner="alpha")
+        status = broker.status(job_id)
+        assert status["state"] == "held"
+        assert status["site"] is None
+
+
+class TestRetryMetering:
+    def test_failover_bills_a_retry(self):
+        accounting = make_accounting()
+        sim, _, broker, sites = build_accounted_federation(
+            n_sites=2, accounting=accounting, shot_rates=[0.05, 10.0]
+        )
+        # pin-free submit lands somewhere; kill that site mid-run
+        job_id = broker.submit(make_program(shots=200), shots=200, owner="alpha")
+        first_site = broker.job(job_id).current.site
+        sim.run(until=5.0)
+        sites[first_site].kill()
+        drain(sim, horizon=3600.0)
+        assert broker.job(job_id).state is JobState.COMPLETED
+        retries = accounting.ledger.quantity("alpha", UsageKind.RETRIES)
+        assert retries >= 1
+
+
+class TestCloudGatewayThreading:
+    def build_gateway(self, accounting):
+        import numpy as np
+
+        from repro.daemon import MiddlewareDaemon
+        from repro.daemon.cloud import CloudGateway
+        from repro.qpu import QPUDevice, ShotClock
+        from repro.qrmi import OnPremQPUResource
+        from repro.simkernel import Simulator
+
+        sim = Simulator()
+        device = QPUDevice(
+            clock=ShotClock(
+                shot_rate_hz=10.0, setup_overhead_s=0.0, batch_overhead_s=0.0
+            ),
+            rng=np.random.default_rng(0),
+        )
+        daemon = MiddlewareDaemon(
+            sim, {"onprem": OnPremQPUResource("onprem", device)}
+        )
+        return sim, CloudGateway(daemon, accounting=accounting, site_name="cloud-0")
+
+    def test_gateway_meters_onto_shared_ledger(self):
+        accounting = make_accounting(shot_prices={"cloud-0": 0.1})
+        _, gw = self.build_gateway(accounting)
+        key = gw.provision_tenant("uni-lab")
+        gw.submit(key, make_program(shots=50), "onprem", shots=50)
+        assert accounting.spend("uni-lab") == pytest.approx(5.0)
+        usage = gw.usage(key)
+        assert usage["federation_spend"] == pytest.approx(5.0)
+
+    def test_gateway_refuses_exhausted_federation_budget(self):
+        accounting = make_accounting(shot_prices={"cloud-0": 0.1})
+        accounting.set_budget("uni-lab", 4.0)
+        _, gw = self.build_gateway(accounting)
+        key = gw.provision_tenant("uni-lab")
+        gw.submit(key, make_program(shots=50), "onprem", shots=50)  # spend 5 > 4
+        with pytest.raises(DaemonError, match="federation budget"):
+            gw.submit(key, make_program(shots=50), "onprem", shots=50)

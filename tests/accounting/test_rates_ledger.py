@@ -1,0 +1,143 @@
+"""Unit tests: rate cards, the usage ledger, and cross-site invoices."""
+
+import pytest
+
+from repro.accounting import (
+    RateBook,
+    SiteRateCard,
+    UsageKind,
+    UsageLedger,
+)
+from repro.cluster.accounting import AccountingDB
+from repro.cluster.job import Job, JobSpec, JobState
+from repro.errors import AccountingError
+
+
+class TestRateCards:
+    def test_unit_prices(self):
+        card = SiteRateCard(
+            site="s", cpu_second_price=0.002, qpu_shot_price=0.05, retry_surcharge=1.0
+        )
+        assert card.price(UsageKind.CPU_SECONDS, 100) == pytest.approx(0.2)
+        assert card.price(UsageKind.QPU_SHOTS, 10) == pytest.approx(0.5)
+        assert card.price(UsageKind.RETRIES, 2) == pytest.approx(2.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(AccountingError):
+            SiteRateCard(site="s", qpu_shot_price=-0.1)
+
+    def test_negative_quantity_rejected(self):
+        with pytest.raises(AccountingError):
+            SiteRateCard(site="s").price(UsageKind.QPU_SHOTS, -1)
+
+    def test_rate_book_default_and_publish(self):
+        book = RateBook(default=SiteRateCard(site="*", qpu_shot_price=0.01))
+        assert book.card_for("anywhere").qpu_shot_price == 0.01
+        book.publish(SiteRateCard(site="cheap", qpu_shot_price=0.001))
+        assert book.card_for("cheap").qpu_shot_price == 0.001
+        assert book.sites() == ["cheap"]
+
+
+class TestUsageLedger:
+    def ledger(self):
+        book = RateBook(default=SiteRateCard(site="*", qpu_shot_price=0.01))
+        book.publish(SiteRateCard(site="site-a", qpu_shot_price=0.02))
+        book.publish(
+            SiteRateCard(site="site-b", qpu_shot_price=0.005, cpu_second_price=0.01)
+        )
+        return UsageLedger(book)
+
+    def test_meter_prices_at_site_card(self):
+        ledger = self.ledger()
+        ev = ledger.meter("t", "site-a", UsageKind.QPU_SHOTS, 100, 1.0)
+        assert ev.cost == pytest.approx(2.0)
+        ev = ledger.meter("t", "site-b", UsageKind.QPU_SHOTS, 100, 2.0)
+        assert ev.cost == pytest.approx(0.5)
+
+    def test_meter_validation(self):
+        ledger = self.ledger()
+        with pytest.raises(AccountingError):
+            ledger.meter("", "site-a", UsageKind.QPU_SHOTS, 1, 0.0)
+        with pytest.raises(AccountingError):
+            ledger.meter("t", "site-a", UsageKind.QPU_SHOTS, -1, 0.0)
+
+    def test_spend_and_quantity_queries(self):
+        ledger = self.ledger()
+        ledger.meter("alpha", "site-a", UsageKind.QPU_SHOTS, 100, 1.0)
+        ledger.meter("alpha", "site-b", UsageKind.CPU_SECONDS, 50, 2.0)
+        ledger.meter("beta", "site-a", UsageKind.QPU_SHOTS, 10, 3.0)
+        assert ledger.spend("alpha") == pytest.approx(2.0 + 0.5)
+        assert ledger.spend_by_site("alpha") == pytest.approx(
+            {"site-a": 2.0, "site-b": 0.5}
+        )
+        assert ledger.quantity("alpha", UsageKind.QPU_SHOTS) == 100
+        assert ledger.tenants() == ["alpha", "beta"]
+        assert len(ledger.events("beta")) == 1
+
+    def test_single_cross_site_invoice(self):
+        """Acceptance shape: a tenant on two sites gets one invoice whose
+        total is the sum of per-site usage at each site's rate card."""
+        ledger = self.ledger()
+        ledger.meter("alpha", "site-a", UsageKind.QPU_SHOTS, 300, 1.0)
+        ledger.meter("alpha", "site-b", UsageKind.QPU_SHOTS, 300, 2.0)
+        ledger.meter("alpha", "site-b", UsageKind.CPU_SECONDS, 20, 3.0)
+        invoice = ledger.invoice("alpha", now=10.0)
+        assert invoice.sites() == ["site-a", "site-b"]
+        # per-site subtotals priced at each site's own card
+        assert invoice.site_subtotal("site-a") == pytest.approx(300 * 0.02)
+        assert invoice.site_subtotal("site-b") == pytest.approx(
+            300 * 0.005 + 20 * 0.01
+        )
+        assert invoice.total == pytest.approx(ledger.spend("alpha"))
+        assert invoice.issued_at == 10.0
+
+    def test_empty_invoice(self):
+        invoice = self.ledger().invoice("ghost")
+        assert invoice.lines == ()
+        assert invoice.total == 0.0
+
+
+class TestAccountingDBIngestion:
+    def finished_job(self, job_id, user, run=100.0, cpus=2):
+        job = Job(
+            job_id,
+            JobSpec(name=f"j{job_id}", user=user, cpus=cpus, duration=run),
+            submit_time=0.0,
+        )
+        job.transition(JobState.RUNNING, 5.0)
+        job.transition(JobState.COMPLETED, 5.0 + run)
+        return job
+
+    def test_ingest_bills_cpu_seconds_per_tenant(self):
+        db = AccountingDB()
+        db.record(self.finished_job(1, "fed:alpha"))
+        db.record(self.finished_job(2, "beta"))
+        book = RateBook(default=SiteRateCard(site="*", cpu_second_price=0.01))
+        ledger = UsageLedger(book)
+        assert ledger.ingest_accounting_db("site-x", db) == 2
+        # the fed: session prefix maps back onto the federation principal
+        assert ledger.spend("alpha") == pytest.approx(200 * 0.01)
+        assert ledger.spend("beta") == pytest.approx(200 * 0.01)
+
+    def test_ingest_is_idempotent(self):
+        db = AccountingDB()
+        db.record(self.finished_job(1, "alpha"))
+        ledger = UsageLedger()
+        assert ledger.ingest_accounting_db("site-x", db) == 1
+        assert ledger.ingest_accounting_db("site-x", db) == 0
+        db.record(self.finished_job(2, "alpha"))
+        assert ledger.ingest_accounting_db("site-x", db) == 1
+        assert len(ledger.events("alpha")) == 2
+
+    def test_ingest_skips_never_started_jobs(self):
+        db = AccountingDB()
+        job = Job(
+            7,
+            JobSpec(name="j7", user="alpha", cpus=4, duration=10.0),
+            submit_time=0.0,
+        )
+        job.transition(JobState.CANCELLED, 1.0)
+        db.record(job)
+        ledger = UsageLedger()
+        assert ledger.ingest_accounting_db("site-x", db) == 0
+        assert ledger.spend("alpha") == 0.0

@@ -1,0 +1,90 @@
+"""AccountingDB aggregate queries at the edges.
+
+The happy-path aggregates are covered in test_scheduler_algorithms; the
+cases here are the ones a federation-level ingest sweep actually hits:
+a freshly-built site with zero records, and a site whose whole horizon
+was cancelled work (burst pulled back by the broker) — no record ever
+started, so every duration-derived aggregate must degrade gracefully
+instead of crashing or inventing usage.
+"""
+
+import pytest
+
+from repro.cluster.accounting import AccountingDB
+from repro.cluster.job import Job, JobSpec, JobState
+
+
+def cancelled_job(job_id, user="u", cancel_at=5.0):
+    """Terminal but never started: no start_time, no run_time."""
+    job = Job(
+        job_id,
+        JobSpec(name=f"j{job_id}", user=user, cpus=4, duration=60.0),
+        submit_time=0.0,
+    )
+    job.transition(JobState.CANCELLED, cancel_at)
+    return job
+
+
+class TestZeroRecords:
+    def test_aggregates_are_empty_not_errors(self):
+        db = AccountingDB()
+        assert len(db) == 0
+        assert db.all() == []
+        assert db.wait_times().size == 0
+        assert db.total_cpu_seconds() == 0.0
+        assert db.total_cpu_seconds(user="nobody") == 0.0
+        assert db.cpu_seconds_by_user() == {}
+        assert db.throughput(horizon=3600.0) == 0.0
+
+    def test_percentiles_are_nan(self):
+        db = AccountingDB()
+        pct = db.wait_percentiles((50.0, 95.0, 99.0))
+        assert set(pct) == {50.0, 95.0, 99.0}
+        assert all(v != v for v in pct.values())
+
+    def test_zero_horizon_throughput(self):
+        db = AccountingDB()
+        assert db.throughput(horizon=0.0) == 0.0
+        assert db.throughput(horizon=-10.0) == 0.0
+
+
+class TestAllCancelled:
+    def build(self, n=3):
+        db = AccountingDB()
+        for i in range(n):
+            db.record(cancelled_job(i, user=f"user-{i % 2}"))
+        return db
+
+    def test_no_usage_is_invented(self):
+        db = self.build()
+        assert len(db) == 3
+        assert db.total_cpu_seconds() == 0.0
+        assert db.cpu_seconds_by_user() == {"user-0": 0.0, "user-1": 0.0}
+        for rec in db.all():
+            assert rec.wait_time is None
+            assert rec.run_time is None
+            assert rec.cpu_seconds == 0.0
+
+    def test_wait_distribution_is_empty(self):
+        db = self.build()
+        assert db.wait_times().size == 0
+        pct = db.wait_percentiles()
+        assert all(v != v for v in pct.values())
+
+    def test_throughput_counts_no_completions(self):
+        db = self.build()
+        assert db.throughput(horizon=3600.0) == 0.0
+        assert db.by_state(JobState.CANCELLED.value) == db.all()
+        assert db.by_state(JobState.COMPLETED) == []
+
+    def test_mixed_recovers(self):
+        db = self.build()
+        job = Job(
+            9, JobSpec(name="j9", user="user-0", cpus=2, duration=10.0), submit_time=0.0
+        )
+        job.transition(JobState.RUNNING, 3.0)
+        job.transition(JobState.COMPLETED, 13.0)
+        db.record(job)
+        assert db.total_cpu_seconds() == pytest.approx(20.0)
+        assert db.wait_times().size == 1
+        assert db.throughput(horizon=3600.0) == pytest.approx(1.0)

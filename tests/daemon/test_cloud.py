@@ -128,3 +128,32 @@ class TestIntake:
         usage = gw.usage(key)
         assert usage["tenant"] == "lab"
         assert usage["priority_class"] == "test"
+
+
+class TestTenantNameIndex:
+    """provision/revoke go through the O(1) name index, not key scans."""
+
+    def test_reprovision_after_revoke(self):
+        _, _, gw = build()
+        old_key = gw.provision_tenant("lab")
+        gw.revoke_tenant("lab")
+        new_key = gw.provision_tenant("lab")
+        assert new_key != old_key
+        assert gw.tenants() == ["lab"]
+        with pytest.raises(AuthError):
+            gw.submit(old_key, make_program(), "onprem")
+
+    def test_revoke_unknown_still_loud(self):
+        _, _, gw = build()
+        gw.provision_tenant("lab")
+        with pytest.raises(DaemonError, match="unknown tenant"):
+            gw.revoke_tenant("ghost")
+
+    def test_index_and_key_table_stay_consistent(self):
+        _, _, gw = build()
+        keys = {name: gw.provision_tenant(name) for name in ("a", "b", "c")}
+        gw.revoke_tenant("b")
+        assert gw.tenants() == ["a", "c"]
+        assert gw._by_name.keys() == {"a", "c"}
+        assert {t.name for t in gw._tenants.values()} == {"a", "c"}
+        assert gw._tenants[keys["a"]].name == "a"

@@ -1,0 +1,73 @@
+"""Housekeeping jitter: multi-broker reconciles must not run in lockstep."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.federation import FederationBroker, SiteRegistry
+from repro.simkernel import Simulator
+
+from fedutil import build_federation
+
+
+class RecordingBroker(FederationBroker):
+    """Stamp every reconcile time instead of doing real work."""
+
+    def __init__(self, sim, registry, **kwargs):
+        super().__init__(sim, registry, **kwargs)
+        self.reconcile_times = []
+
+    def reconcile(self):
+        self.reconcile_times.append(self.sim.now)
+        super().reconcile()
+
+
+def spawn_recording(sim, jitter=0.0, seed=0, interval=15.0):
+    broker = RecordingBroker(sim, SiteRegistry())
+    broker.spawn_housekeeping(interval=interval, jitter=jitter, seed=seed)
+    return broker
+
+
+class TestHousekeepingJitter:
+    def test_zero_jitter_keeps_fixed_cadence(self):
+        sim = Simulator()
+        broker = spawn_recording(sim)
+        sim.run(until=100.0)
+        assert broker.reconcile_times == [15.0, 30.0, 45.0, 60.0, 75.0, 90.0]
+
+    def test_jitter_spreads_cycles_within_bounds(self):
+        sim = Simulator()
+        broker = spawn_recording(sim, jitter=5.0, seed=7)
+        sim.run(until=400.0)
+        gaps = [
+            b - a
+            for a, b in zip(broker.reconcile_times, broker.reconcile_times[1:])
+        ]
+        assert all(10.0 <= gap <= 20.0 for gap in gaps)
+        assert len(set(gaps)) > 1  # actually jittered, not a constant offset
+
+    def test_two_brokers_desynchronize(self):
+        """The lockstep scenario the knob exists for: same interval,
+        different seeds, so sweeps never pile onto the same instants."""
+        sim = Simulator()
+        one = spawn_recording(sim, jitter=4.0, seed=1)
+        two = spawn_recording(sim, jitter=4.0, seed=2)
+        sim.run(until=600.0)
+        assert len(one.reconcile_times) >= 30
+        overlap = set(one.reconcile_times) & set(two.reconcile_times)
+        assert not overlap
+
+    def test_same_seed_is_reproducible(self):
+        times = []
+        for _ in range(2):
+            sim = Simulator()
+            broker = spawn_recording(sim, jitter=5.0, seed=42)
+            sim.run(until=300.0)
+            times.append(broker.reconcile_times)
+        assert times[0] == times[1]
+
+    def test_invalid_jitter_rejected(self):
+        sim, _, broker, _ = build_federation(n_sites=1)
+        with pytest.raises(PlacementError):
+            broker.spawn_housekeeping(interval=10.0, jitter=10.0)
+        with pytest.raises(PlacementError):
+            broker.spawn_housekeeping(interval=10.0, jitter=-1.0)
