@@ -190,6 +190,7 @@ def bench_regression_suite() -> dict:
 
     from benchmarks.bench_ablation_accounting import run_c5_budget, run_c5_fairshare
     from benchmarks.bench_ablation_malleable import run_all, run_c4c
+    from benchmarks.bench_ablation_scale import run_c6
     from benchmarks.bench_fig4_federation import POLICIES, run_policy
 
     metrics: dict[str, float] = {}
@@ -230,6 +231,22 @@ def bench_regression_suite() -> dict:
     fair = run_c5_fairshare()
     metrics["makespan_c5f_heavy_s"] = round(fair["heavy_finished_at"], 3)
     metrics["fairshare_c5f_contended_ratio"] = round(fair["contended_ratio"], 3)
+    # C6 — broker hot-path scale.  The scanned-per-tick counts are
+    # deterministic DES outputs (wall timings are not), so they gate
+    # like makespans: a rise means the reconcile sweep started touching
+    # history again.  Wall-clock numbers ride along ungated for the CI
+    # artifact trail.
+    c6 = run_c6()
+    metrics["tickcost_c6_scanned_per_tick_mean"] = round(
+        c6["scanned_per_tick_mean"], 4
+    )
+    metrics["tickcost_c6_scanned_per_tick_max"] = float(
+        c6["scanned_per_tick_max"]
+    )
+    metrics["tickcost_c6_scanned_final_tick"] = float(c6["scanned_final_tick"])
+    metrics["throughput_c6_completed_jobs"] = float(c6["completed"])
+    metrics["walltime_c6_total_s"] = round(c6["total_wall_s"], 3)
+    metrics["walltime_c6_tick_ms_mean"] = round(c6["tick_ms_mean"], 4)
     mode = "smoke" if os.environ.get("BENCH_SMOKE", "") not in ("", "0") else "full"
     return {"mode": mode, "metrics": metrics}
 
@@ -248,10 +265,18 @@ def compare_runs(baseline: dict, current: dict, tolerance: float) -> list[str]:
         if value is None:
             failures.append(f"{name}: missing from this run (was {base})")
             continue
-        if name.startswith("makespan_") and value > base * (1.0 + tolerance):
+        if name.startswith(("makespan_", "tickcost_")) and value > max(
+            base * (1.0 + tolerance), base + 1.0
+        ):
+            # tickcost_* is the reconcile-tick latency gate: scanned
+            # jobs per housekeeping sweep must not regress toward
+            # O(history).  The +1 absolute allowance keeps near-zero
+            # baselines from failing on a one-job jitter.
             failures.append(
                 f"{name}: {value:.1f} vs baseline {base:.1f} "
                 f"(+{100 * (value / base - 1):.1f}% > {100 * tolerance:.0f}%)"
+                if base
+                else f"{name}: {value:.1f} vs baseline {base:.1f}"
             )
         elif name.startswith("throughput_") and value < base * (1.0 - tolerance):
             failures.append(

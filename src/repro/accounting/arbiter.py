@@ -37,6 +37,10 @@ class FairShareArbiter:
             raise AccountingError("default share weight must be > 0")
         self.default_weight = default_weight
         self._weights: dict[str, float] = {}
+        #: bumped on every weight change — callers that cache an
+        #: allocation (the resize loop's dirty-flag arbitration) key
+        #: on this instead of comparing whole weight tables
+        self.version = 0
 
     # -- weights ------------------------------------------------------------
 
@@ -44,6 +48,7 @@ class FairShareArbiter:
         if weight <= 0:
             raise AccountingError("share weight must be > 0")
         self._weights[tenant] = weight
+        self.version += 1
 
     def weight(self, tenant: str) -> float:
         return self._weights.get(tenant, self.default_weight)

@@ -84,6 +84,22 @@ class QueuedTask:
     preempt_count: int = 0
     batched: bool = True
     metadata: dict[str, Any] = field(default_factory=dict)
+    #: owning queue, attached at submit time so every state transition
+    #: (the scheduler writes ``task.state`` directly) keeps the queue's
+    #: per-class queued counters exact without a mediator API
+    _queue: "MiddlewareQueue | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name == "state":
+            old = self.__dict__.get("state")
+            object.__setattr__(self, name, value)
+            queue = self.__dict__.get("_queue")
+            if queue is not None and old is not value:
+                queue._on_task_state(self, old, value)
+            return
+        object.__setattr__(self, name, value)
 
     def wait_time(self) -> float | None:
         if self.started_at is None:
@@ -124,6 +140,20 @@ class MiddlewareQueue:
         self._seq = itertools.count(1)
         self._id_counter = itertools.count(1)
         self.shot_cap = shot_cap
+        # queued tasks per class, maintained on every state transition:
+        # depth introspection (site snapshots poll it on every federation
+        # sweep) must not scan the ever-growing terminal-task table
+        self._queued_counts: dict[PriorityClass, int] = {
+            p: 0 for p in PriorityClass
+        }
+
+    def _on_task_state(
+        self, task: QueuedTask, old: TaskState | None, new: TaskState
+    ) -> None:
+        if old is TaskState.QUEUED:
+            self._queued_counts[task.priority] -= 1
+        if new is TaskState.QUEUED:
+            self._queued_counts[task.priority] += 1
 
     # -- submission ---------------------------------------------------------
 
@@ -148,6 +178,8 @@ class MiddlewareQueue:
         if self.shot_cap is not None:
             self.shot_cap.apply(task)
         self._tasks[task.task_id] = task
+        task._queue = self
+        self._queued_counts[task.priority] += 1  # hook only sees changes
         self._push(task)
         return task
 
@@ -194,12 +226,9 @@ class MiddlewareQueue:
         return self._tasks[task_id]
 
     def queued_count(self, priority: PriorityClass | None = None) -> int:
-        return sum(
-            1
-            for t in self._tasks.values()
-            if t.state is TaskState.QUEUED
-            and (priority is None or t.priority is priority)
-        )
+        if priority is not None:
+            return self._queued_counts[priority]
+        return sum(self._queued_counts.values())
 
     def depth_by_class(self) -> dict[str, int]:
         return {p.name.lower(): self.queued_count(p) for p in PriorityClass}

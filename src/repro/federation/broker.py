@@ -24,6 +24,7 @@ from __future__ import annotations
 import enum
 import itertools
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -77,6 +78,9 @@ class FederatedJob:
     placements: list[Placement] = field(default_factory=list)
     result: Any = None
     error: str = ""
+    #: submission sequence number — the per-state tables iterate live
+    #: jobs in this order, reproducing the pre-indexing full-scan order
+    seq: int = 0
 
     @property
     def current(self) -> Placement | None:
@@ -123,8 +127,21 @@ class FederationBroker:
         #: arbitrates slots across jobs by tenant fair-share weight
         self.accounting = accounting
         self._jobs: dict[str, FederatedJob] = {}
+        # state-indexed job tables: reconcile sweeps and state queries
+        # touch only the states they care about, so tick cost scales
+        # with *live* work — terminal (COMPLETED/FAILED) jobs are
+        # archived here and never rescanned
+        self._by_state: dict[JobState, dict[str, FederatedJob]] = {
+            s: {} for s in JobState
+        }
+        self._reroutes = 0  # maintained: sum over jobs of attempts - 1
         self._id_counter = itertools.count(1)
         self._malleable = None  # lazily-built MalleableManager
+        #: summary of the last reconcile sweep — ``jobs_scanned`` counts
+        #: the fixed-size jobs the sweep actually touched (live + held),
+        #: ``duration_s`` its wall-clock cost; the C6 scale bench and
+        #: the metrics collector read this
+        self.last_reconcile: dict[str, float] = {}
 
     @property
     def malleable(self):
@@ -144,6 +161,23 @@ class FederationBroker:
         if self._malleable is not None and self._malleable.jobs():
             raise PlacementError("resize config must be set before submissions")
         self._malleable = MalleableManager(self, config=config)
+
+    # -- state tables ---------------------------------------------------------
+
+    def _set_state(self, job: FederatedJob, state: JobState) -> None:
+        """The single transition point: moves the job between the
+        per-state tables so they never drift from ``job.state``."""
+        if state is job.state:
+            return
+        self._by_state[job.state].pop(job.job_id, None)
+        job.state = state
+        self._by_state[state][job.job_id] = job
+
+    def _in_state(self, state: JobState) -> list[FederatedJob]:
+        """Jobs currently in ``state``, in submission order (a released
+        held job re-enters the PLACED table out of order; sorting by
+        the submission seq keeps sweep order identical to a full scan)."""
+        return sorted(self._by_state[state].values(), key=lambda j: j.seq)
 
     # -- intake ---------------------------------------------------------------
 
@@ -167,8 +201,9 @@ class FederationBroker:
                 f"pin must be a 'site/resource' name, got {pin!r}"
             )
         hold = self._admit(owner)
+        seq = next(self._id_counter)
         job = FederatedJob(
-            job_id=f"fed-job-{next(self._id_counter)}",
+            job_id=f"fed-job-{seq}",
             program=program,
             shots=shots,
             owner=owner,
@@ -176,11 +211,12 @@ class FederationBroker:
             n_qubits=_program_qubits(program),
             submitted_at=self.sim.now,
             pin=pin,
+            state=JobState.HELD if hold else JobState.PLACED,
+            seq=seq,
         )
         self._jobs[job.job_id] = job
-        if hold:
-            job.state = JobState.HELD
-        else:
+        self._by_state[job.state][job.job_id] = job
+        if not hold:
             self._place(job)
         return job.job_id
 
@@ -307,7 +343,9 @@ class FederationBroker:
         job.placements.append(
             Placement(site=site_name, task_id=task_id, placed_at=self.sim.now)
         )
-        job.state = JobState.PLACED
+        if len(job.placements) > 1:
+            self._reroutes += 1
+        self._set_state(job, JobState.PLACED)
         self.metrics.record_placement(site_name)
         self._reserve(job, site_name)
 
@@ -361,13 +399,15 @@ class FederationBroker:
             job.placements.append(
                 Placement(site=choice.name, task_id=task_id, placed_at=self.sim.now)
             )
-            job.state = JobState.PLACED
+            if len(job.placements) > 1:
+                self._reroutes += 1
+            self._set_state(job, JobState.PLACED)
             self.metrics.record_placement(choice.name)
             self._reserve(job, choice.name)
             return
 
     def _fail(self, job: FederatedJob, reason: str) -> None:
-        job.state = JobState.FAILED
+        self._set_state(job, JobState.FAILED)
         job.error = reason
         self.metrics.record_outcome("failed")
         if self.accounting is not None:
@@ -418,7 +458,7 @@ class FederationBroker:
             )
             return
         if status["state"] == "completed":
-            job.state = JobState.COMPLETED
+            self._set_state(job, JobState.COMPLETED)
             self.metrics.record_outcome("completed")
             self._meter_completion(job, placement.site, status)
         elif status["state"] in ("failed", "cancelled"):
@@ -463,34 +503,67 @@ class FederationBroker:
             and resource in site.capable_catalog(job.n_qubits)
         )
 
-    def _release_held(self) -> None:
+    def _admission_memo(self, tenant: str, cache: dict) -> "Any":
+        """Budget admission memoized per tenant for one release pass.
+        Each pass gets a fresh cache (budget state moves between passes
+        — the refresh loop meters retries and completions), and within
+        a pass the only budget-moving event is placing a released job,
+        which invalidates the entry — so the memo never returns a stale
+        decision."""
+        decision = cache.get(tenant)
+        if decision is None:
+            decision = cache[tenant] = self.accounting.admission(tenant)
+        return decision
+
+    def _release_held(self, admission_cache: dict) -> None:
         """Place held jobs whose tenant budget regained headroom
-        (submission order — the hold queue is FIFO per reconcile)."""
+        (submission order — the hold queue is FIFO per reconcile).
+        Admission is memoized per tenant for the sweep: a hundred held
+        jobs of one exhausted tenant cost one budget lookup, not one
+        each."""
         from ..accounting import AdmissionDecision
 
-        for job in self._jobs.values():
-            if job.state is not JobState.HELD:
-                continue
-            if self.accounting.admission(job.owner) is not AdmissionDecision.ADMIT:
+        for job in self._in_state(JobState.HELD):
+            decision = self._admission_memo(job.owner, admission_cache)
+            if decision is not AdmissionDecision.ADMIT:
                 continue
             if not self._releasable(job):
                 continue  # stay parked; the next reconcile retries
             self.metrics.record_admission("released")
             self._place(job)
+            # placing reserved budget (or failing released it): the
+            # tenant's next admission answer may differ — drop the memo
+            admission_cache.pop(job.owner, None)
 
     def reconcile(self) -> None:
-        """One failover sweep over every live job (held-job release,
+        """One failover sweep over the *live* jobs (held-job release,
         fixed-size refresh, the malleable resize loop) + a metrics
-        snapshot."""
+        snapshot.  Terminal jobs are archived out of the sweep tables,
+        so tick cost tracks in-flight work, not completed history."""
+        started = time.perf_counter()
+        scanned = len(self._by_state[JobState.HELD])
         if self.accounting is not None:
-            self._release_held()
-        for job in self._jobs.values():
+            self._release_held({})
+        live = self._in_state(JobState.PLACED)
+        scanned += len(live)
+        for job in live:
             self._refresh(job)
+        malleable_scanned = 0
         if self._malleable is not None:
-            self._malleable.tick()
+            # the malleable pass builds its own admission memo: the
+            # refresh loop above may have moved tenants' budgets
+            malleable_scanned = self._malleable.tick()
         self.metrics.observe_sites(self.registry.snapshots(self.sim.now))
         if self.accounting is not None:
             self.metrics.observe_accounting(self.accounting)
+        self.last_reconcile = {
+            "jobs_scanned": float(scanned),
+            "malleable_scanned": float(malleable_scanned),
+            "duration_s": time.perf_counter() - started,
+        }
+        self.metrics.observe_reconcile(
+            scanned + malleable_scanned, self.last_reconcile["duration_s"]
+        )
 
     def spawn_housekeeping(
         self, interval: float = 15.0, jitter: float = 0.0, seed: int = 0
@@ -553,9 +626,9 @@ class FederationBroker:
         return job.result
 
     def jobs(self, state: JobState | None = None) -> list[FederatedJob]:
-        return [
-            j for j in self._jobs.values() if state is None or j.state is state
-        ]
+        if state is None:
+            return list(self._jobs.values())
+        return self._in_state(state)  # O(jobs in that state), not O(all)
 
     # -- malleable queries ------------------------------------------------------
 
@@ -572,22 +645,23 @@ class FederationBroker:
         return self.malleable.results(job_id)
 
     def stats(self) -> dict[str, Any]:
-        by_state: dict[str, int] = {s.value: 0 for s in JobState}
-        reroutes = 0
-        for job in self._jobs.values():
-            by_state[job.state.value] += 1
-            reroutes += max(0, job.attempts - 1)
-        malleable_jobs = (
-            self._malleable.jobs() if self._malleable is not None else []
-        )
-        resize_events = sum(len(j.placement.events) for j in malleable_jobs)
-        for job in malleable_jobs:
-            by_state[job.state.value] += 1
+        """O(1) snapshot from the maintained tables and counters — no
+        scan over the (unbounded) job history."""
+        by_state: dict[str, int] = {
+            s.value: len(self._by_state[s]) for s in JobState
+        }
+        n_malleable = 0
+        resize_events = 0
+        if self._malleable is not None:
+            for state in JobState:
+                by_state[state.value] += self._malleable.state_count(state)
+            n_malleable = self._malleable.job_count()
+            resize_events = self._malleable.resize_event_count()
         return {
-            "jobs": len(self._jobs) + len(malleable_jobs),
+            "jobs": len(self._jobs) + n_malleable,
             "by_state": by_state,
-            "reroutes": reroutes,
-            "malleable_jobs": len(malleable_jobs),
+            "reroutes": self._reroutes,
+            "malleable_jobs": n_malleable,
             "resize_events": resize_events,
             "sites": self.registry.names(),
         }

@@ -143,6 +143,8 @@ class MalleableJob:
     results: dict[int, Any] = field(default_factory=dict)
     error: str = ""
     finished_at: float | None = None
+    #: submission sequence — per-state tables iterate in this order
+    seq: int = 0
 
     @property
     def completed_units(self) -> int:
@@ -172,7 +174,38 @@ class MalleableManager:
         self.broker = broker
         self.config = config or ResizeConfig()
         self._jobs: dict[str, MalleableJob] = {}
+        # state-indexed tables + maintained counters, mirroring the
+        # broker: the tick sweeps live jobs only, stats() never scans
+        self._by_state: dict[JobState, dict[str, MalleableJob]] = {
+            s: {} for s in JobState
+        }
+        self._resize_events = 0
         self._id_counter = itertools.count(1)
+        # fair-share arbitration memo: (signature, caps) of the last
+        # pass — recomputed only when contenders/demands/weights change
+        self._arb_sig: tuple | None = None
+        self._arb_caps: dict[tuple[str, str], int] | None = None
+
+    # -- state tables ---------------------------------------------------------
+
+    def _set_state(self, job: MalleableJob, state: Any) -> None:
+        if state is job.state:
+            return
+        self._by_state[job.state].pop(job.job_id, None)
+        job.state = state
+        self._by_state[state][job.job_id] = job
+
+    def _in_state(self, state: Any) -> list[MalleableJob]:
+        return sorted(self._by_state[state].values(), key=lambda j: j.seq)
+
+    def state_count(self, state: Any) -> int:
+        return len(self._by_state[state])
+
+    def job_count(self) -> int:
+        return len(self._jobs)
+
+    def resize_event_count(self) -> int:
+        return self._resize_events
 
     # -- intake ---------------------------------------------------------------
 
@@ -217,8 +250,9 @@ class MalleableManager:
             pins = {site: res for site, res in parsed if res is not None}
         hold = self.broker._admit(owner)
         ledger = ShareLedger(iterations, max_attempts=self.broker.max_attempts)
+        seq = next(self._id_counter)
         job = MalleableJob(
-            job_id=f"fed-mjob-{next(self._id_counter)}",
+            job_id=f"fed-mjob-{seq}",
             program=ir,
             units=iterations,
             shots_per_unit=ir.shots,
@@ -231,8 +265,10 @@ class MalleableManager:
             pins=pins,
             placement=MalleablePlacement(ledger=ledger),
             state=JobState.HELD if hold else JobState.PLACED,
+            seq=seq,
         )
         self._jobs[job.job_id] = job
+        self._by_state[job.state][job.job_id] = job
         if not hold:
             self._seed_shares(job)
             # arbitrated from the first dispatch: a late-arriving job
@@ -241,25 +277,29 @@ class MalleableManager:
             self._dispatch(job, self._arbitrate_slots())
         return job.job_id
 
-    def _release_held(self) -> None:
+    def _release_held(self, admission_cache: dict) -> None:
         """Activate held malleable jobs whose tenant budget regained
         headroom (shares seed at release time, against the *current*
-        candidate set — the federation may have changed while parked)."""
+        candidate set — the federation may have changed while parked).
+        Admission is memoized per tenant for this pass (a fresh memo
+        per pass: the fixed-size refresh loop runs in between and can
+        move budgets)."""
         from ..accounting import AdmissionDecision
 
-        accounting = self.broker.accounting
-        for job in self._jobs.values():
-            if job.state is not JobState.HELD:
-                continue
-            if accounting.admission(job.owner) is not AdmissionDecision.ADMIT:
+        for job in self._in_state(JobState.HELD):
+            decision = self.broker._admission_memo(job.owner, admission_cache)
+            if decision is not AdmissionDecision.ADMIT:
                 continue
             if not self._candidates(job):
                 continue  # transient no-site window: stay parked
             self.broker.metrics.record_admission("released")
-            job.state = JobState.PLACED
+            self._set_state(job, JobState.PLACED)
             self._seed_shares(job)
             if job.state is JobState.PLACED:
                 self._dispatch(job, self._arbitrate_slots())
+            # dispatching reserved budget against this tenant: the
+            # memoized decision is stale from here on
+            admission_cache.pop(job.owner, None)
 
     def _seed_shares(self, job: MalleableJob) -> None:
         candidates = self._candidates(job)
@@ -267,7 +307,7 @@ class MalleableManager:
             # mirror the fixed-size intake contract: accept the job and
             # fail it with a diagnosis rather than raising after the
             # job id is already registered
-            job.state = JobState.FAILED
+            self._set_state(job, JobState.FAILED)
             job.error = (
                 f"no healthy site can take a {job.n_qubits}-qubit malleable job"
             )
@@ -305,15 +345,20 @@ class MalleableManager:
 
     # -- the resize loop -------------------------------------------------------
 
-    def tick(self) -> None:
+    def tick(self) -> int:
         """One controller pass: refresh unit states, then rebalance and
         top up dispatches for every live job — under the fair-share
-        slot caps when several jobs contend and accounting is wired."""
+        slot caps when several jobs contend and accounting is wired.
+        Sweeps the live tables only; returns how many jobs it touched
+        (the broker's reconcile instrumentation)."""
+        scanned = len(self._by_state[JobState.HELD])
         if self.broker.accounting is not None:
-            self._release_held()
-        for job in self._jobs.values():
+            self._release_held({})
+        live = self._in_state(JobState.PLACED)
+        scanned += len(live)
+        for job in live:
             if job.state is not JobState.PLACED:
-                continue
+                continue  # went terminal earlier this sweep
             self._refresh(job)
             if job.state is not JobState.PLACED:
                 continue
@@ -322,11 +367,12 @@ class MalleableManager:
             else:
                 self._retire_unhealthy(job)
         caps = self._arbitrate_slots()
-        for job in self._jobs.values():
+        for job in live:
             if job.state is not JobState.PLACED:
                 continue
             self._dispatch(job, caps)
             self._fail_if_stranded(job)
+        return scanned
 
     def _arbitrate_slots(self) -> dict[tuple[str, str], int] | None:
         """Couple the per-job resize loops through the federation's
@@ -339,18 +385,42 @@ class MalleableManager:
         accounting = self.broker.accounting
         if accounting is None:
             return None
-        live = [j for j in self._jobs.values() if j.state is JobState.PLACED]
+        live = self._in_state(JobState.PLACED)
         if len(live) < 2:
+            self._arb_sig = None
             return None
-        sites: set[str] = set()
-        for job in live:
-            sites.update(job.placement.ledger.active_sites())
-        caps: dict[tuple[str, str], int] = {}
         capacity = self.config.max_outstanding_per_site
+        active: dict[str, list[str]] = {
+            j.job_id: j.placement.ledger.active_sites() for j in live
+        }
+        sites: set[str] = set()
+        for names in active.values():
+            sites.update(names)
+        # dirty-flag pass: the water-filling below only needs to re-run
+        # when the contender set, a demand, or a tenant weight actually
+        # changed — on a quiet tick the previous grant table stands
+        signature = (
+            capacity,
+            accounting.arbiter.version,
+            tuple(
+                (
+                    j.job_id,
+                    j.owner,
+                    tuple(active[j.job_id]),
+                    min(capacity, j.placement.ledger.pending_units),
+                    tuple(
+                        (s, len(j.placement.ledger.in_flight_at(s)))
+                        for s in active[j.job_id]
+                    ),
+                )
+                for j in live
+            ),
+        )
+        if signature == self._arb_sig:
+            return self._arb_caps
+        caps: dict[tuple[str, str], int] = {}
         for site in sorted(sites):
-            contenders = [
-                j for j in live if site in j.placement.ledger.active_sites()
-            ]
+            contenders = [j for j in live if site in active[j.job_id]]
             if len(contenders) < 2:
                 continue  # sole occupant keeps the full per-site budget
             # fairness attaches to the *tenant*: one owner's weight is
@@ -371,6 +441,8 @@ class MalleableManager:
             alloc = accounting.arbiter.allocate(capacity, demands, weights)
             for job_id, slots in alloc.items():
                 caps[(job_id, site)] = slots
+        self._arb_sig = signature
+        self._arb_caps = caps
         return caps
 
     def _refresh(self, job: MalleableJob) -> None:
@@ -427,7 +499,7 @@ class MalleableManager:
                     job, unit, f"unit task {status['state']} on {dispatch.site}"
                 )
         if placement.ledger.done and job.state is JobState.PLACED:
-            job.state = JobState.COMPLETED
+            self._set_state(job, JobState.COMPLETED)
             job.finished_at = now
             self.broker.metrics.record_outcome("completed")
 
@@ -442,7 +514,7 @@ class MalleableManager:
             return
         if self._candidates(job):
             return
-        job.state = JobState.FAILED
+        self._set_state(job, JobState.FAILED)
         job.error = (
             f"no healthy site can take a {job.n_qubits}-qubit malleable job "
             f"({ledger.pending_units} units stranded)"
@@ -501,7 +573,7 @@ class MalleableManager:
         ledger = job.placement.ledger
         if not ledger.exhausted(unit):
             return False
-        job.state = JobState.FAILED
+        self._set_state(job, JobState.FAILED)
         job.error = (
             f"unit {unit} exhausted {ledger.attempts(unit)} placement "
             f"attempts: {reason}"
@@ -773,6 +845,7 @@ class MalleableManager:
                 reason=reason,
             )
         )
+        self._resize_events += 1
         self.broker.metrics.record_share_event(site, kind)
 
     # -- queries ---------------------------------------------------------------

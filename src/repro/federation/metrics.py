@@ -101,6 +101,16 @@ class FederationMetrics:
             "Remaining federation budget per tenant (+Inf when unbudgeted)",
             label_names=("tenant",),
         )
+        # -- reconcile hot path (the scheduler tick itself) -------------------
+        self.reconcile_scanned = self.registry.gauge(
+            "federation_reconcile_scanned_jobs",
+            "Jobs the last reconcile sweep touched (live + held; "
+            "terminal jobs are archived out of the sweep)",
+        )
+        self.reconcile_duration = self.registry.gauge(
+            "federation_reconcile_duration_ms",
+            "Wall-clock cost of the last reconcile sweep",
+        )
 
     # -- recording (broker calls) -------------------------------------------
 
@@ -128,6 +138,10 @@ class FederationMetrics:
 
     def record_admission(self, decision: str) -> None:
         self.admissions.inc(labels={"decision": decision})
+
+    def observe_reconcile(self, scanned: int, duration_s: float) -> None:
+        self.reconcile_scanned.set(float(scanned))
+        self.reconcile_duration.set(duration_s * 1e3)
 
     def observe_accounting(self, accounting) -> None:
         """Refresh the per-tenant spend / remaining-budget gauges from a
@@ -165,6 +179,9 @@ class FederationMetrics:
         def collect(now: float) -> Mapping[str, float]:
             out: dict[str, float] = {
                 "federation_sites_healthy": self._gauge_or(self.sites_healthy, 0.0),
+                "federation_reconcile_scanned_jobs": self._gauge_or(
+                    self.reconcile_scanned, 0.0
+                ),
             }
             for _, labels, value in self.site_depth.samples():
                 out[f"federation_queue_depth_{labels['site']}"] = value

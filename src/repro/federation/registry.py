@@ -57,10 +57,20 @@ class _SiteRecord:
     site: FederatedSite
     registered_at: float
     last_heartbeat: float
+    beat_seq: int = 0  # bumps per heartbeat; part of the snapshot cache key
 
 
 class SiteRegistry:
-    """Membership, heartbeats, and snapshot production."""
+    """Membership, heartbeats, and snapshot production.
+
+    Snapshot production is the federation's hottest read path — the
+    broker rebuilds the candidate view for every placement and every
+    reconcile sweep.  Each site's snapshot is therefore cached keyed on
+    ``(now, heartbeat seq, liveness, queue depth)``: identical inputs
+    reproduce the identical (immutable) snapshot without re-walking the
+    site's catalog, capacity, and calibration surfaces.  The sorted
+    name list is likewise cached and invalidated on membership change.
+    """
 
     def __init__(self, heartbeat_expiry: float = 60.0) -> None:
         if heartbeat_expiry <= 0:
@@ -69,6 +79,9 @@ class SiteRegistry:
         self._records: dict[str, _SiteRecord] = {}
         self._beat_sim: Simulator | None = None
         self._beat_interval: float = 0.0
+        self._names_cache: tuple[str, ...] | None = None
+        self._ordered_records: list[_SiteRecord] | None = None
+        self._snap_cache: dict[str, tuple[tuple, SiteSnapshot]] = {}
 
     # -- membership ---------------------------------------------------------
 
@@ -78,6 +91,8 @@ class SiteRegistry:
         self._records[site.name] = _SiteRecord(
             site=site, registered_at=now, last_heartbeat=now
         )
+        self._names_cache = None
+        self._ordered_records = None
         if self._beat_sim is not None:
             # heartbeats already running: late joiners beat too
             self._spawn_beat(site)
@@ -86,6 +101,9 @@ class SiteRegistry:
         if name not in self._records:
             raise FederationError(f"unknown site {name!r}")
         del self._records[name]
+        self._names_cache = None
+        self._ordered_records = None
+        self._snap_cache.pop(name, None)
 
     def site(self, name: str) -> FederatedSite:
         if name not in self._records:
@@ -93,7 +111,9 @@ class SiteRegistry:
         return self._records[name].site
 
     def names(self) -> list[str]:
-        return sorted(self._records)
+        if self._names_cache is None:
+            self._names_cache = tuple(sorted(self._records))
+        return list(self._names_cache)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -101,38 +121,71 @@ class SiteRegistry:
     # -- health -------------------------------------------------------------
 
     def heartbeat(self, name: str, now: float) -> None:
-        if name not in self._records:
+        record = self._records.get(name)
+        if record is None:
             raise FederationError(f"heartbeat from unknown site {name!r}")
-        self._records[name].last_heartbeat = now
+        record.last_heartbeat = now
+        record.beat_seq += 1
+
+    def _classify(
+        self, record: _SiteRecord, now: float, depth: int
+    ) -> SiteHealth:
+        """The one site-health rule, shared by :meth:`health_of` and
+        the snapshot builder (which already holds the queue depth)."""
+        site = record.site
+        if not site.alive or now - record.last_heartbeat > self.heartbeat_expiry:
+            return SiteHealth.UNHEALTHY
+        if depth >= site.max_queue_depth:
+            return SiteHealth.SATURATED
+        return SiteHealth.ONLINE
 
     def health_of(self, name: str, now: float) -> SiteHealth:
         record = self._records.get(name)
         if record is None:
             raise FederationError(f"unknown site {name!r}")
-        site = record.site
-        if not site.alive or now - record.last_heartbeat > self.heartbeat_expiry:
-            return SiteHealth.UNHEALTHY
-        if site.queue_depth() >= site.max_queue_depth:
-            return SiteHealth.SATURATED
-        return SiteHealth.ONLINE
+        return self._classify(record, now, record.site.queue_depth())
 
     # -- snapshots -----------------------------------------------------------
 
-    def snapshot(self, name: str, now: float) -> SiteSnapshot:
-        site = self.site(name)
-        return SiteSnapshot(
-            name=name,
-            health=self.health_of(name, now),
-            queue_depth=site.queue_depth(),
+    def _build_snapshot(
+        self, record: _SiteRecord, now: float
+    ) -> SiteSnapshot:
+        site = record.site
+        depth = site.queue_depth()
+        key = (now, record.beat_seq, site.alive, depth)
+        cached = self._snap_cache.get(site.name)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        snap = SiteSnapshot(
+            name=site.name,
+            health=self._classify(record, now, depth),
+            queue_depth=depth,
             max_queue_depth=site.max_queue_depth,
             fidelity_proxy=site.fidelity_proxy(),
             max_qubits=site.max_qubits(),
             catalog=site.catalog(),
             calibration=site.calibration_snapshot(),
         )
+        self._snap_cache[site.name] = (key, snap)
+        return snap
+
+    def snapshot(self, name: str, now: float) -> SiteSnapshot:
+        record = self._records.get(name)
+        if record is None:
+            raise FederationError(f"unknown site {name!r}")
+        return self._build_snapshot(record, now)
 
     def snapshots(self, now: float) -> list[SiteSnapshot]:
-        return [self.snapshot(name, now) for name in self.names()]
+        # the record list in sorted-name order is cached with the name
+        # list: no per-name dict lookup on the sweep path
+        if self._ordered_records is None:
+            self._ordered_records = [
+                self._records[name] for name in self.names()
+            ]
+        return [
+            self._build_snapshot(record, now)
+            for record in self._ordered_records
+        ]
 
     def healthy_snapshots(
         self, now: float, exclude: tuple[str, ...] = ()

@@ -45,17 +45,37 @@ class FederatedSite:
         self.priority_class = priority_class
         self.alive = True
         self._sessions: dict[str, str] = {}  # session owner -> token
+        # catalog/capacity caches keyed on the daemon's (name, resource
+        # identity) pairs: exported types and max-qubit capacities are
+        # static per resource object, but the placement path asks for
+        # them on every candidate scan — adding, removing, or replacing
+        # a resource (even under the same name) rebuilds
+        self._catalog_cache: tuple[tuple, dict[str, str]] | None = None
+        self._capacity_cache: tuple[tuple, dict[str, int]] | None = None
+
+    def _resource_key(self) -> tuple:
+        return tuple(
+            (name, id(res)) for name, res in self.daemon.resources.items()
+        )
 
     # -- introspection (feeds SiteRegistry snapshots) -----------------------
 
     def catalog(self) -> dict[str, str]:
         """name -> type for the resources this site exports to the
         federation (local emulators stay site-private)."""
-        return {
-            name: res.resource_type
-            for name, res in self.daemon.resources.items()
-            if ResourceType.parse(res.resource_type).is_federable
-        }
+        key = self._resource_key()
+        cached = self._catalog_cache
+        if cached is None or cached[0] != key:
+            cached = (
+                key,
+                {
+                    name: res.resource_type
+                    for name, res in self.daemon.resources.items()
+                    if ResourceType.parse(res.resource_type).is_federable
+                },
+            )
+            self._catalog_cache = cached
+        return dict(cached[1])
 
     def queue_depth(self) -> int:
         """Brokered-load signal: queued tasks plus the running one."""
@@ -86,17 +106,30 @@ class FederatedSite:
             return 1.0
         return min(d.calibration.fidelity_proxy() for d in devices.values())
 
+    def _capacities(self) -> dict[str, int]:
+        key = self._resource_key()
+        cached = self._capacity_cache
+        if cached is None or cached[0] != key:
+            cached = (
+                key,
+                {
+                    name: int(
+                        self.daemon.resources[name].target().get("max_qubits", 0)
+                    )
+                    for name in self.catalog()
+                },
+            )
+            self._capacity_cache = cached
+        return cached[1]
+
     def resource_capacity(self) -> dict[str, int]:
-        """max_qubits per exported resource (from its live target doc)."""
-        return {
-            name: int(self.daemon.resources[name].target().get("max_qubits", 0))
-            for name in self.catalog()
-        }
+        """max_qubits per exported resource (from its target doc)."""
+        return dict(self._capacities())
 
     def capable_catalog(self, n_qubits: int = 0) -> dict[str, str]:
         """The exported catalog restricted to resources that can hold an
         ``n_qubits`` register — what placement must select from."""
-        capacity = self.resource_capacity()
+        capacity = self._capacities()
         return {
             name: rtype
             for name, rtype in self.catalog().items()
@@ -105,7 +138,7 @@ class FederatedSite:
 
     def max_qubits(self) -> int:
         """Largest register any federable resource here accepts."""
-        return max(self.resource_capacity().values(), default=0)
+        return max(self._capacities().values(), default=0)
 
     # -- intake (brokered jobs) ---------------------------------------------
 

@@ -3,9 +3,11 @@
 Series are identified by ``(measurement, labels)``.  Points are
 ``(time, value)`` with per-series monotone time enforced (out-of-order
 writes raise — catching simulation clock bugs early).  Storage is
-append-only Python lists converted lazily to NumPy arrays for queries;
-queries never copy more than the selected window (views where
-possible, per the hpc-parallel guide).
+chunked NumPy arrays grown geometrically: appends write in place
+(amortized O(1), never a list-to-array conversion), queries return
+zero-copy views of the live window, and retention advances a start
+offset — points are dropped lazily, with compaction only once the dead
+prefix dominates the buffer (per the hpc-parallel guide).
 """
 
 from __future__ import annotations
@@ -18,35 +20,88 @@ from ..errors import TSDBError
 
 __all__ = ["TimeSeriesDB"]
 
+#: initial per-series buffer capacity (doubles as the series grows)
+_MIN_CAPACITY = 64
+#: retention compacts once this many retired points lead the buffer
+#: *and* they outnumber the live points
+_COMPACT_THRESHOLD = 1024
+
 
 def _series_key(measurement: str, labels: Mapping[str, str] | None) -> tuple:
     return (measurement, tuple(sorted((labels or {}).items())))
 
 
 class _Series:
-    __slots__ = ("times", "values", "_cache_len", "_t_arr", "_v_arr")
+    """One series' chunked storage: ``[_start, _end)`` is the live
+    window inside a geometrically-grown pair of buffers."""
+
+    __slots__ = ("_t", "_v", "_start", "_end", "_last")
 
     def __init__(self) -> None:
-        self.times: list[float] = []
-        self.values: list[float] = []
-        self._cache_len = 0
-        self._t_arr = np.empty(0)
-        self._v_arr = np.empty(0)
+        self._t = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._v = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._start = 0
+        self._end = 0
+        self._last: float | None = None  # newest time, O(1) monotone check
+
+    def __len__(self) -> int:
+        return self._end - self._start
+
+    @property
+    def last_time(self) -> float | None:
+        return self._last if len(self) else None
+
+    @property
+    def last_value(self) -> float:
+        return float(self._v[self._end - 1])
 
     def append(self, t: float, v: float) -> None:
-        if self.times and t < self.times[-1]:
+        t = float(t)
+        if len(self) and t < self._last:
             raise TSDBError(
-                f"out-of-order write: t={t} after t={self.times[-1]}"
+                f"out-of-order write: t={t} after t={self._last}"
             )
-        self.times.append(float(t))
-        self.values.append(float(v))
+        if self._end == self._t.size:
+            self._compact(grow=True)
+        self._t[self._end] = t
+        self._v[self._end] = v
+        self._end += 1
+        self._last = t
+
+    def _compact(self, grow: bool = False) -> None:
+        """Shift the live window to offset 0; optionally double the
+        buffer when it is genuinely full (vs. merely retention-led)."""
+        n = len(self)
+        capacity = self._t.size
+        if grow and self._start < capacity // 2:
+            capacity = max(_MIN_CAPACITY, 2 * capacity)
+        new_t = np.empty(capacity, dtype=np.float64)
+        new_v = np.empty(capacity, dtype=np.float64)
+        new_t[:n] = self._t[self._start : self._end]
+        new_v[:n] = self._v[self._start : self._end]
+        self._t, self._v = new_t, new_v
+        self._start, self._end = 0, n
 
     def arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        if self._cache_len != len(self.times):
-            self._t_arr = np.asarray(self.times)
-            self._v_arr = np.asarray(self.values)
-            self._cache_len = len(self.times)
-        return self._t_arr, self._v_arr
+        """Zero-copy views of the live window."""
+        return (
+            self._t[self._start : self._end],
+            self._v[self._start : self._end],
+        )
+
+    def drop_before(self, cutoff: float) -> int:
+        """Retire points older than ``cutoff`` by advancing the start
+        offset (O(log n)); compact only when the dead prefix dominates."""
+        t, _ = self.arrays()
+        retired = int(np.searchsorted(t, cutoff, side="left"))
+        if retired:
+            self._start += retired
+            if (
+                self._start >= _COMPACT_THRESHOLD
+                and self._start > len(self)
+            ):
+                self._compact()
+        return retired
 
 
 class TimeSeriesDB:
@@ -115,10 +170,10 @@ class TimeSeriesDB:
         self, measurement: str, labels: Mapping[str, str] | None = None
     ) -> tuple[float, float]:
         key = _series_key(measurement, labels)
-        if key not in self._series or not self._series[key].times:
+        series = self._series.get(key)
+        if series is None or not len(series):
             raise TSDBError(f"no points in series {measurement!r}")
-        series = self._series[key]
-        return series.times[-1], series.values[-1]
+        return series.last_time, series.last_value
 
     # -- aggregations -------------------------------------------------------------
 
@@ -187,20 +242,15 @@ class TimeSeriesDB:
     # -- retention ---------------------------------------------------------------
 
     def enforce_retention(self, now: float) -> int:
-        """Drop points older than the retention window; returns dropped count."""
+        """Drop points older than the retention window; returns dropped
+        count.  O(log n) per series (a start-offset advance), not a
+        rebuild of the backing storage."""
         if self.retention_seconds is None:
             return 0
         cutoff = now - self.retention_seconds
-        dropped = 0
-        for series in self._series.values():
-            t, _ = series.arrays()
-            keep_from = int(np.searchsorted(t, cutoff, side="left"))
-            if keep_from > 0:
-                dropped += keep_from
-                series.times = series.times[keep_from:]
-                series.values = series.values[keep_from:]
-                series._cache_len = 0
-        return dropped
+        return sum(
+            series.drop_before(cutoff) for series in self._series.values()
+        )
 
     def point_count(self) -> int:
-        return sum(len(s.times) for s in self._series.values())
+        return sum(len(s) for s in self._series.values())

@@ -1,0 +1,225 @@
+"""The indexed job tables must be indistinguishable from a full scan.
+
+The broker and the malleable manager keep per-state job tables plus
+maintained counters (reroutes, resize events) so ``reconcile``,
+``jobs(state=...)``, and ``stats()`` cost O(live) / O(1) instead of
+O(every job ever submitted).  These tests pin the equivalence:
+
+* a hypothesis-driven random walk over submit / site-kill / time
+  advance / hold-release sequences, asserting after every step that the
+  tables and counters match a brute-force scan over all jobs,
+* a spy on ``_refresh`` proving the reconcile sweep never touches
+  COMPLETED/FAILED jobs again,
+* the registry's cached name list and snapshot cache (satellite fixes).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting import BudgetAction, FederationAccounting
+from repro.federation import JobState
+from repro.federation.registry import SiteHealth
+
+from fedutil import build_federation, make_program
+
+PROGRAM = make_program(n_atoms=2, shots=5)
+
+
+def assert_tables_match_scan(broker):
+    """Every indexed view == the brute-force recomputation."""
+    jobs = list(broker._jobs.values())
+    for state in JobState:
+        assert broker.jobs(state=state) == [
+            j for j in jobs if j.state is state
+        ]
+    manager = broker._malleable
+    mjobs = manager.jobs() if manager is not None else []
+    if manager is not None:
+        for state in JobState:
+            assert manager._in_state(state) == [
+                j for j in mjobs if j.state is state
+            ]
+    expected_by_state = {s.value: 0 for s in JobState}
+    for job in jobs + mjobs:
+        expected_by_state[job.state.value] += 1
+    stats = broker.stats()
+    assert stats["by_state"] == expected_by_state
+    assert stats["jobs"] == len(jobs) + len(mjobs)
+    assert stats["malleable_jobs"] == len(mjobs)
+    assert stats["reroutes"] == sum(max(0, j.attempts - 1) for j in jobs)
+    assert stats["resize_events"] == sum(
+        len(j.placement.events) for j in mjobs
+    )
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.integers(0, 3)),
+        st.tuples(st.just("submit_held"), st.integers(0, 3)),
+        st.tuples(st.just("submit_pinned_bad"), st.integers(0, 3)),
+        st.tuples(
+            st.just("submit_malleable"),
+            st.integers(0, 3),
+            st.integers(1, 4),
+            st.booleans(),
+        ),
+        st.tuples(st.just("kill"), st.integers(0, 2)),
+        st.tuples(st.just("grant"), st.just(0)),
+        st.tuples(st.just("advance"), st.sampled_from([5.0, 20.0, 61.0])),
+        st.tuples(st.just("reconcile")),
+    ),
+    min_size=3,
+    max_size=14,
+)
+
+
+class TestIndexedTablesEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=OPS)
+    def test_tables_and_counters_match_brute_force(self, ops):
+        accounting = FederationAccounting()
+        # tenant "held" starts exhausted with HOLD semantics so the
+        # walk exercises the HELD table and the release path; "grant"
+        # ops top it up mid-sequence
+        accounting.set_budget("held", 0.0, action=BudgetAction.HOLD)
+        sim, registry, broker, sites = build_federation(
+            n_sites=3, max_queue_depth=6, seed=3
+        )
+        broker.accounting = accounting
+        owners = ("alice", "bob", "carol", "held")
+        site_names = sorted(sites)
+        for op in ops:
+            kind = op[0]
+            if kind == "submit":
+                broker.submit(PROGRAM, shots=5, owner=owners[op[1]])
+            elif kind == "submit_held":
+                broker.submit(PROGRAM, shots=5, owner="held")
+            elif kind == "submit_pinned_bad":
+                # pinned at a resource no site exports: fails at intake,
+                # populating the FAILED archive
+                broker.submit(
+                    PROGRAM,
+                    shots=5,
+                    owner=owners[op[1]],
+                    pin="site-0/no-such-resource",
+                )
+            elif kind == "submit_malleable":
+                broker.submit_malleable(
+                    PROGRAM,
+                    iterations=op[2],
+                    shots=5,
+                    owner=owners[op[1]],
+                    malleable=op[3],
+                )
+            elif kind == "kill":
+                sites[site_names[op[1]]].kill()
+            elif kind == "grant":
+                accounting.budgets.grant("held", 50.0)
+            elif kind == "advance":
+                sim.run(until=sim.now + op[1])
+            elif kind == "reconcile":
+                broker.reconcile()
+            assert_tables_match_scan(broker)
+        # drain whatever is still live and re-check the terminal shape
+        sim.run(until=sim.now + 400.0)
+        broker.reconcile()
+        assert_tables_match_scan(broker)
+
+
+class TestReconcileSkipsTerminalJobs:
+    def test_refresh_never_sees_completed_or_failed_jobs(self):
+        sim, registry, broker, sites = build_federation(n_sites=2)
+        done = [broker.submit(PROGRAM, shots=5) for _ in range(4)]
+        broker.submit(PROGRAM, shots=5, pin="site-0/no-such-resource")
+        sim.run(until=200.0)
+        assert {broker.job(j).state for j in done} == {JobState.COMPLETED}
+        assert len(broker.jobs(state=JobState.FAILED)) == 1
+
+        seen: list[tuple[str, JobState]] = []
+        original = broker._refresh
+
+        def spy(job):
+            seen.append((job.job_id, job.state))
+            return original(job)
+
+        broker._refresh = spy
+        live = broker.submit(PROGRAM, shots=5)
+        for _ in range(5):
+            broker.reconcile()
+        terminal = {j for j in done} | {
+            j.job_id for j in broker.jobs(state=JobState.FAILED)
+        }
+        assert all(job_id not in terminal for job_id, _ in seen)
+        assert all(state is JobState.PLACED for _, state in seen)
+        assert any(job_id == live for job_id, _ in seen)
+
+    def test_held_release_admission_memoized_per_tenant(self):
+        """N held jobs of one exhausted tenant must cost one budget
+        admission lookup per reconcile, not one per job."""
+        accounting = FederationAccounting()
+        accounting.set_budget("parked", 0.0, action=BudgetAction.HOLD)
+        sim, registry, broker, sites = build_federation(n_sites=2)
+        broker.accounting = accounting
+        for _ in range(8):
+            broker.submit(PROGRAM, shots=5, owner="parked")
+        assert len(broker.jobs(state=JobState.HELD)) == 8
+
+        calls: list[str] = []
+        original = accounting.admission
+
+        def counting(tenant):
+            calls.append(tenant)
+            return original(tenant)
+
+        accounting.admission = counting
+        broker.reconcile()
+        assert calls.count("parked") == 1
+        # release: topping the budget up lets every held job place, and
+        # each placement invalidates the memo (its reservation changes
+        # the tenant's headroom) — admission re-checked per release
+        accounting.budgets.grant("parked", 1000.0)
+        calls.clear()
+        broker.reconcile()
+        assert not broker.jobs(state=JobState.HELD)
+        assert len(broker.jobs(state=JobState.PLACED)) == 8
+        # every placement invalidated the memo, so each of the 8
+        # releases re-asked (the next sweep starts from a fresh cache)
+        assert calls.count("parked") == 8
+
+
+class TestRegistryCaches:
+    def test_names_cache_invalidated_on_membership_change(self):
+        sim, registry, broker, sites = build_federation(n_sites=2)
+        assert registry.names() == ["site-0", "site-1"]
+        registry.deregister("site-0")
+        assert registry.names() == ["site-1"]
+        # returned lists are private copies: callers cannot poison
+        registry.names().append("mallory")
+        assert registry.names() == ["site-1"]
+
+    def test_snapshot_cache_hits_and_invalidates(self):
+        sim, registry, broker, sites = build_federation(n_sites=1)
+        first = registry.snapshot("site-0", now=0.0)
+        assert registry.snapshot("site-0", now=0.0) is first  # cached
+        assert registry.snapshot("site-0", now=1.0) is not first  # new key
+        registry.heartbeat("site-0", now=1.0)
+        beat = registry.snapshot("site-0", now=1.0)
+        assert beat is not first
+        # a queue mutation at the same instant invalidates too
+        sites["site-0"].submit(PROGRAM, "onprem", shots=5)
+        deeper = registry.snapshot("site-0", now=1.0)
+        assert deeper is not beat
+        assert deeper.queue_depth == beat.queue_depth + 1
+
+    def test_snapshot_health_matches_health_of(self):
+        sim, registry, broker, sites = build_federation(
+            n_sites=2, heartbeat_expiry=30.0
+        )
+        sites["site-1"].kill()
+        for name in ("site-0", "site-1"):
+            for now in (0.0, 10.0, 31.0):
+                assert (
+                    registry.snapshot(name, now).health
+                    is registry.health_of(name, now)
+                )
+        assert registry.snapshot("site-1", 0.0).health is SiteHealth.UNHEALTHY
