@@ -17,6 +17,8 @@ Subpackages (bottom-up):
 ``sdk``             multi-SDK frontends (pulser-like, qiskit-like) + shared IR
 ``daemon``          middleware REST daemon with second-level scheduling
 ``runtime``         THE core contribution: portable hybrid runtime
+``spec``            declarative JobSpec: the one submission payload
+``session``         Session/JobHandle facade over every backend
 ``federation``      multi-site broker: route jobs across whole sites
 ``scheduling``      workload-pattern taxonomy, interleaving, malleability
 ``observability``   metrics / TSDB / dashboards / alerting / drift detection
@@ -49,4 +51,16 @@ def __getattr__(name: str):
         from .runtime.executor import HybridProgram
 
         return HybridProgram
+    if name == "JobSpec":
+        from .spec import JobSpec
+
+        return JobSpec
+    if name == "Session":
+        from .session import Session
+
+        return Session
+    if name == "JobHandle":
+        from .session import JobHandle
+
+        return JobHandle
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

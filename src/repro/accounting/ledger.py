@@ -88,6 +88,9 @@ class UsageLedger:
         self._spend: dict[str, float] = {}
         self._spend_site: dict[tuple[str, str], float] = {}
         self._quantity: dict[tuple[str, UsageKind], float] = {}
+        #: terminal job records spilled from broker memory by
+        #: evict_terminal — the durable archive behind the hot tables
+        self._archived: list[dict] = []
 
     # -- metering -----------------------------------------------------------
 
@@ -162,6 +165,17 @@ class UsageLedger:
             )
             ingested += 1
         return ingested
+
+    # -- terminal-job archive ------------------------------------------------
+
+    def archive(self, record: dict) -> None:
+        """Store one evicted terminal job record (broker spill path)."""
+        self._archived.append(dict(record))
+
+    def archived_jobs(self, tenant: str | None = None) -> list[dict]:
+        if tenant is None:
+            return [dict(r) for r in self._archived]
+        return [dict(r) for r in self._archived if r.get("tenant") == tenant]
 
     # -- queries ------------------------------------------------------------
 

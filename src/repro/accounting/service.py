@@ -61,6 +61,21 @@ class FederationAccounting:
     def admission(self, tenant: str) -> AdmissionDecision:
         return self.budgets.admission(tenant)
 
+    def can_afford(self, tenant: str, cost: float) -> bool:
+        """Would a job *declaring* ``cost`` (a spec ``budget_hint``) fit
+        in the tenant's remaining headroom?  Unbudgeted tenants always
+        afford everything."""
+        return self.budgets.remaining(tenant) >= cost
+
+    def archive_job(self, record: dict) -> None:
+        """Accept one terminal job record spilled from broker memory
+        (see :meth:`FederationBroker.evict_terminal
+        <repro.federation.broker.FederationBroker.evict_terminal>`)."""
+        self.ledger.archive(record)
+
+    def archived_jobs(self, tenant: str | None = None) -> list[dict]:
+        return self.ledger.archived_jobs(tenant)
+
     def reserve_placement(
         self, tenant: str, site: str, *, shots: int, key: str
     ) -> None:

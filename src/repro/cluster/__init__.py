@@ -24,7 +24,7 @@ milliseconds.
 
 from .gres import GresPool, GresRequest, parse_gres
 from .job import Job, JobState, JobSpec
-from .jobscript import JobScript
+from .jobscript import JobScript, render_jobscript
 from .licenses import LicensePool
 from .node import Node, NodeState
 from .partition import Partition, PreemptMode
@@ -37,6 +37,7 @@ __all__ = [
     "GresRequest",
     "Job",
     "JobScript",
+    "render_jobscript",
     "JobSpec",
     "JobState",
     "LicensePool",

@@ -1,10 +1,18 @@
-"""Batch-script front end: parse ``#SBATCH`` headers into a JobSpec.
+"""Batch-script front end: ``#SBATCH`` headers <-> job descriptions.
 
 The paper's user workflow (Figure 1) submits programs "via Slurm"; in
 practice that means a batch script whose header carries the resource
 request, including the new ``--qpu=<resource>`` switch (§3.2) and
-``--hint=<pattern>`` (§3.5).  This module parses exactly that dialect
-so the examples can show realistic submission files.
+``--hint=<pattern>`` (§3.5).  This module handles both directions of
+that dialect:
+
+* :class:`JobScript` parses a script into the cluster-level
+  :class:`~repro.cluster.job.JobSpec` (nodes/CPUs/time/GRES), so the
+  examples can show realistic submission files,
+* :func:`render_jobscript` generates a script *from* the declarative
+  submission spec (:class:`repro.spec.JobSpec`) — the cluster face of
+  the one-spec surface: the same object that submits to the daemon,
+  the federation, and the cloud gateway also renders the batch file.
 """
 
 from __future__ import annotations
@@ -15,7 +23,54 @@ from ..errors import JobError
 from .gres import parse_gres
 from .job import JobSpec
 
-__all__ = ["JobScript"]
+__all__ = ["JobScript", "render_jobscript"]
+
+#: priority class -> the partition name whose
+#: :meth:`~repro.daemon.queue.PriorityClass.from_partition` mapping
+#: round-trips back to the same class
+_PARTITION_FOR_CLASS = {
+    "production": "prod",
+    "test": "test",
+    "development": "batch",
+}
+
+
+def render_jobscript(
+    spec,
+    *,
+    partition: str | None = None,
+    cpus: int = 1,
+    nodes: int = 1,
+    time_limit: str = "30:00",
+    command: str | None = None,
+) -> str:
+    """Render the ``#SBATCH`` batch script for one submission spec.
+
+    ``spec`` is a :class:`repro.spec.JobSpec`; its priority class picks
+    the partition (unless overridden), its explicit target
+    (``pin``/``resource``) becomes the ``--qpu`` switch, and its
+    resolved shot count rides along on the run command.  The output
+    parses back through :class:`JobScript` — generation and parsing
+    cannot drift.
+    """
+    spec = spec.validate()
+    if partition is None:
+        partition = _PARTITION_FOR_CLASS.get(spec.priority_class, "batch")
+    qpu = spec.pin if spec.pin is not None else spec.resource
+    lines = [
+        "#!/bin/bash",
+        f"#SBATCH --job-name={shlex.quote(spec.program.name)}",
+        f"#SBATCH --partition={partition}",
+        f"#SBATCH --cpus-per-task={cpus}",
+        f"#SBATCH --nodes={nodes}",
+        f"#SBATCH --time={time_limit}",
+    ]
+    if qpu is not None:
+        lines.append(f"#SBATCH --qpu={qpu}")
+    if command is None:
+        command = f"python run_hybrid.py --shots {spec.shots}"
+    lines.append(command)
+    return "\n".join(lines) + "\n"
 
 
 _FLAG_ALIASES = {

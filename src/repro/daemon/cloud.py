@@ -159,8 +159,34 @@ class CloudGateway:
         )
 
     def submit(
-        self, api_key: str, program: Any, resource: str, shots: int | None = None
+        self,
+        api_key: str,
+        program: Any,
+        resource: str | None = None,
+        shots: int | None = None,
     ) -> str:
+        """Submit one cloud job.  ``program`` may be a
+        :class:`~repro.spec.JobSpec`; its resolved IR/shots/resource are
+        used and the remaining args only serve as fallbacks.  Identity
+        stays with the API key — a spec cannot impersonate another
+        tenant through the cloud door."""
+        from ..spec.jobspec import JobSpec
+
+        if isinstance(program, JobSpec):
+            spec = program.validate()
+            if spec.is_multi:
+                raise DaemonError(
+                    "the cloud gateway runs fixed-size tasks; a multi-unit "
+                    "spec (iterations/sites) needs the federation broker"
+                )
+            program = spec.program
+            resource = spec.resource if spec.resource is not None else resource
+            shots = spec.shots
+        if resource is None:
+            raise DaemonError(
+                "cloud submission needs a target resource "
+                "(spec.resource or resource=)"
+            )
         tenant = self._authenticate(api_key)
         now = self.daemon.now
         tenant.refill(now)

@@ -146,6 +146,23 @@ class MiddlewareQueue:
         self._queued_counts: dict[PriorityClass, int] = {
             p: 0 for p in PriorityClass
         }
+        # push-based lifecycle: external observers (federated sites,
+        # session facades) register here and hear every task state
+        # transition at the simulated instant it happens — the hook
+        # that replaces status polling
+        self._transition_listeners: list = []
+
+    def add_transition_listener(self, callback) -> None:
+        """Register ``callback(task, old_state, new_state)`` for every
+        task state transition (including the initial ``None -> QUEUED``
+        at submit).  Idempotent per callback object."""
+        if callback not in self._transition_listeners:
+            self._transition_listeners.append(callback)
+
+    def remove_transition_listener(self, callback) -> None:
+        self._transition_listeners = [
+            cb for cb in self._transition_listeners if cb != callback
+        ]
 
     def _on_task_state(
         self, task: QueuedTask, old: TaskState | None, new: TaskState
@@ -154,6 +171,8 @@ class MiddlewareQueue:
             self._queued_counts[task.priority] -= 1
         if new is TaskState.QUEUED:
             self._queued_counts[task.priority] += 1
+        for callback in self._transition_listeners:
+            callback(task, old, new)
 
     # -- submission ---------------------------------------------------------
 
@@ -180,6 +199,8 @@ class MiddlewareQueue:
         self._tasks[task.task_id] = task
         task._queue = self
         self._queued_counts[task.priority] += 1  # hook only sees changes
+        for callback in self._transition_listeners:
+            callback(task, None, TaskState.QUEUED)
         self._push(task)
         return task
 

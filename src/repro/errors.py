@@ -189,6 +189,15 @@ class BudgetExceededError(AccountingError):
 
 
 # ---------------------------------------------------------------------------
+# Submission specs
+# ---------------------------------------------------------------------------
+
+
+class SpecError(ReproError):
+    """A declarative :class:`~repro.spec.JobSpec` failed validation."""
+
+
+# ---------------------------------------------------------------------------
 # SDK / IR
 # ---------------------------------------------------------------------------
 

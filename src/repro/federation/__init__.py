@@ -22,6 +22,9 @@ profiles instead of static assignment.
   job's burst units spread over a :class:`~repro.scheduling.ShareLedger`
   and a broker-driven resize loop shrinks/grows each site's share as
   queue depth, latency, or heartbeat health moves,
+* :mod:`events`   — :class:`LifecycleBus`: push-based lifecycle —
+  sites, the middleware queue, and the broker publish state
+  transitions the moment they happen, replacing status polling,
 * :mod:`client`   — :class:`FederatedClient`, the DaemonClient-shaped
   front end returning uniform :class:`~repro.runtime.results.RunResult`,
 * :mod:`metrics`  — per-site + aggregate federation metrics through
@@ -36,6 +39,7 @@ remaining budgets.
 
 from .broker import FederatedJob, FederationBroker, JobState, Placement
 from .client import FederatedClient
+from .events import JobEvent, LifecycleBus
 from .malleable import (
     MalleableJob,
     MalleableManager,
@@ -64,8 +68,10 @@ __all__ = [
     "FederatedSite",
     "FederationBroker",
     "FederationMetrics",
+    "JobEvent",
     "JobState",
     "LeastQueuePolicy",
+    "LifecycleBus",
     "MalleableJob",
     "MalleableManager",
     "MalleablePlacement",

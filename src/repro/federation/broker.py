@@ -34,9 +34,12 @@ from ..errors import (
     PlacementError,
     ResourceNotFound,
     SiteUnavailable,
+    SpecError,
 )
 from ..runtime.backend_select import select_resource
 from ..simkernel import Simulator, Timeout
+from ..spec import JobSpec
+from .events import TERMINAL_TASK_KINDS, JobEvent, LifecycleBus
 from .metrics import FederationMetrics
 from .policies import LeastQueuePolicy, RoutingPolicy
 from .registry import SiteHealth, SiteRegistry, SiteSnapshot
@@ -81,6 +84,12 @@ class FederatedJob:
     #: submission sequence number — the per-state tables iterate live
     #: jobs in this order, reproducing the pre-indexing full-scan order
     seq: int = 0
+    #: set when the job reaches COMPLETED/FAILED; drives terminal-record
+    #: eviction (see :meth:`FederationBroker.evict_terminal`)
+    finished_at: float | None = None
+    #: the validated :class:`~repro.spec.JobSpec` this job was built
+    #: from — the one broker-visible submission payload
+    spec: Any = None
 
     @property
     def current(self) -> Placement | None:
@@ -137,6 +146,18 @@ class FederationBroker:
         self._reroutes = 0  # maintained: sum over jobs of attempts - 1
         self._id_counter = itertools.count(1)
         self._malleable = None  # lazily-built MalleableManager
+        #: lifecycle bus (see :meth:`attach_events`); ``None`` keeps the
+        #: broker on the polling path
+        self.events: LifecycleBus | None = None
+        #: live placement index: (site, task_id) -> federated job id,
+        #: maintained by _place/_abandon/_fail/completion so pushed site
+        #: events resolve to the owning job without a scan
+        self._task_to_job: dict[tuple[str, str], str] = {}
+        #: pushed-but-unprocessed terminal task payloads, drained by the
+        #: event-driven _refresh; one entry max per live placement
+        self._pushed_tasks: dict[tuple[str, str], dict] = {}
+        #: terminal records dropped by :meth:`evict_terminal`
+        self._evicted = 0
         #: summary of the last reconcile sweep — ``jobs_scanned`` counts
         #: the fixed-size jobs the sweep actually touched (live + held),
         #: ``duration_s`` its wall-clock cost; the C6 scale bench and
@@ -172,12 +193,78 @@ class FederationBroker:
         self._by_state[job.state].pop(job.job_id, None)
         job.state = state
         self._by_state[state][job.job_id] = job
+        if state in (JobState.COMPLETED, JobState.FAILED):
+            job.finished_at = self.sim.now
+            self._publish(f"job_{state.value}", job.job_id, error=job.error)
 
     def _in_state(self, state: JobState) -> list[FederatedJob]:
         """Jobs currently in ``state``, in submission order (a released
         held job re-enters the PLACED table out of order; sorting by
         the submission seq keeps sweep order identical to a full scan)."""
         return sorted(self._by_state[state].values(), key=lambda j: j.seq)
+
+    # -- lifecycle events ------------------------------------------------------
+
+    def attach_events(self, bus: LifecycleBus | None = None) -> LifecycleBus:
+        """Switch the broker to push-based lifecycle tracking.
+
+        Wires a :class:`~repro.federation.events.LifecycleBus` (a fresh
+        one unless given) onto every registered site — and, via the
+        registry hook, every future joiner — so task state transitions
+        arrive as events instead of being polled: the fixed-size
+        ``_refresh`` and the malleable resize loop stop calling
+        ``task_status`` per job/unit per tick.  Idempotent; returns the
+        active bus.  Attach *before* submitting work — transitions that
+        happened pre-attach were never published.
+        """
+        if self.events is not None:
+            return self.events
+        self.events = bus if bus is not None else LifecycleBus()
+        for name in self.registry.names():
+            self.registry.site(name).attach_bus(self.events)
+        self.registry.on_register(lambda site: site.attach_bus(self.events))
+        self.events.subscribe(self._on_site_event)
+        return self.events
+
+    def _publish(self, kind: str, job_id: str, site: str = "", task_id: str = "", **payload) -> None:
+        if self.events is not None:
+            self.events.publish(
+                JobEvent(
+                    time=self.sim.now,
+                    kind=kind,
+                    job_id=job_id,
+                    site=site,
+                    task_id=task_id,
+                    payload=payload,
+                )
+            )
+
+    def _on_site_event(self, event: JobEvent) -> None:
+        """Route one site task transition to the placement that owns it
+        (fixed-size index here, per-unit index in the malleable
+        manager); transitions for tasks the broker never placed — e.g.
+        a site's local users — are dropped."""
+        if not event.task_id or event.kind.startswith("job_"):
+            return
+        if self._malleable is not None and self._malleable.consume_task_event(event):
+            return
+        key = (event.site, event.task_id)
+        if key not in self._task_to_job:
+            return
+        if event.kind in TERMINAL_TASK_KINDS:
+            self._pushed_tasks[key] = dict(event.payload)
+
+    def _track_placement(self, job: FederatedJob) -> None:
+        placement = job.placements[-1]
+        self._task_to_job[(placement.site, placement.task_id)] = job.job_id
+
+    def _untrack_placement(self, job: FederatedJob) -> None:
+        if not job.placements:
+            return
+        placement = job.placements[-1]
+        key = (placement.site, placement.task_id)
+        self._task_to_job.pop(key, None)
+        self._pushed_tasks.pop(key, None)
 
     # -- intake ---------------------------------------------------------------
 
@@ -191,34 +278,76 @@ class FederationBroker:
     ) -> str:
         """Accept a job into the federation; returns its stable job id.
 
+        ``program`` may be a :class:`~repro.spec.JobSpec` — the one
+        submission payload every surface shares — in which case the
+        remaining kwargs are ignored.  The kwarg form is a deprecated
+        shim over :meth:`JobSpec.from_legacy_kwargs
+        <repro.spec.JobSpec.from_legacy_kwargs>`.
+
         ``pin`` is a qualified ``site/resource`` name: the job runs
         exactly there (the ``--qpu`` contract — an explicit request is
         honored or fails, never silently rerouted) instead of going
         through the routing policy.
         """
-        if pin is not None and "/" not in pin:
-            raise PlacementError(
-                f"pin must be a 'site/resource' name, got {pin!r}"
+        if isinstance(program, JobSpec):
+            spec = program
+        else:
+            spec = JobSpec.from_legacy_kwargs(
+                program, shots=shots, owner=owner, affinity_key=affinity_key, pin=pin
             )
-        hold = self._admit(owner)
+        return self.submit_spec(spec)
+
+    def submit_spec(self, spec: JobSpec) -> str:
+        """Accept one validated-or-raw :class:`~repro.spec.JobSpec`.
+
+        Multi-unit specs (``iterations``/``sites`` set) route to the
+        malleable manager; everything else becomes a fixed-size
+        federated job.  This is the single intake every surface funnels
+        into — shot resolution and IR normalization happen exactly once,
+        inside :meth:`JobSpec.validate <repro.spec.JobSpec.validate>`.
+        """
+        try:
+            spec = spec.validate()
+        except SpecError as err:
+            raise PlacementError(str(err)) from err
+        if spec.is_multi:
+            return self.malleable.submit_spec(spec)
+        self._check_budget_hint(spec)
+        hold = self._admit(spec.tenant)
         seq = next(self._id_counter)
         job = FederatedJob(
             job_id=f"fed-job-{seq}",
-            program=program,
-            shots=shots,
-            owner=owner,
-            affinity_key=affinity_key,
-            n_qubits=_program_qubits(program),
+            program=spec.program,
+            shots=spec.shots,
+            owner=spec.tenant,
+            affinity_key=spec.affinity_key,
+            n_qubits=_program_qubits(spec.program),
             submitted_at=self.sim.now,
-            pin=pin,
+            pin=spec.pin,
             state=JobState.HELD if hold else JobState.PLACED,
             seq=seq,
+            spec=spec,
         )
         self._jobs[job.job_id] = job
         self._by_state[job.state][job.job_id] = job
+        self._publish("job_held" if hold else "job_submitted", job.job_id)
         if not hold:
             self._place(job)
         return job.job_id
+
+    def _check_budget_hint(self, spec: JobSpec) -> None:
+        """Reject up front when the spec *declares* a cost the tenant's
+        remaining federation budget cannot cover — cheaper than finding
+        out mid-flight, and read straight off the spec."""
+        if spec.budget_hint is None or self.accounting is None:
+            return
+        if not self.accounting.can_afford(spec.tenant, spec.budget_hint):
+            raise BudgetExceededError(
+                f"tenant {spec.tenant!r} declared a cost of "
+                f"{spec.budget_hint:.3f} but has "
+                f"{self.accounting.remaining(spec.tenant):.3f} remaining",
+                tenant=spec.tenant,
+            )
 
     def _admit(self, tenant: str) -> bool:
         """Run budget admission for one new submission.  Returns True
@@ -251,15 +380,21 @@ class FederationBroker:
     ) -> str:
         """Accept an iterative job whose burst units spread across sites
         and get re-divided by the resize loop; returns its stable id.
-        See :meth:`repro.federation.malleable.MalleableManager.submit`."""
-        return self.malleable.submit(
-            program,
-            iterations,
-            shots=shots,
-            owner=owner,
-            affinity_key=affinity_key,
-            sites=sites,
-            malleable=malleable,
+        Deprecated kwarg shim — elasticity now lives *in the spec*
+        (``iterations``/``sites``/``malleable`` fields), so
+        :meth:`submit_spec` with a multi-unit spec is the same call."""
+        if isinstance(program, JobSpec):
+            return self.submit_spec(program)
+        return self.submit_spec(
+            JobSpec.from_legacy_kwargs(
+                program,
+                shots=shots,
+                owner=owner,
+                affinity_key=affinity_key,
+                sites=sites,
+                iterations=iterations,
+                malleable=malleable,
+            )
         )
 
     def available_resources(self) -> dict[str, str]:
@@ -346,6 +481,8 @@ class FederationBroker:
         if len(job.placements) > 1:
             self._reroutes += 1
         self._set_state(job, JobState.PLACED)
+        self._track_placement(job)
+        self._publish("job_placed", job.job_id, site=site_name, task_id=task_id)
         self.metrics.record_placement(site_name)
         self._reserve(job, site_name)
 
@@ -402,18 +539,22 @@ class FederationBroker:
             if len(job.placements) > 1:
                 self._reroutes += 1
             self._set_state(job, JobState.PLACED)
+            self._track_placement(job)
+            self._publish("job_placed", job.job_id, site=choice.name, task_id=task_id)
             self.metrics.record_placement(choice.name)
             self._reserve(job, choice.name)
             return
 
     def _fail(self, job: FederatedJob, reason: str) -> None:
-        self._set_state(job, JobState.FAILED)
+        self._untrack_placement(job)
         job.error = reason
+        self._set_state(job, JobState.FAILED)
         self.metrics.record_outcome("failed")
         if self.accounting is not None:
             self.accounting.release_placement(job.job_id)
 
     def _abandon_and_reroute(self, job: FederatedJob, reason: str) -> None:
+        self._untrack_placement(job)
         placement = job.placements[-1]
         placement.abandoned = True
         placement.abandon_reason = reason
@@ -444,20 +585,36 @@ class FederationBroker:
             self._abandon_and_reroute(job, f"site {placement.site} unhealthy")
             return
         site = self.registry.site(placement.site)
-        try:
-            status = site.task_status(job.owner, placement.task_id)
-            if status["state"] == "completed":
-                job.result = site.task_result(job.owner, placement.task_id)
-        except Exception as err:
-            # the site answers but won't serve us (e.g. our session
-            # idle-expired and the reopened one no longer owns the
-            # task): treat like a lost placement, never crash the
-            # reconcile sweep that failover depends on
-            self._abandon_and_reroute(
-                job, f"query failed on {placement.site}: {err}"
+        if self.events is not None:
+            # push path: the site already told us about every terminal
+            # transition — nothing pushed means the task is still live,
+            # so there is nothing to poll
+            status = self._pushed_tasks.pop(
+                (placement.site, placement.task_id), None
             )
-            return
+            if status is None:
+                return
+        else:
+            try:
+                status = site.task_status(job.owner, placement.task_id)
+            except Exception as err:
+                # the site answers but won't serve us (e.g. our session
+                # idle-expired and the reopened one no longer owns the
+                # task): treat like a lost placement, never crash the
+                # reconcile sweep that failover depends on
+                self._abandon_and_reroute(
+                    job, f"query failed on {placement.site}: {err}"
+                )
+                return
         if status["state"] == "completed":
+            try:
+                job.result = site.task_result(job.owner, placement.task_id)
+            except Exception as err:
+                self._abandon_and_reroute(
+                    job, f"query failed on {placement.site}: {err}"
+                )
+                return
+            self._untrack_placement(job)
             self._set_state(job, JobState.COMPLETED)
             self.metrics.record_outcome("completed")
             self._meter_completion(job, placement.site, status)
@@ -565,8 +722,66 @@ class FederationBroker:
             scanned + malleable_scanned, self.last_reconcile["duration_s"]
         )
 
+    # -- terminal-record eviction ----------------------------------------------
+
+    def evict_terminal(self, ttl: float = 0.0) -> int:
+        """Drop archived COMPLETED/FAILED records older than ``ttl``
+        seconds so a long-lived broker's ``_jobs`` stays bounded.
+
+        Each evicted record is spilled to the accounting ledger's
+        archive (when accounting is wired) before it leaves memory —
+        billing history survives, the hot tables don't.  After eviction
+        the job id is unknown to :meth:`job`/:meth:`result`; fetch
+        results before the TTL or from the archive.  Returns the number
+        of records evicted (fixed-size + malleable).
+        """
+        if ttl < 0:
+            raise PlacementError("evict ttl must be >= 0")
+        now = self.sim.now
+        evicted = 0
+        for state in (JobState.COMPLETED, JobState.FAILED):
+            table = self._by_state[state]
+            expired = [
+                job
+                for job in table.values()
+                if job.finished_at is not None and now - job.finished_at >= ttl
+            ]
+            for job in expired:
+                del table[job.job_id]
+                del self._jobs[job.job_id]
+                self._spill(job)
+                evicted += 1
+        if self._malleable is not None:
+            evicted += self._malleable.evict_terminal(ttl)
+        if evicted:
+            self._evicted += evicted
+            self.metrics.record_evictions(evicted)
+        return evicted
+
+    def _spill(self, job: FederatedJob) -> None:
+        if self.accounting is None:
+            return
+        last = job.placements[-1] if job.placements else None
+        self.accounting.archive_job(
+            {
+                "job_id": job.job_id,
+                "tenant": job.owner,
+                "state": job.state.value,
+                "submitted_at": job.submitted_at,
+                "finished_at": job.finished_at,
+                "site": last.site if last is not None else None,
+                "shots": self._job_shots(job),
+                "attempts": job.attempts,
+                "error": job.error,
+            }
+        )
+
     def spawn_housekeeping(
-        self, interval: float = 15.0, jitter: float = 0.0, seed: int = 0
+        self,
+        interval: float = 15.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+        evict_ttl: float | None = None,
     ) -> None:
         """Run :meth:`reconcile` on a cadence inside the simulation.
 
@@ -575,6 +790,11 @@ class FederationBroker:
         deterministic stream seeded by ``seed``), so several brokers on
         one clock don't reconcile in lockstep — multi-broker tests and
         benches stop seeing synchronized sweep artifacts.
+
+        ``evict_ttl`` additionally runs :meth:`evict_terminal` after
+        every sweep: terminal records older than the TTL spill to the
+        accounting archive and leave memory.  ``None`` (the default)
+        keeps records forever — opt in for long-lived brokers.
         """
         if not (0.0 <= jitter < interval):
             raise PlacementError("jitter must be in [0, interval)")
@@ -587,6 +807,8 @@ class FederationBroker:
                     delay += rng.uniform(-jitter, jitter)
                 yield Timeout(delay)
                 self.reconcile()
+                if evict_ttl is not None:
+                    self.evict_terminal(evict_ttl)
 
         self.sim.spawn(run(), name="federation-housekeeping", background=True)
 
@@ -663,5 +885,6 @@ class FederationBroker:
             "reroutes": self._reroutes,
             "malleable_jobs": n_malleable,
             "resize_events": resize_events,
+            "evicted": self._evicted,
             "sites": self.registry.names(),
         }

@@ -17,6 +17,7 @@ from typing import Any
 from ..runtime.results import RunResult
 from ..sdk.translate import to_ir
 from ..simkernel import Timeout
+from ..spec import JobSpec
 from .broker import FederationBroker
 
 __all__ = ["FederatedClient"]
@@ -47,12 +48,28 @@ class FederatedClient:
         affinity_key: str | None = None,
         pin: str | None = None,
     ) -> str:
-        ir = to_ir(program, shots=shots or 100)
-        if shots is not None and ir.shots != shots:
-            ir = ir.with_shots(shots)
-        return self.broker.submit(
-            ir, shots=ir.shots, owner=self.user, affinity_key=affinity_key, pin=pin
+        """Submit one fixed-size job; ``program`` may be a
+        :class:`~repro.spec.JobSpec` (preferred — the kwargs are then
+        ignored).  The kwarg form is a deprecated shim; shot resolution
+        happens in exactly one place, ``JobSpec.validate`` (an explicit
+        ``shots`` wins, else the program's own count, else the
+        federation default)."""
+        if isinstance(program, JobSpec):
+            return self.submit_spec(program)
+        return self.submit_spec(
+            JobSpec.from_legacy_kwargs(
+                program, shots=shots, affinity_key=affinity_key, pin=pin
+            )
         )
+
+    def submit_spec(self, spec: JobSpec) -> str:
+        """Hand a spec to the broker under this client's identity (an
+        explicit ``spec.tenant`` wins over the client user)."""
+        if spec.tenant is None:
+            from dataclasses import replace
+
+            spec = replace(spec, tenant=self.user)
+        return self.broker.submit_spec(spec)
 
     def status(self, job_id: str) -> dict[str, Any]:
         return self.broker.status(job_id)
@@ -87,15 +104,19 @@ class FederatedClient:
         """Submit an iterative job whose burst units the broker spreads
         across sites and re-divides mid-flight (``malleable=False`` pins
         the units to a static round-robin split — the rigid baseline).
-        IR normalization happens once, broker-side."""
-        return self.broker.submit_malleable(
-            program,
-            iterations,
-            shots=shots,
-            owner=self.user,
-            affinity_key=affinity_key,
-            sites=sites,
-            malleable=malleable,
+        Deprecated kwarg shim — a multi-unit :class:`~repro.spec.JobSpec`
+        through :meth:`submit_spec` is the same call."""
+        if isinstance(program, JobSpec):
+            return self.submit_spec(program)
+        return self.submit_spec(
+            JobSpec.from_legacy_kwargs(
+                program,
+                shots=shots,
+                affinity_key=affinity_key,
+                sites=sites,
+                iterations=iterations,
+                malleable=malleable,
+            )
         )
 
     def malleable_status(self, job_id: str) -> dict[str, Any]:

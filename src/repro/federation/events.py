@@ -1,0 +1,200 @@
+"""Push-based lifecycle events: the federation's nervous system.
+
+Every status poll the stack used to run — the broker's per-job
+``task_status`` sweep, the malleable manager's per-unit refresh, user
+code's ``while state not in _TERMINAL`` loops — existed because task
+state only moved when somebody asked.  :class:`LifecycleBus` inverts
+that: the *producers* of state transitions (each site's middleware
+queue, the broker itself, the resize loop) publish a
+:class:`JobEvent` at the simulated instant the transition happens, and
+consumers subscribe.
+
+Publishers wired in by :meth:`FederationBroker.attach_events
+<repro.federation.broker.FederationBroker.attach_events>`:
+
+* **site task transitions** — each :class:`~repro.federation.site.FederatedSite`
+  forwards its daemon queue's QUEUED -> RUNNING -> COMPLETED/FAILED/
+  CANCELLED transitions (kind = the state name), tagged with the site,
+* **broker job lifecycle** — ``job_submitted`` / ``job_held`` /
+  ``job_placed`` / ``job_completed`` / ``job_failed``, keyed by the
+  federation-stable job id,
+* **resize decisions** — kind ``resize`` with the action
+  (grow/shrink/retire/reclaim) in the payload.
+
+Dispatch is synchronous and deterministic (subscriber order =
+subscription order) so event-driven runs replay bit-for-bit like the
+polling runs they replace.  Subscriber exceptions are swallowed and
+counted (:attr:`LifecycleBus.dropped`): a broken observer must never
+break the scheduler hot path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "JobEvent",
+    "LifecycleBus",
+    "TERMINAL_JOB_KINDS",
+    "TERMINAL_TASK_KINDS",
+    "kind_for_task_state",
+    "publish_task_transition",
+]
+
+#: site-task kinds that end a task's life
+TERMINAL_TASK_KINDS = ("completed", "failed", "cancelled")
+
+#: broker-job kinds that end a federated job's life
+TERMINAL_JOB_KINDS = ("job_completed", "job_failed")
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One state transition, published at the simulated time it happened.
+
+    ``job_id`` keys subscriptions: for site task transitions it is the
+    site-local task id, for broker lifecycle events the federation job
+    id.  ``payload`` carries transition detail (state, started_at,
+    finished_at, resize action/weights, ...).
+    """
+
+    time: float
+    kind: str
+    job_id: str
+    site: str = ""
+    task_id: str = ""
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class _Subscription:
+    handle: int
+    callback: Callable[[JobEvent], None]
+    job_id: str | None
+    kinds: tuple[str, ...] | None
+    site: str | None
+
+    def matches(self, event: JobEvent) -> bool:
+        if self.job_id is not None and event.job_id != self.job_id:
+            return False
+        if self.kinds is not None and event.kind not in self.kinds:
+            return False
+        if self.site is not None and event.site != self.site:
+            return False
+        return True
+
+
+class LifecycleBus:
+    """Synchronous pub/sub over :class:`JobEvent`.
+
+    Job-filtered subscriptions are indexed by job id so a busy
+    federation dispatches each event to the subscribers that asked for
+    it, not to everyone.
+    """
+
+    def __init__(self, history: int = 0) -> None:
+        self._handles = itertools.count(1)
+        #: wildcard subscribers (no job filter)
+        self._wildcard: list[_Subscription] = []
+        #: job-filtered subscribers, indexed by job id
+        self._by_job: dict[str, list[_Subscription]] = {}
+        self._where: dict[int, str | None] = {}  # handle -> index key
+        #: events delivered so far
+        self.published = 0
+        #: subscriber callbacks that raised (isolated, never re-raised)
+        self.dropped = 0
+        #: optional bounded ring of recent events (observability aid)
+        self._history_cap = history
+        self._history: list[JobEvent] = []
+
+    # -- subscription ---------------------------------------------------------
+
+    def subscribe(
+        self,
+        callback: Callable[[JobEvent], None],
+        job_id: str | None = None,
+        kinds: tuple[str, ...] | None = None,
+        site: str | None = None,
+    ) -> int:
+        """Register ``callback`` for events matching the filters;
+        returns the handle :meth:`unsubscribe` takes.
+
+        Task ids are only unique *per daemon* (every middleware queue
+        numbers its tasks ``mw-task-N``), so a task-transition
+        subscription on a bus fed by several sites must also pass
+        ``site=`` — a bare ``job_id`` filter would hear every
+        same-numbered task in the federation."""
+        sub = _Subscription(next(self._handles), callback, job_id, kinds, site)
+        if job_id is None:
+            self._wildcard.append(sub)
+        else:
+            self._by_job.setdefault(job_id, []).append(sub)
+        self._where[sub.handle] = job_id
+        return sub.handle
+
+    def unsubscribe(self, handle: int) -> None:
+        key = self._where.pop(handle, None)
+        bucket = self._wildcard if key is None else self._by_job.get(key, [])
+        bucket[:] = [s for s in bucket if s.handle != handle]
+        if key is not None and not bucket:
+            self._by_job.pop(key, None)
+
+    def subscriber_count(self) -> int:
+        return len(self._wildcard) + sum(len(v) for v in self._by_job.values())
+
+    # -- publication ----------------------------------------------------------
+
+    def publish(self, event: JobEvent) -> None:
+        """Deliver ``event`` to every matching subscriber, in
+        subscription order (wildcards first, then job-filtered)."""
+        self.published += 1
+        if self._history_cap:
+            self._history.append(event)
+            if len(self._history) > self._history_cap:
+                del self._history[: -self._history_cap]
+        targets = list(self._wildcard)
+        targets.extend(self._by_job.get(event.job_id, ()))
+        for sub in targets:
+            if not sub.matches(event):
+                continue
+            try:
+                sub.callback(event)
+            except Exception:
+                self.dropped += 1
+
+    def recent(self) -> list[JobEvent]:
+        """The retained event tail (empty unless ``history`` was set)."""
+        return list(self._history)
+
+
+def kind_for_task_state(state: Any) -> str:
+    """Map a :class:`~repro.daemon.queue.TaskState` to its event kind
+    (the state's string value: ``queued``/``running``/...)."""
+    return state.value
+
+
+def publish_task_transition(
+    bus: LifecycleBus, now: float, site: str, task: Any, new_state: Any
+) -> None:
+    """The one way a middleware-queue task transition becomes a
+    :class:`JobEvent` — shared by every queue publisher (federated
+    sites, session-attached local daemons) so the event shape cannot
+    drift between them."""
+    bus.publish(
+        JobEvent(
+            time=now,
+            kind=kind_for_task_state(new_state),
+            job_id=task.task_id,
+            site=site,
+            task_id=task.task_id,
+            payload={
+                "state": new_state.value,
+                "started_at": task.started_at,
+                "finished_at": task.finished_at,
+                "priority": task.priority.name.lower(),
+            },
+        )
+    )

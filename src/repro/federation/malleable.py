@@ -31,11 +31,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from ..errors import PlacementError, ResourceNotFound, SiteUnavailable
+from ..errors import PlacementError, ResourceNotFound, SiteUnavailable, SpecError
 from ..runtime.backend_select import select_resource
 from ..scheduling.malleable import ShareLedger
-from ..sdk.translate import to_ir
+from ..spec import JobSpec, parse_site_leg
 from .broker import JobState, _program_qubits
+from .events import TERMINAL_TASK_KINDS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .broker import FederationBroker
@@ -145,18 +146,17 @@ class MalleableJob:
     finished_at: float | None = None
     #: submission sequence — per-state tables iterate in this order
     seq: int = 0
+    #: spec-declared elasticity bounds on concurrently in-flight units
+    #: (min is advisory — surfaced to the arbiter/status; max is a hard
+    #: dispatch cap)
+    min_units: int | None = None
+    max_units: int | None = None
+    #: the validated :class:`~repro.spec.JobSpec` this job came from
+    spec: Any = None
 
     @property
     def completed_units(self) -> int:
         return self.placement.ledger.completed_units
-
-
-def _parse_site_spec(spec: str) -> tuple[str, str | None]:
-    """'site' or 'site/resource' -> (site, resource-pin-or-None)."""
-    site, _, resource = spec.partition("/")
-    if not site:
-        raise PlacementError(f"bad site spec {spec!r}")
-    return site, (resource or None)
 
 
 class MalleableManager:
@@ -185,6 +185,13 @@ class MalleableManager:
         # pass — recomputed only when contenders/demands/weights change
         self._arb_sig: tuple | None = None
         self._arb_caps: dict[tuple[str, str], int] | None = None
+        # push-based lifecycle: (site, task_id) -> (job_id, unit) for
+        # every in-flight dispatch, and the per-job pushed transitions
+        # the event-driven _refresh drains instead of polling
+        self._task_map: dict[tuple[str, str], tuple[str, int]] = {}
+        self._unit_events: dict[str, dict[int, dict]] = {}
+        #: terminal records dropped by :meth:`evict_terminal`
+        self._evicted = 0
 
     # -- state tables ---------------------------------------------------------
 
@@ -194,6 +201,12 @@ class MalleableManager:
         self._by_state[job.state].pop(job.job_id, None)
         job.state = state
         self._by_state[state][job.job_id] = job
+        if state in (JobState.COMPLETED, JobState.FAILED):
+            job.finished_at = self.broker.sim.now
+            self._unit_events.pop(job.job_id, None)
+            self.broker._publish(
+                f"job_{state.value}", job.job_id, error=job.error
+            )
 
     def _in_state(self, state: Any) -> list[MalleableJob]:
         return sorted(self._by_state[state].values(), key=lambda j: j.seq)
@@ -221,6 +234,7 @@ class MalleableManager:
     ) -> str:
         """Accept an iterative job of ``iterations`` burst units; returns
         a stable job id that survives every resize and failover.
+        Deprecated kwarg shim over :meth:`submit_spec`.
 
         ``sites`` optionally restricts the candidate set; entries may be
         bare site names or qualified ``site/resource`` pins.  With
@@ -229,46 +243,63 @@ class MalleableManager:
         against (health failover still applies: rigidity is about load,
         not about losing jobs).
         """
-        if iterations < 1:
-            raise PlacementError("a malleable job needs >= 1 iteration")
-        ir = to_ir(program, shots=shots or 100)
-        if shots is not None and ir.shots != shots:
-            ir = ir.with_shots(shots)
+        if isinstance(program, JobSpec):
+            return self.submit_spec(program)
+        return self.submit_spec(
+            JobSpec.from_legacy_kwargs(
+                program,
+                shots=shots,
+                owner=owner,
+                affinity_key=affinity_key,
+                sites=sites,
+                iterations=iterations,
+                malleable=malleable,
+            )
+        )
+
+    def submit_spec(self, spec: JobSpec) -> str:
+        """Accept a multi-unit :class:`~repro.spec.JobSpec`: elasticity
+        (units, site restriction, malleable-vs-rigid, in-flight bounds)
+        lives in the spec, not the call site."""
+        try:
+            spec = spec.validate()
+        except SpecError as err:
+            raise PlacementError(str(err)) from err
+        if spec.iterations is None:
+            raise PlacementError("a malleable job needs iterations >= 1")
+        self.broker._check_budget_hint(spec)
+        ir = spec.program
         restrict: tuple[str, ...] | None = None
         pins: dict[str, str] = {}
-        if sites is not None:
-            parsed = [_parse_site_spec(s) for s in sites]
-            if not parsed:
-                raise PlacementError("sites restriction cannot be empty")
+        if spec.sites is not None:
+            parsed = [parse_site_leg(s) for s in spec.sites]
             restrict = tuple(site for site, _ in parsed)
-            if len(set(restrict)) != len(restrict):
-                # shares are per-site: two legs on one site (e.g. two
-                # QPUs) would silently collapse to the last pin
-                raise PlacementError(
-                    f"duplicate site in placement: {sorted(restrict)}"
-                )
             pins = {site: res for site, res in parsed if res is not None}
-        hold = self.broker._admit(owner)
-        ledger = ShareLedger(iterations, max_attempts=self.broker.max_attempts)
+        hold = self.broker._admit(spec.tenant)
+        ledger = ShareLedger(spec.iterations, max_attempts=self.broker.max_attempts)
         seq = next(self._id_counter)
         job = MalleableJob(
             job_id=f"fed-mjob-{seq}",
             program=ir,
-            units=iterations,
+            units=spec.iterations,
             shots_per_unit=ir.shots,
-            owner=owner,
-            affinity_key=affinity_key,
+            owner=spec.tenant,
+            affinity_key=spec.affinity_key,
             n_qubits=_program_qubits(ir),
             submitted_at=self.broker.sim.now,
-            malleable=malleable,
+            malleable=spec.malleable,
             restrict_sites=restrict,
             pins=pins,
             placement=MalleablePlacement(ledger=ledger),
             state=JobState.HELD if hold else JobState.PLACED,
             seq=seq,
+            min_units=spec.min_units,
+            max_units=spec.max_units,
+            spec=spec,
         )
         self._jobs[job.job_id] = job
         self._by_state[job.state][job.job_id] = job
+        self.broker._publish("job_held" if hold else "job_submitted", job.job_id)
         if not hold:
             self._seed_shares(job)
             # arbitrated from the first dispatch: a late-arriving job
@@ -307,10 +338,10 @@ class MalleableManager:
             # mirror the fixed-size intake contract: accept the job and
             # fail it with a diagnosis rather than raising after the
             # job id is already registered
-            self._set_state(job, JobState.FAILED)
             job.error = (
                 f"no healthy site can take a {job.n_qubits}-qubit malleable job"
             )
+            self._set_state(job, JobState.FAILED)
             self.broker.metrics.record_outcome("failed")
             return
         now = self.broker.sim.now
@@ -445,26 +476,71 @@ class MalleableManager:
         self._arb_caps = caps
         return caps
 
+    def consume_task_event(self, event) -> bool:
+        """Lifecycle-bus sink: route one site task transition to the
+        (job, unit) whose dispatch owns that task.  Returns False for
+        tasks this manager never placed (the broker's fixed-size index
+        gets the next look)."""
+        target = self._task_map.get((event.site, event.task_id))
+        if target is None:
+            return False
+        job_id, unit = target
+        if event.kind == "running" or event.kind in TERMINAL_TASK_KINDS:
+            payload = dict(event.payload)
+            payload["task_id"] = event.task_id
+            self._unit_events.setdefault(job_id, {})[unit] = payload
+        return True
+
     def _refresh(self, job: MalleableJob) -> None:
-        """Advance every in-flight unit from its site's task state."""
+        """Advance in-flight units from their sites' task states.
+
+        With the broker's lifecycle bus attached this drains only the
+        *pushed* transitions (O(transitions since last tick)); without
+        it, every in-flight unit is polled (O(in-flight))."""
         now = self.broker.sim.now
         placement = job.placement
-        for unit, dispatch in list(placement.dispatches.items()):
+        if self.broker.events is not None:
+            pending = self._unit_events.pop(job.job_id, None) or {}
+            work = [
+                (unit, pending[unit])
+                for unit in sorted(pending)
+                if unit in placement.dispatches
+            ]
+        else:
+            work = [
+                (unit, None) for unit in list(placement.dispatches)
+            ]
+        for unit, pushed in work:
             if job.state is not JobState.PLACED:
                 return  # a prior unit exhausted its retries mid-sweep
-            if unit not in placement.dispatches:
+            dispatch = placement.dispatches.get(unit)
+            if dispatch is None:
                 continue  # dropped by a retire/cancel earlier this sweep
-            try:
-                site = self.broker.registry.site(dispatch.site)
-                status = site.task_status(job.owner, dispatch.task_id)
+            if pushed is not None:
+                if pushed.get("task_id") != dispatch.task_id:
+                    continue  # stale: the unit was redispatched since
+                status = pushed
+                result = None
                 if status["state"] == "completed":
-                    result = site.task_result(job.owner, dispatch.task_id)
-                else:
-                    result = None
-            except Exception as err:
-                # deregistered site / refused session: lost placement
-                self._abandon_unit(job, unit, f"query failed: {err}")
-                continue
+                    try:
+                        result = self.broker.registry.site(
+                            dispatch.site
+                        ).task_result(job.owner, dispatch.task_id)
+                    except Exception as err:
+                        self._abandon_unit(job, unit, f"query failed: {err}")
+                        continue
+            else:
+                try:
+                    site = self.broker.registry.site(dispatch.site)
+                    status = site.task_status(job.owner, dispatch.task_id)
+                    if status["state"] == "completed":
+                        result = site.task_result(job.owner, dispatch.task_id)
+                    else:
+                        result = None
+                except Exception as err:
+                    # deregistered site / refused session: lost placement
+                    self._abandon_unit(job, unit, f"query failed: {err}")
+                    continue
             started = status.get("started_at")
             if started is not None:
                 dispatch.started_at = started
@@ -472,6 +548,7 @@ class MalleableManager:
                 placement.ledger.checkpoint(unit)
                 job.results[unit] = result
                 del placement.dispatches[unit]
+                self._task_map.pop((dispatch.site, dispatch.task_id), None)
                 placement.history.append(dispatch)
                 if self.broker.accounting is not None:
                     self.broker.accounting.release_placement(
@@ -500,7 +577,6 @@ class MalleableManager:
                 )
         if placement.ledger.done and job.state is JobState.PLACED:
             self._set_state(job, JobState.COMPLETED)
-            job.finished_at = now
             self.broker.metrics.record_outcome("completed")
 
     def _fail_if_stranded(self, job: MalleableJob) -> None:
@@ -514,11 +590,11 @@ class MalleableManager:
             return
         if self._candidates(job):
             return
-        self._set_state(job, JobState.FAILED)
         job.error = (
             f"no healthy site can take a {job.n_qubits}-qubit malleable job "
             f"({ledger.pending_units} units stranded)"
         )
+        self._set_state(job, JobState.FAILED)
         self.broker.metrics.record_outcome("failed")
 
     def _site_latency(self, job: MalleableJob, site: str, now: float) -> float | None:
@@ -555,6 +631,7 @@ class MalleableManager:
         the caller."""
         placement = job.placement
         dispatch = placement.dispatches.pop(unit)
+        self._task_map.pop((dispatch.site, dispatch.task_id), None)
         dispatch.abandoned = True
         dispatch.abandon_reason = reason
         placement.history.append(dispatch)
@@ -573,11 +650,11 @@ class MalleableManager:
         ledger = job.placement.ledger
         if not ledger.exhausted(unit):
             return False
-        self._set_state(job, JobState.FAILED)
         job.error = (
             f"unit {unit} exhausted {ledger.attempts(unit)} placement "
             f"attempts: {reason}"
         )
+        self._set_state(job, JobState.FAILED)
         self._cancel_all(job)
         self.broker.metrics.record_outcome("failed")
         return True
@@ -618,6 +695,10 @@ class MalleableManager:
             self._drop_dispatch(job, unit, f"reclaimed: {reason}")
             ledger.reclaim(unit)
             self.broker.metrics.record_share_event(site, "reclaim")
+            self.broker._publish(
+                "resize", job.job_id, site=site, action="reclaim",
+                unit=unit, reason=reason,
+            )
 
     def _retire_site(self, job: MalleableJob, site: str, reason: str) -> None:
         """Shrink-to-zero with eviction: cancel the site's in-flight
@@ -789,6 +870,13 @@ class MalleableManager:
             if caps is not None:
                 slot_cap = caps.get((job.job_id, site_name), slot_cap)
             while len(ledger.in_flight_at(site_name)) < slot_cap:
+                if (
+                    job.max_units is not None
+                    and ledger.in_flight_units >= job.max_units
+                ):
+                    # spec-declared elasticity ceiling: never more than
+                    # max_units concurrently in flight across all sites
+                    return
                 unit = ledger.claim(site_name)
                 if unit is None:
                     break
@@ -818,6 +906,7 @@ class MalleableManager:
                 placement.dispatches[unit] = UnitDispatch(
                     unit=unit, site=site_name, task_id=task_id, placed_at=now
                 )
+                self._task_map[(site_name, task_id)] = (job.job_id, unit)
                 if self.broker.accounting is not None:
                     self.broker.accounting.reserve_placement(
                         job.owner,
@@ -847,6 +936,59 @@ class MalleableManager:
         )
         self._resize_events += 1
         self.broker.metrics.record_share_event(site, kind)
+        self.broker._publish(
+            "resize",
+            job.job_id,
+            site=site,
+            action=kind,
+            weight_before=before,
+            weight_after=after,
+            reason=reason,
+        )
+
+    # -- terminal-record eviction ----------------------------------------------
+
+    def evict_terminal(self, ttl: float = 0.0) -> int:
+        """Drop terminal malleable records older than ``ttl`` seconds,
+        spilling each to the accounting archive (see
+        :meth:`FederationBroker.evict_terminal
+        <repro.federation.broker.FederationBroker.evict_terminal>`)."""
+        now = self.broker.sim.now
+        evicted = 0
+        for state in (JobState.COMPLETED, JobState.FAILED):
+            table = self._by_state[state]
+            expired = [
+                job
+                for job in table.values()
+                if job.finished_at is not None and now - job.finished_at >= ttl
+            ]
+            for job in expired:
+                del table[job.job_id]
+                del self._jobs[job.job_id]
+                self._unit_events.pop(job.job_id, None)
+                self._spill(job)
+                evicted += 1
+        self._evicted += evicted
+        return evicted
+
+    def _spill(self, job: MalleableJob) -> None:
+        if self.broker.accounting is None:
+            return
+        self.broker.accounting.archive_job(
+            {
+                "job_id": job.job_id,
+                "tenant": job.owner,
+                "state": job.state.value,
+                "submitted_at": job.submitted_at,
+                "finished_at": job.finished_at,
+                "units": job.units,
+                "completed_units": job.completed_units,
+                "completions_by_site": job.placement.ledger.completions_by_site(),
+                "shots": job.shots_per_unit * job.units,
+                "resize_events": len(job.placement.events),
+                "error": job.error,
+            }
+        )
 
     # -- queries ---------------------------------------------------------------
 
@@ -872,6 +1014,8 @@ class MalleableManager:
             "shares": job.placement.weights(),
             "completions_by_site": ledger.completions_by_site(),
             "resize_events": len(job.placement.events),
+            "min_units": job.min_units,
+            "max_units": job.max_units,
             "submitted_at": job.submitted_at,
             "finished_at": job.finished_at,
             "error": job.error,

@@ -101,6 +101,11 @@ class FederationMetrics:
             "Remaining federation budget per tenant (+Inf when unbudgeted)",
             label_names=("tenant",),
         )
+        self.evictions = self.registry.counter(
+            "federation_evicted_jobs_total",
+            "Terminal job records evicted from broker memory "
+            "(spilled to the accounting archive)",
+        )
         # -- reconcile hot path (the scheduler tick itself) -------------------
         self.reconcile_scanned = self.registry.gauge(
             "federation_reconcile_scanned_jobs",
@@ -138,6 +143,9 @@ class FederationMetrics:
 
     def record_admission(self, decision: str) -> None:
         self.admissions.inc(labels={"decision": decision})
+
+    def record_evictions(self, n: int) -> None:
+        self.evictions.inc(n)
 
     def observe_reconcile(self, scanned: int, duration_s: float) -> None:
         self.reconcile_scanned.set(float(scanned))

@@ -82,8 +82,15 @@ class SiteRegistry:
         self._names_cache: tuple[str, ...] | None = None
         self._ordered_records: list[_SiteRecord] | None = None
         self._snap_cache: dict[str, tuple[tuple, SiteSnapshot]] = {}
+        #: callbacks fired with each newly registered site — the broker
+        #: uses this to wire late joiners onto the lifecycle bus
+        self._register_hooks: list = []
 
     # -- membership ---------------------------------------------------------
+
+    def on_register(self, callback) -> None:
+        """Run ``callback(site)`` for every future :meth:`register`."""
+        self._register_hooks.append(callback)
 
     def register(self, site: FederatedSite, now: float = 0.0) -> None:
         if site.name in self._records:
@@ -96,6 +103,8 @@ class SiteRegistry:
         if self._beat_sim is not None:
             # heartbeats already running: late joiners beat too
             self._spawn_beat(site)
+        for callback in self._register_hooks:
+            callback(site)
 
     def deregister(self, name: str) -> None:
         if name not in self._records:

@@ -45,6 +45,9 @@ class FederatedSite:
         self.priority_class = priority_class
         self.alive = True
         self._sessions: dict[str, str] = {}  # session owner -> token
+        #: lifecycle bus this site publishes task transitions onto
+        #: (see :meth:`attach_bus`); None keeps the site silent
+        self._bus = None
         # catalog/capacity caches keyed on the daemon's (name, resource
         # identity) pairs: exported types and max-qubit capacities are
         # static per resource object, but the placement path asks for
@@ -139,6 +142,26 @@ class FederatedSite:
     def max_qubits(self) -> int:
         """Largest register any federable resource here accepts."""
         return max(self._capacities().values(), default=0)
+
+    # -- lifecycle events -----------------------------------------------------
+
+    def attach_bus(self, bus) -> None:
+        """Publish every task state transition of this site's daemon
+        onto ``bus`` (a :class:`~repro.federation.events.LifecycleBus`),
+        tagged with the site name — the push path that lets the broker
+        and resize loop stop polling task status.  Idempotent; a second
+        bus replaces the first."""
+        if self._bus is bus:
+            return
+        self._bus = bus
+        self.daemon.queue.add_transition_listener(self._publish_transition)
+
+    def _publish_transition(self, task, old, new) -> None:
+        if self._bus is None:
+            return
+        from .events import publish_task_transition
+
+        publish_task_transition(self._bus, self.daemon.now, self.name, task, new)
 
     # -- intake (brokered jobs) ---------------------------------------------
 

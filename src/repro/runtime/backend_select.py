@@ -18,7 +18,23 @@ from collections.abc import Mapping
 from ..errors import ResourceNotFound
 from ..qrmi.resources import ResourceType
 
-__all__ = ["select_resource", "DEFAULT_PREFERENCE"]
+__all__ = ["DEFAULT_PREFERENCE", "select_resource", "spec_request"]
+
+
+def spec_request(spec) -> str | tuple[str, ...] | None:
+    """The ``--qpu``-shaped request a :class:`~repro.spec.JobSpec`
+    declares: a multi-site placement when ``sites`` is set, else the
+    hard ``pin``, else the explicit ``resource``, else ``None`` (let
+    the environment default / preference order decide).  The session
+    facade and the runtime both resolve specs through this so the
+    resolution order cannot fork between surfaces."""
+    if spec.sites is not None:
+        return tuple(spec.sites)
+    if spec.pin is not None:
+        return spec.pin
+    if spec.resource is not None:
+        return spec.resource
+    return None
 
 #: development-mode preference: emulators before hardware
 DEFAULT_PREFERENCE = (

@@ -60,10 +60,45 @@ class DaemonClient:
 
     # -- tasks --------------------------------------------------------------
 
-    def submit(self, program: dict, resource: str, shots: int | None = None) -> str:
-        body: dict[str, Any] = {"program": program, "resource": resource}
-        if shots is not None:
-            body["shots"] = shots
+    def submit(
+        self,
+        program: Any,
+        resource: str | None = None,
+        shots: int | None = None,
+    ) -> str:
+        """Submit one task.  ``program`` may be a
+        :class:`~repro.spec.JobSpec` — the one declarative payload every
+        surface accepts — whose resolved IR/shots/resource fill the REST
+        body (``resource=`` then only serves as a fallback target).  The
+        (program dict, resource, shots) form is the deprecated legacy
+        shape."""
+        from ..spec import JobSpec
+
+        if isinstance(program, JobSpec):
+            spec = program.validate()
+            if spec.is_multi:
+                raise ValidationError(
+                    "the daemon runs fixed-size tasks; a multi-unit spec "
+                    "(iterations/sites) needs the federation broker or a "
+                    "Session"
+                )
+            target = spec.resource if spec.resource is not None else resource
+            if target is None:
+                raise ValidationError(
+                    "daemon submission needs a target: set spec.resource "
+                    "(or pass resource=)"
+                )
+            body: dict[str, Any] = {
+                "program": spec.program.to_dict(),
+                "resource": target,
+                "shots": spec.shots,
+            }
+        else:
+            if resource is None:
+                raise ValidationError("legacy submit needs resource=")
+            body = {"program": program, "resource": resource}
+            if shots is not None:
+                body["shots"] = shots
         response = self._call("POST", "/tasks", body)
         return response.body["task_id"]
 

@@ -28,9 +28,9 @@ from ..errors import QRMIError, TaskError
 from ..qrmi.env import load_resources
 from ..qrmi.interface import QuantumResource, TaskStatus
 from ..sdk.registry import SDKRegistry, default_registry
-from ..sdk.translate import to_ir
 from ..simkernel import Timeout
-from .backend_select import select_resource
+from ..spec import JobSpec
+from .backend_select import select_resource, spec_request
 from .client import DaemonClient
 from .results import RunResult
 from .validation import ensure_valid
@@ -136,15 +136,34 @@ class RuntimeEnvironment:
 
     # -- execution ---------------------------------------------------------------
 
+    def _as_spec(self, program: Any, shots: int | None) -> JobSpec:
+        """Normalize any submission payload to a validated
+        :class:`~repro.spec.JobSpec` — the one place IR lowering and
+        shot resolution happen (an explicit ``shots=`` argument wins
+        over the spec's own request)."""
+        if isinstance(program, JobSpec):
+            spec = program
+            if shots is not None and spec.shots != shots:
+                from dataclasses import replace
+
+                spec = replace(spec, shots=shots)
+        else:
+            spec = JobSpec(program=program, shots=shots)
+        return spec.validate()
+
     def run(self, program: Any, qpu: str | None = None, shots: int | None = None) -> RunResult:
-        """Execute a program (any SDK object / IR / dict) and block for
-        the result.  In daemon mode this requires the task to complete
-        within the daemon's simulation — for long QPU queues use
-        :meth:`run_process` from inside a simulated job instead."""
-        ir = to_ir(program, shots=shots or 100)
-        if shots is not None and ir.shots != shots:
-            ir = ir.with_shots(shots)
-        resource = self.resolve(qpu)
+        """Execute a program (any SDK object / IR / dict / JobSpec) and
+        block for the result.  In daemon mode this requires the task to
+        complete within the daemon's simulation — for long QPU queues
+        use :meth:`run_process` from inside a simulated job instead."""
+        spec = self._as_spec(program, shots)
+        if spec.is_multi:
+            raise TaskError(
+                "multi-unit specs are asynchronous by construction; "
+                "use run_process() from a simulated job (or Session.submit)"
+            )
+        ir = spec.program
+        resource = self.resolve(qpu if qpu is not None else spec_request(spec))
         if isinstance(resource, tuple):
             raise TaskError(
                 "multi-site placements are asynchronous by construction; "
@@ -219,11 +238,27 @@ class RuntimeEnvironment:
         runs as a malleable federated job of ``iterations`` burst units
         (default: two per named site) spread over exactly those
         ``site/resource`` legs, with the broker's resize loop shifting
-        the remaining units between them as load and health move."""
-        ir = to_ir(program, shots=shots or 100)
-        if shots is not None and ir.shots != shots:
-            ir = ir.with_shots(shots)
+        the remaining units between them as load and health move.
+
+        ``program`` may be a :class:`~repro.spec.JobSpec`: its
+        ``resource``/``pin``/``sites`` fields stand in for ``qpu=`` and
+        its ``iterations`` for ``iterations=`` (explicit arguments
+        win)."""
+        spec = self._as_spec(program, shots)
+        ir = spec.program
+        if qpu is None:
+            qpu = spec_request(spec)
+            if iterations is None and spec.sites is not None:
+                iterations = spec.iterations
         resource = self.resolve(qpu)
+        if spec.iterations is not None and not isinstance(resource, tuple):
+            # a declared multi-unit job must not silently run as one
+            # fixed execution — the broker path honors the declaration
+            raise TaskError(
+                "spec declares iterations but resolves to a single "
+                "resource; give sites=('site/resource', ...) legs or "
+                "submit through Session/FederationBroker"
+            )
         if isinstance(resource, tuple):
             if self.federation is None:
                 raise TaskError(

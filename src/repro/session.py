@@ -1,0 +1,403 @@
+"""Session: the one submission surface over every backend.
+
+A :class:`~repro.spec.JobSpec` describes *what* to run; a
+:class:`Session` decides *where* — the local middleware daemon, the
+multi-site federation broker, or the cloud gateway — from the spec and
+the backends this session was built with, and hands back a uniform
+:class:`JobHandle`.  The same spec object submits unchanged through all
+three doors:
+
+>>> spec = JobSpec(program=program, shots=200)
+>>> session = Session(daemon=daemon, federation=broker)
+>>> handle = session.submit(spec)          # backend picked from the spec
+>>> result = sim.run_until_process(sim.spawn(handle.wait()))
+
+Backend choice (see :meth:`Session.backend_for`): a spec that declares
+federation-shaped placement (``sites``, ``iterations``, a ``pin``, or a
+qualified ``site/resource`` target) goes to the federation; a plain
+spec goes to the local daemon when one is wired, else the federation,
+else the cloud gateway.  ``backend=`` overrides.
+
+With :meth:`Session.attach_events` the session joins the push-based
+lifecycle plane: every backend's state transitions land on one
+:class:`~repro.federation.events.LifecycleBus`, ``JobHandle.wait()``
+wakes on the pushed terminal event instead of polling status, and
+``JobHandle.on(...)`` delivers per-job callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from .errors import DaemonError, SpecError
+from .federation.events import (
+    TERMINAL_JOB_KINDS,
+    TERMINAL_TASK_KINDS,
+    JobEvent,
+    LifecycleBus,
+    publish_task_transition,
+)
+from .runtime.backend_select import select_resource, spec_request
+from .runtime.results import RunResult
+from .simkernel import Event, Timeout
+from .spec import JobSpec
+
+__all__ = ["JobHandle", "Session"]
+
+
+class JobHandle:
+    """One submitted job, whatever backend it landed on."""
+
+    def __init__(
+        self,
+        session: "Session",
+        spec: JobSpec,
+        job_id: str,
+        backend: str,
+        token: str = "",
+    ) -> None:
+        self._session = session
+        self.spec = spec
+        self.job_id = job_id
+        self.backend = backend
+        #: daemon-backend REST token — each priority class owns its own
+        #: session, so the handle must carry the one that owns its task
+        self._token = token
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobHandle({self.job_id!r}, backend={self.backend!r})"
+
+    # -- queries --------------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Backend status document; always carries ``state``."""
+        return self._session._backend_status(self)
+
+    def done(self) -> bool:
+        return self.status()["state"] in ("completed", "failed", "cancelled")
+
+    def result(self) -> RunResult:
+        """The uniform result, whichever backend executed the job."""
+        return self._session._backend_result(self)
+
+    # -- lifecycle events ------------------------------------------------------
+
+    def _event_filter(self) -> tuple[str, str | None]:
+        """(job id, site filter) for bus subscriptions.  Federation jobs
+        are tracked by broker-level ``job_*`` events (federation-unique
+        ids, no site filter); daemon/cloud tasks by the queue's own task
+        transitions — those ids are only unique per daemon, so the
+        subscription is pinned to the publishing site label."""
+        if self.backend == "federation":
+            return self.job_id, None
+        return self.job_id, self._session._site_label(self.backend)
+
+    def _terminal_kinds(self) -> tuple[str, ...]:
+        if self.backend == "federation":
+            return TERMINAL_JOB_KINDS
+        return TERMINAL_TASK_KINDS
+
+    def on(self, callback, kinds: tuple[str, ...] | None = None) -> int:
+        """Subscribe ``callback(event)`` to this job's lifecycle events
+        (requires :meth:`Session.attach_events`); returns the handle for
+        ``session.events.unsubscribe``."""
+        bus = self._session.events
+        if bus is None:
+            raise DaemonError(
+                "no lifecycle bus: call Session.attach_events() first"
+            )
+        job_id, site = self._event_filter()
+        return bus.subscribe(callback, job_id=job_id, kinds=kinds, site=site)
+
+    def wait(self, poll_interval: float = 5.0):
+        """Generator form: yield it from a simulated process; returns
+        the :class:`~repro.runtime.results.RunResult`.
+
+        Without a lifecycle bus this polls status every
+        ``poll_interval`` simulated seconds.  With one
+        (:meth:`Session.attach_events`), it sleeps until the backend
+        *pushes* the terminal transition — ``poll_interval`` degrades
+        into a liveness heartbeat that keeps the simulation loop fed.
+        """
+        bus = self._session.events
+        while True:
+            if self.status()["state"] in ("completed", "failed", "cancelled"):
+                break
+            if bus is None:
+                yield Timeout(poll_interval)
+            else:
+                yield self._armed_wake(bus, poll_interval)
+        return self.result()
+
+    def _armed_wake(self, bus: LifecycleBus, heartbeat: float) -> Event:
+        """An event that fires the instant this job's terminal
+        transition is published — with a foreground heartbeat fallback
+        so the simulator never deadlocks on background-only queues."""
+        sim = self._session.sim
+        wake = Event(name=f"wait-{self.job_id}")
+        entry = sim.schedule(wake, delay=heartbeat)
+        handle: list[int] = []
+
+        def fire(event: JobEvent) -> None:
+            bus.unsubscribe(handle[0])
+            if not wake.triggered:
+                sim.events.cancel(entry)
+                wake.trigger(event)
+                sim.schedule_triggered(wake)
+
+        job_id, site = self._event_filter()
+        handle.append(
+            bus.subscribe(
+                fire, job_id=job_id, kinds=self._terminal_kinds(), site=site
+            )
+        )
+        # the heartbeat pop also retires the subscription so abandoned
+        # waiters don't accumulate on the bus
+        wake.callbacks.append(lambda ev: bus.unsubscribe(handle[0]))
+        return wake
+
+
+class Session:
+    """Facade routing :class:`~repro.spec.JobSpec` submissions to the
+    right backend.  Wire in any subset of:
+
+    * ``daemon`` — a :class:`~repro.daemon.service.MiddlewareDaemon`
+      (the session speaks to it through the standard REST router),
+    * ``federation`` — a :class:`~repro.federation.FederationBroker`,
+    * ``cloud`` — a :class:`~repro.daemon.cloud.CloudGateway` plus the
+      ``cloud_api_key`` identifying this session's tenant.
+    """
+
+    def __init__(
+        self,
+        daemon=None,
+        federation=None,
+        cloud=None,
+        cloud_api_key: str = "",
+        user: str = "user",
+    ) -> None:
+        if daemon is None and federation is None and cloud is None:
+            raise DaemonError("session needs at least one backend")
+        if cloud is not None and not cloud_api_key:
+            raise DaemonError("a cloud backend needs cloud_api_key=")
+        self.daemon = daemon
+        self.federation = federation
+        self.cloud = cloud
+        self.cloud_api_key = cloud_api_key
+        self.user = user
+        self.events: LifecycleBus | None = None
+        self._daemon_client = None
+        self._fed_client = None
+        #: one REST session token per priority class — priority lives on
+        #: the daemon session, so specs of different classes cannot
+        #: share one (the first submission's class would silently win)
+        self._daemon_tokens: dict[str, str] = {}
+        #: backend -> site label its queue publishes under (a cloud
+        #: gateway sharing the local daemon publishes once, as "local")
+        self._site_labels = {"daemon": "local", "cloud": "cloud"}
+        if (
+            cloud is not None
+            and daemon is not None
+            and cloud.daemon.queue is daemon.queue
+        ):
+            self._site_labels["cloud"] = "local"
+
+    def _site_label(self, backend: str) -> str:
+        return self._site_labels[backend]
+
+    # -- wiring ---------------------------------------------------------------
+
+    @property
+    def sim(self):
+        """The shared simulated clock behind whichever backends exist."""
+        if self.federation is not None:
+            return self.federation.sim
+        if self.daemon is not None:
+            return self.daemon.sim
+        return self.cloud.daemon.sim
+
+    def attach_events(self, bus: LifecycleBus | None = None) -> LifecycleBus:
+        """Join the push-based lifecycle plane: one bus carries the
+        federation's job events plus the local daemon's and cloud
+        gateway's task transitions.  Idempotent; returns the bus."""
+        if self.events is not None:
+            return self.events
+        bus = bus if bus is not None else LifecycleBus()
+        if self.federation is not None:
+            bus = self.federation.attach_events(bus)
+        seen: list = []
+        for daemon, backend in (
+            (self.daemon, "daemon"),
+            (self.cloud.daemon if self.cloud is not None else None, "cloud"),
+        ):
+            if daemon is None or any(daemon.queue is q for q in seen):
+                continue  # one shared daemon must not publish twice
+            seen.append(daemon.queue)
+            daemon.queue.add_transition_listener(
+                self._queue_publisher(daemon, self._site_label(backend), bus)
+            )
+        self.events = bus
+        return bus
+
+    @staticmethod
+    def _queue_publisher(daemon, site: str, bus: LifecycleBus):
+        def publish(task, old, new) -> None:
+            publish_task_transition(bus, daemon.now, site, task, new)
+
+        return publish
+
+    # -- backend choice --------------------------------------------------------
+
+    def backend_for(self, spec: JobSpec) -> str:
+        """Which backend a spec routes to: federation-shaped placement
+        (``sites``/``iterations``/``pin``/qualified ``site/resource``)
+        needs the broker; plain specs prefer the local daemon, then the
+        federation, then the cloud gateway."""
+        if spec.is_multi or spec.pin is not None:
+            if self.federation is None:
+                raise SpecError(
+                    "spec declares federation placement but this session "
+                    "has no federation backend"
+                )
+            return "federation"
+        if (
+            spec.resource is not None
+            and "/" in spec.resource
+            and self.federation is not None
+            and self.federation.has_resource(spec.resource)
+        ):
+            return "federation"
+        if self.daemon is not None:
+            return "daemon"
+        if self.federation is not None:
+            return "federation"
+        return "cloud"
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec, backend: str | None = None) -> JobHandle:
+        """Submit one spec; returns the uniform :class:`JobHandle`."""
+        if not isinstance(spec, JobSpec):
+            raise SpecError(
+                f"Session.submit takes a JobSpec, got {type(spec).__name__} "
+                "(wrap programs with JobSpec(program=...))"
+            )
+        spec = spec.validate(default_tenant=self.user)
+        backend = backend or self.backend_for(spec)
+        token = ""
+        if backend == "daemon":
+            job_id, token = self._submit_daemon(spec)
+        elif backend == "federation":
+            job_id = self._fed().submit_spec(spec)
+        elif backend == "cloud":
+            job_id = self._submit_cloud(spec)
+        else:
+            raise SpecError(f"unknown backend {backend!r}")
+        return JobHandle(self, spec, job_id, backend, token=token)
+
+    # -- daemon backend --------------------------------------------------------
+
+    def _client(self):
+        if self._daemon_client is None:
+            from .daemon.api import build_router
+            from .runtime.client import DaemonClient
+
+            self._daemon_client = DaemonClient(build_router(self.daemon))
+        return self._daemon_client
+
+    def _fed(self):
+        if self._fed_client is None:
+            from .federation.client import FederatedClient
+
+            self._fed_client = FederatedClient(self.federation, user=self.user)
+        return self._fed_client
+
+    def _daemon_token(self, priority_class: str) -> str:
+        """The REST session token for one priority class, opened on
+        first use and reopened after idle expiry — each class gets its
+        own session so the daemon sees the class every spec declares,
+        not the first submission's."""
+        token = self._daemon_tokens.get(priority_class)
+        if token is not None:
+            try:
+                self.daemon.resolve_session(token)
+                return token
+            except Exception:
+                pass  # idle-expired: open a fresh one
+        client = self._client()
+        client.token = ""
+        client.open_session(self.user, priority_class=priority_class)
+        token = self._daemon_tokens[priority_class] = client.token
+        return token
+
+    def _submit_daemon(self, spec: JobSpec) -> tuple[str, str]:
+        client = self._client()
+        client.token = self._daemon_token(spec.priority_class)
+        if spec.resource is None:
+            available = {m["name"]: m["type"] for m in client.resources()}
+            spec = replace(
+                spec,
+                resource=select_resource(available, requested=spec_request(spec)),
+            )
+        return client.submit(spec), client.token
+
+    def _submit_cloud(self, spec: JobSpec) -> str:
+        if self.cloud is None:
+            raise DaemonError("this session has no cloud backend")
+        if spec.resource is None:
+            available = {
+                m["name"]: m["type"] for m in self.cloud.daemon.list_resources()
+            }
+            spec = replace(
+                spec,
+                resource=select_resource(available, requested=spec_request(spec)),
+            )
+        return self.cloud.submit(self.cloud_api_key, spec)
+
+    # -- handle plumbing -------------------------------------------------------
+
+    def _backend_status(self, handle: JobHandle) -> dict[str, Any]:
+        if handle.backend == "daemon":
+            client = self._client()
+            client.token = handle._token
+            return client.status(handle.job_id)
+        if handle.backend == "cloud":
+            return self.cloud.status(self.cloud_api_key, handle.job_id)
+        if handle.spec.is_multi:
+            return self.federation.malleable_status(handle.job_id)
+        return self.federation.status(handle.job_id)
+
+    def _backend_result(self, handle: JobHandle) -> RunResult:
+        spec = handle.spec
+        if handle.backend == "daemon":
+            return self._daemon_result(handle)
+        if handle.backend == "cloud":
+            emulation = self.cloud.result(self.cloud_api_key, handle.job_id)
+            result = RunResult.from_emulation(
+                emulation, f"cloud/{handle.job_id}", spec.program.content_hash()
+            )
+            result.metadata["cloud_tenant"] = spec.tenant
+            return result
+        if spec.is_multi:
+            return self._fed().malleable_result(handle.job_id)
+        return self._fed().result(handle.job_id)
+
+    def _daemon_result(self, handle: JobHandle) -> RunResult:
+        client = self._client()
+        client.token = handle._token
+        body = client.result(handle.job_id)
+        status = client.status(handle.job_id)
+        wait = 0.0
+        if status["started_at"] is not None:
+            wait = status["started_at"] - status["enqueued_at"]
+        return RunResult(
+            counts=dict(body["counts"]),
+            shots=body["shots"],
+            backend=body["backend"],
+            resource=handle.spec.resource or "daemon",
+            program_hash=handle.spec.program.content_hash(),
+            queue_wait_s=wait,
+            execution_s=float(body["metadata"].get("execution_seconds", 0.0)),
+            metadata=dict(body["metadata"]),
+        )

@@ -1,0 +1,185 @@
+"""LifecycleBus: push-based task tracking replaces status polling."""
+
+from fedutil import build_federation, make_program
+
+from repro.federation.events import JobEvent, LifecycleBus
+
+
+def spy_task_status(sites):
+    """Wrap every site's task_status with a call counter."""
+    counts = {name: 0 for name in sites}
+    for name, site in sites.items():
+        original = site.task_status
+
+        def counted(owner, task_id, _name=name, _orig=original):
+            counts[_name] += 1
+            return _orig(owner, task_id)
+
+        site.task_status = counted
+    return counts
+
+
+class TestBusUnit:
+    def _event(self, kind="completed", job_id="j1"):
+        return JobEvent(time=1.0, kind=kind, job_id=job_id)
+
+    def test_filters_and_unsubscribe(self):
+        bus = LifecycleBus()
+        seen = []
+        all_handle = bus.subscribe(lambda ev: seen.append(("all", ev.kind)))
+        bus.subscribe(
+            lambda ev: seen.append(("j1", ev.kind)), job_id="j1", kinds=("completed",)
+        )
+        bus.publish(self._event("running", "j1"))
+        bus.publish(self._event("completed", "j1"))
+        bus.publish(self._event("completed", "j2"))
+        assert seen == [
+            ("all", "running"),
+            ("all", "completed"),
+            ("j1", "completed"),
+            ("all", "completed"),
+        ]
+        bus.unsubscribe(all_handle)
+        bus.publish(self._event("completed", "j2"))
+        assert len(seen) == 4
+        assert bus.published == 4
+
+    def test_subscriber_exceptions_are_isolated(self):
+        bus = LifecycleBus()
+        seen = []
+
+        def broken(ev):
+            raise RuntimeError("observer bug")
+
+        bus.subscribe(broken)
+        bus.subscribe(lambda ev: seen.append(ev.kind))
+        bus.publish(self._event())
+        assert seen == ["completed"]
+        assert bus.dropped == 1
+
+    def test_history_ring(self):
+        bus = LifecycleBus(history=2)
+        for i in range(4):
+            bus.publish(self._event(job_id=f"j{i}"))
+        assert [e.job_id for e in bus.recent()] == ["j2", "j3"]
+
+
+class TestSitePublishing:
+    def test_task_transitions_flow_onto_bus(self):
+        sim, registry, broker, sites = build_federation(n_sites=2)
+        bus = broker.attach_events()
+        kinds = []
+        bus.subscribe(lambda ev: kinds.append((ev.site, ev.kind)))
+        job_id = broker.submit(make_program(shots=30), shots=30)
+        sim.run(until=120.0)
+        assert broker.status(job_id)["state"] == "completed"
+        site = broker.job(job_id).current.site
+        site_kinds = [
+            k for s, k in kinds if s == site and not k.startswith("job_")
+        ]
+        assert site_kinds[:2] == ["queued", "running"]
+        assert "completed" in site_kinds
+
+    def test_broker_job_lifecycle_events(self):
+        sim, registry, broker, sites = build_federation(n_sites=2)
+        bus = broker.attach_events()
+        seen = []
+        job_id = broker.submit(make_program(shots=30), shots=30)
+        bus.subscribe(lambda ev: seen.append(ev.kind), job_id=job_id)
+        sim.run(until=120.0)
+        assert "job_completed" in seen
+
+    def test_attach_is_idempotent_and_covers_late_joiners(self):
+        from repro.federation import FederatedSite
+
+        sim, registry, broker, sites = build_federation(n_sites=1)
+        bus = broker.attach_events()
+        assert broker.attach_events() is bus
+        # a site registered after attach publishes too
+        from repro.daemon import MiddlewareDaemon
+        from repro.qpu import QPUDevice, ShotClock
+        from repro.qrmi import OnPremQPUResource
+        from repro.simkernel import RngRegistry
+
+        rng = RngRegistry(9)
+        device = QPUDevice(
+            clock=ShotClock(shot_rate_hz=10.0, setup_overhead_s=0.0, batch_overhead_s=0.0),
+            rng=rng.get("late"),
+        )
+        daemon = MiddlewareDaemon(
+            sim, {"onprem": OnPremQPUResource("onprem", device)}, scrape_interval=120.0
+        )
+        late = FederatedSite("late-site", daemon, max_queue_depth=4)
+        registry.register(late, now=sim.now)
+        seen = []
+        bus.subscribe(lambda ev: seen.append(ev.site))
+        broker.submit(make_program(shots=10), shots=10, pin="late-site/onprem")
+        sim.run(until=120.0)
+        assert "late-site" in seen
+
+
+class TestPushReplacesPolling:
+    def test_fixed_jobs_never_poll_with_bus_attached(self):
+        sim, registry, broker, sites = build_federation(n_sites=2)
+        broker.attach_events()
+        counts = spy_task_status(sites)
+        job_id = broker.submit(make_program(shots=40), shots=40)
+        sim.run(until=300.0)
+        assert broker.status(job_id)["state"] == "completed"
+        assert broker.result(job_id) is not None
+        assert sum(counts.values()) == 0
+
+    def test_malleable_refresh_never_polls_with_bus_attached(self):
+        """The acceptance spy: with the event bus attached, the resize
+        loop's _refresh consumes pushed transitions — zero per-unit
+        task_status polls across the whole job."""
+        sim, registry, broker, sites = build_federation(n_sites=3)
+        broker.attach_events()
+        counts = spy_task_status(sites)
+        job_id = broker.submit_malleable(
+            make_program(shots=20), 9, shots=20
+        )
+        sim.run(until=1200.0)
+        status = broker.malleable_status(job_id)
+        assert status["state"] == "completed"
+        assert status["completed_units"] == 9
+        assert sum(counts.values()) == 0
+
+    def test_polling_baseline_proves_the_spy_works(self):
+        sim, registry, broker, sites = build_federation(n_sites=3)
+        counts = spy_task_status(sites)  # no bus: the old polling path
+        job_id = broker.submit_malleable(make_program(shots=20), 9, shots=20)
+        sim.run(until=1200.0)
+        assert broker.malleable_status(job_id)["state"] == "completed"
+        assert sum(counts.values()) > 0
+
+    def test_push_and_poll_reach_identical_outcomes(self):
+        def outcome(attach):
+            sim, registry, broker, sites = build_federation(n_sites=3)
+            if attach:
+                broker.attach_events()
+            fixed = [
+                broker.submit(make_program(shots=30), shots=30) for _ in range(4)
+            ]
+            malleable = broker.submit_malleable(make_program(shots=20), 8, shots=20)
+            sim.run(until=1200.0)
+            states = [broker.status(j)["state"] for j in fixed]
+            mstatus = broker.malleable_status(malleable)
+            return states, mstatus["state"], mstatus["completions_by_site"]
+
+        assert outcome(attach=False) == outcome(attach=True)
+
+    def test_failover_still_works_under_push(self):
+        sim, registry, broker, sites = build_federation(
+            n_sites=2, heartbeat_expiry=40.0
+        )
+        broker.attach_events()
+        # saturate nothing; kill the site the job lands on mid-flight
+        job_id = broker.submit(make_program(shots=400), shots=400)
+        first_site = broker.job(job_id).current.site
+        sim.run(until=5.0)
+        sites[first_site].kill()
+        sim.run(until=600.0)
+        job = broker.job(job_id)
+        assert job.state.value == "completed"
+        assert job.current.site != first_site

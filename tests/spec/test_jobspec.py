@@ -1,0 +1,270 @@
+"""JobSpec: validation, dict round-trip, and legacy-shim equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.qpu import Register
+from repro.sdk import AnalogCircuit
+from repro.sdk.ir import AnalogProgram
+from repro.spec import DEFAULT_SHOTS, JobSpec, parse_site_leg
+
+
+def make_program(n_atoms=3, shots=50, name="spec-prog"):
+    return (
+        AnalogCircuit(Register.chain(n_atoms, spacing=6.0), name=name)
+        .rx_global(np.pi / 2, duration=0.3)
+        .measure_all()
+        .transpile(shots=shots)
+    )
+
+
+class TestValidation:
+    def test_normalizes_program_to_ir_and_resolves_shots(self):
+        spec = JobSpec(program=make_program(shots=250)).validate()
+        assert isinstance(spec.program, AnalogProgram)
+        # the program's own shot count wins when the spec is silent —
+        # the old to_ir(..., shots or 100) silently-defaults bug
+        assert spec.shots == 250
+
+    def test_explicit_shots_win_over_program(self):
+        spec = JobSpec(program=make_program(shots=250), shots=40).validate()
+        assert spec.shots == 40
+        assert spec.program.shots == 40
+
+    def test_default_shots_when_nothing_declares(self):
+        circuit = AnalogCircuit(Register.chain(2, spacing=6.0))
+        circuit.rx_global(np.pi, duration=0.2).measure_all()
+        spec = JobSpec(program=circuit).validate()
+        assert spec.shots == DEFAULT_SHOTS
+
+    def test_validate_is_idempotent(self):
+        once = JobSpec(program=make_program(), shots=30, tenant="t").validate()
+        assert once.validate() == once
+        # and O(1): re-validating a validated spec is the identity object,
+        # so the submit path can re-check defensively at every layer
+        assert once.validate() is once
+
+    def test_jobscript_round_trip_quotes_names(self):
+        from repro.cluster import JobScript, render_jobscript
+
+        spec = JobSpec(
+            program=make_program(name="bell chain demo"), shots=30
+        ).validate()
+        parsed = JobScript(render_jobscript(spec)).to_spec()
+        assert parsed.name == "bell chain demo"
+
+    def test_tenant_default_fills(self):
+        assert JobSpec(program=make_program()).validate().tenant == "fed-user"
+        assert (
+            JobSpec(program=make_program()).validate(default_tenant="alice").tenant
+            == "alice"
+        )
+
+    def test_bad_pin_rejected(self):
+        with pytest.raises(SpecError, match="site/resource"):
+            JobSpec(program=make_program(), pin="just-a-site").validate()
+
+    def test_conflicting_pin_and_resource(self):
+        with pytest.raises(SpecError, match="conflicting"):
+            JobSpec(
+                program=make_program(), pin="a/qpu", resource="b/qpu"
+            ).validate()
+
+    def test_sites_empty_and_duplicates(self):
+        with pytest.raises(SpecError, match="empty"):
+            JobSpec(program=make_program(), sites=()).validate()
+        with pytest.raises(SpecError, match="duplicate"):
+            JobSpec(
+                program=make_program(), sites=("s1/a", "s1/b")
+            ).validate()
+
+    def test_sites_defaults_iterations(self):
+        spec = JobSpec(program=make_program(), sites=("s1", "s2")).validate()
+        assert spec.iterations == 4  # two units per leg
+
+    def test_elasticity_bounds(self):
+        with pytest.raises(SpecError, match="multi-unit"):
+            JobSpec(program=make_program(), min_units=1).validate()
+        with pytest.raises(SpecError, match="exceeds"):
+            JobSpec(
+                program=make_program(), iterations=8, min_units=5, max_units=2
+            ).validate()
+        spec = JobSpec(
+            program=make_program(), iterations=8, min_units=1, max_units=4
+        ).validate()
+        assert (spec.min_units, spec.max_units) == (1, 4)
+
+    def test_pin_rejected_on_multi_unit_specs(self):
+        # the malleable path places per unit through site legs — a pin
+        # would be silently dropped, violating the --qpu contract
+        with pytest.raises(SpecError, match="fixed-size"):
+            JobSpec(
+                program=make_program(), pin="s1/qpu", iterations=4
+            ).validate()
+        with pytest.raises(SpecError, match="fixed-size"):
+            JobSpec(
+                program=make_program(), pin="s1/qpu", sites=("s1",)
+            ).validate()
+
+    def test_bad_iterations_priority_budget(self):
+        with pytest.raises(SpecError, match="iterations"):
+            JobSpec(program=make_program(), iterations=0).validate()
+        with pytest.raises(Exception, match="priority"):
+            JobSpec(program=make_program(), priority_class="vip").validate()
+        with pytest.raises(SpecError, match="budget_hint"):
+            JobSpec(program=make_program(), budget_hint=-1.0).validate()
+
+    def test_parse_site_leg(self):
+        assert parse_site_leg("alpine") == ("alpine", None)
+        assert parse_site_leg("alpine/qpu-a") == ("alpine", "qpu-a")
+        with pytest.raises(SpecError):
+            parse_site_leg("/qpu-a")
+
+    def test_is_multi(self):
+        assert not JobSpec(program=make_program()).is_multi
+        assert JobSpec(program=make_program(), iterations=3).is_multi
+        assert JobSpec(program=make_program(), sites=("a",)).is_multi
+
+
+# -- hypothesis round-trip -----------------------------------------------------
+
+_programs = st.builds(
+    make_program,
+    n_atoms=st.integers(min_value=1, max_value=4),
+    shots=st.integers(min_value=1, max_value=2000),
+    name=st.sampled_from(["p1", "vqe", "sqd-batch"]),
+)
+
+_specs = st.builds(
+    JobSpec,
+    program=_programs,
+    shots=st.one_of(st.none(), st.integers(min_value=1, max_value=5000)),
+    tenant=st.one_of(st.none(), st.sampled_from(["alice", "bob", "org-1"])),
+    resource=st.one_of(st.none(), st.just("onprem")),
+    affinity_key=st.one_of(st.none(), st.just("loop-7")),
+    iterations=st.one_of(st.none(), st.integers(min_value=1, max_value=12)),
+    malleable=st.booleans(),
+    priority_class=st.sampled_from(["production", "test", "development"]),
+    budget_hint=st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e6)),
+    metadata=st.dictionaries(
+        st.sampled_from(["experiment", "run"]), st.integers(0, 9), max_size=2
+    ),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=_specs)
+    def test_dict_round_trip_is_identity(self, spec):
+        validated = spec.validate()
+        assert JobSpec.from_dict(validated.to_dict()) == validated
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=_specs)
+    def test_round_trip_survives_revalidation(self, spec):
+        validated = spec.validate()
+        rebuilt = JobSpec.from_dict(validated.to_dict()).validate()
+        assert rebuilt == validated
+
+    def test_multi_spec_round_trip_with_sites(self):
+        spec = JobSpec(
+            program=make_program(),
+            sites=("alpine/qpu", "fjord"),
+            iterations=6,
+            min_units=1,
+            max_units=4,
+        ).validate()
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_requires_program(self):
+        with pytest.raises(SpecError, match="program"):
+            JobSpec.from_dict({"shots": 5})
+
+
+# -- legacy-shim equivalence ---------------------------------------------------
+
+
+def _pair():
+    """Two identical federations (same seed/clock shape) for
+    legacy-vs-spec comparison."""
+    from specutil import build_federation
+
+    return build_federation(n_sites=2), build_federation(n_sites=2)
+
+
+class TestLegacyShims:
+    def test_broker_submit_kwargs_equal_spec(self):
+        (sim_a, _, broker_a, _), (sim_b, _, broker_b, _) = _pair()
+        program = make_program(shots=70)
+        legacy_id = broker_a.submit(
+            program, shots=30, owner="alice", affinity_key="k", pin="site-0/onprem"
+        )
+        spec_id = broker_b.submit_spec(
+            JobSpec(
+                program=program,
+                shots=30,
+                tenant="alice",
+                affinity_key="k",
+                pin="site-0/onprem",
+            )
+        )
+        job_a, job_b = broker_a.job(legacy_id), broker_b.job(spec_id)
+        # the broker-visible spec is identical whichever door was used
+        assert job_a.spec == job_b.spec
+        assert job_a.shots == job_b.shots == 30
+        assert job_a.owner == job_b.owner == "alice"
+        assert job_a.current.site == job_b.current.site
+
+    def test_broker_submit_resolves_program_shots(self):
+        (_, _, broker, _), _ = _pair()
+        job_id = broker.submit(make_program(shots=70))
+        job = broker.job(job_id)
+        # shot resolution happens once, in JobSpec.validate: a shot-less
+        # submission runs at the program's own count, not a blanket 100
+        assert job.shots == 70
+        assert job.spec.shots == 70
+
+    def test_submit_malleable_kwargs_equal_spec(self):
+        (sim_a, _, broker_a, _), (sim_b, _, broker_b, _) = _pair()
+        program = make_program(shots=20)
+        legacy_id = broker_a.submit_malleable(
+            program, 6, shots=20, owner="bob", sites=("site-0", "site-1")
+        )
+        spec_id = broker_b.submit_spec(
+            JobSpec(
+                program=program,
+                shots=20,
+                tenant="bob",
+                sites=("site-0", "site-1"),
+                iterations=6,
+            )
+        )
+        job_a = broker_a.malleable_job(legacy_id)
+        job_b = broker_b.malleable_job(spec_id)
+        assert job_a.spec == job_b.spec
+        assert job_a.units == job_b.units == 6
+        assert job_a.restrict_sites == job_b.restrict_sites
+        sim_a.run(until=600.0)
+        sim_b.run(until=600.0)
+        assert broker_a.malleable_status(legacy_id)["state"] == "completed"
+        assert broker_b.malleable_status(spec_id)["state"] == "completed"
+
+    def test_federated_client_shim_tags_user(self):
+        (_, _, broker, _), _ = _pair()
+        from repro.federation import FederatedClient
+
+        client = FederatedClient(broker, user="carol")
+        job = broker.job(client.submit(make_program(shots=25)))
+        assert job.owner == "carol"
+        assert job.shots == 25
+
+    def test_broker_submit_routes_multi_spec_to_malleable(self):
+        (_, _, broker, _), _ = _pair()
+        job_id = broker.submit(
+            JobSpec(program=make_program(shots=10), iterations=3)
+        )
+        assert job_id.startswith("fed-mjob-")
+        assert broker.malleable_job(job_id).units == 3

@@ -1,0 +1,245 @@
+"""Session facade: one JobSpec through every backend, push-based waits."""
+
+import pytest
+from specutil import build_three_backends, make_program
+
+from repro.errors import DaemonError, SpecError
+from repro.runtime.results import RunResult
+from repro.session import Session
+from repro.spec import JobSpec
+
+
+def drive(sim, generator):
+    return sim.run_until_process(sim.spawn(generator))
+
+
+class TestBackendChoice:
+    def test_plain_spec_prefers_daemon(self):
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(
+            daemon=daemon, federation=broker, cloud=gateway, cloud_api_key=key
+        )
+        assert session.backend_for(JobSpec(program=make_program())) == "daemon"
+
+    def test_federation_shapes_route_to_broker(self):
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(daemon=daemon, federation=broker)
+        for spec in (
+            JobSpec(program=make_program(), iterations=3),
+            JobSpec(program=make_program(), sites=("site-0",)),
+            JobSpec(program=make_program(), pin="site-0/onprem"),
+            JobSpec(program=make_program(), resource="site-1/onprem"),
+        ):
+            assert session.backend_for(spec) == "federation"
+
+    def test_federation_shape_without_broker_raises(self):
+        sim, daemon, *_ = build_three_backends()
+        session = Session(daemon=daemon)
+        with pytest.raises(SpecError, match="no federation"):
+            session.backend_for(JobSpec(program=make_program(), iterations=2))
+
+    def test_session_needs_a_backend_and_cloud_needs_key(self):
+        with pytest.raises(DaemonError, match="at least one backend"):
+            Session()
+        sim, daemon, broker, gateway, key = build_three_backends()
+        with pytest.raises(DaemonError, match="cloud_api_key"):
+            Session(cloud=gateway)
+
+    def test_submit_rejects_bare_programs(self):
+        sim, daemon, *_ = build_three_backends()
+        with pytest.raises(SpecError, match="JobSpec"):
+            Session(daemon=daemon).submit(make_program())
+
+
+class TestOneSpecThreeBackends:
+    def test_same_spec_submits_through_all_three(self):
+        """The acceptance path: a single JobSpec instance flows to the
+        laptop daemon, the federation broker, and the cloud gateway
+        unchanged, and every door returns the uniform RunResult."""
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(
+            daemon=daemon,
+            federation=broker,
+            cloud=gateway,
+            cloud_api_key=key,
+            user="alice",
+        )
+        spec = JobSpec(program=make_program(shots=60), shots=60)
+        handles = [
+            session.submit(spec, backend=backend)
+            for backend in ("daemon", "federation", "cloud")
+        ]
+        results = [drive(sim, h.wait(poll_interval=2.0)) for h in handles]
+        for handle, result in zip(handles, results):
+            assert isinstance(result, RunResult)
+            assert result.shots == 60
+            assert sum(result.counts.values()) == 60
+            assert handle.done()
+        # all three executed the same physics
+        hashes = {r.program_hash for r in results}
+        assert len(hashes) == 1
+        assert handles[0].backend == "daemon"
+        assert handles[1].job_id.startswith("fed-job-")
+        assert handles[2].backend == "cloud"
+
+    def test_multi_unit_spec_through_session(self):
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(daemon=daemon, federation=broker)
+        spec = JobSpec(
+            program=make_program(shots=20),
+            sites=("site-0", "site-1"),
+            iterations=4,
+        )
+        handle = session.submit(spec)
+        assert handle.backend == "federation"
+        assert handle.job_id.startswith("fed-mjob-")
+        result = drive(sim, handle.wait(poll_interval=2.0))
+        assert result.shots == 4 * 20
+        assert handle.status()["state"] == "completed"
+
+    def test_multi_unit_specs_rejected_at_fixed_size_doors(self):
+        """DaemonClient and CloudGateway run fixed-size tasks — a
+        declared multi-unit spec must fail loudly there, never collapse
+        to one task."""
+        import pytest as _pytest
+
+        from repro.errors import ValidationError
+
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(daemon=daemon, cloud=gateway, cloud_api_key=key)
+        multi = JobSpec(program=make_program(), iterations=4, resource="onprem")
+        with _pytest.raises(ValidationError, match="multi-unit"):
+            session.submit(multi, backend="daemon")
+        with _pytest.raises(DaemonError, match="multi-unit"):
+            gateway.submit(key, multi)
+
+    def test_daemon_session_reopens_after_idle_expiry(self):
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(daemon=daemon)
+        first = session.submit(JobSpec(program=make_program(shots=10)))
+        sim.run(until=60.0)
+        assert first.done()  # fetched while its session is live
+        sim.run(until=5000.0)  # past the daemon's 3600 s idle timeout
+        # a fresh submission must transparently reopen a session
+        second = session.submit(JobSpec(program=make_program(shots=10)))
+        sim.run(until=5100.0)
+        assert second.done()
+
+    def test_each_spec_priority_class_gets_its_own_daemon_session(self):
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(daemon=daemon)
+        dev = session.submit(
+            JobSpec(program=make_program(), priority_class="development")
+        )
+        prod = session.submit(
+            JobSpec(program=make_program(), priority_class="production")
+        )
+        assert dev.status()["priority"] == "development"
+        assert prod.status()["priority"] == "production"
+        sim.run(until=120.0)
+        assert dev.done() and prod.done()
+
+    def test_runtime_rejects_declared_multi_without_site_legs(self):
+        """A spec declaring iterations must never silently run as one
+        fixed execution through the runtime environment."""
+        from repro import RuntimeEnvironment
+        from repro.config import DictConfig
+        from repro.errors import TaskError
+
+        env = RuntimeEnvironment.from_config(
+            DictConfig(
+                {
+                    "QRMI_RESOURCES": "emu",
+                    "QRMI_EMU_TYPE": "local-emulator",
+                    "QRMI_EMU_EMULATOR": "emu-sv",
+                }
+            )
+        )
+        spec = JobSpec(program=make_program(), iterations=3)
+        with pytest.raises(TaskError, match="multi-unit"):
+            env.run(spec)
+        with pytest.raises(TaskError, match="iterations"):
+            next(env.run_process(spec))
+
+    def test_tenant_defaults_to_session_user(self):
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(federation=broker, user="carol")
+        handle = session.submit(JobSpec(program=make_program()))
+        assert broker.job(handle.job_id).owner == "carol"
+
+
+class TestPushWait:
+    def test_wait_wakes_on_pushed_event_without_heartbeat_polls(self):
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(daemon=daemon, federation=broker)
+        session.attach_events()
+        spec = JobSpec(program=make_program(shots=30))
+        handle = session.submit(spec, backend="federation")
+        # huge heartbeat: only the pushed terminal event can wake this
+        result = drive(sim, handle.wait(poll_interval=10_000.0))
+        assert result.shots == 30
+        # and the wake really was event-time, not heartbeat-time
+        assert sim.now < 10_000.0
+
+    def test_daemon_backend_push_wait(self):
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(daemon=daemon)
+        session.attach_events()
+        handle = session.submit(JobSpec(program=make_program(shots=30)))
+        result = drive(sim, handle.wait(poll_interval=10_000.0))
+        assert result.shots == 30
+        assert sim.now < 10_000.0
+
+    def test_on_delivers_job_events(self):
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(federation=broker)
+        session.attach_events()
+        handle = session.submit(JobSpec(program=make_program()))
+        seen = []
+        handle.on(lambda ev: seen.append(ev.kind))
+        sim.run(until=300.0)
+        assert handle.done()
+        assert "job_completed" in seen
+
+    def test_on_requires_bus(self):
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(federation=broker)
+        handle = session.submit(JobSpec(program=make_program()))
+        with pytest.raises(DaemonError, match="attach_events"):
+            handle.on(lambda ev: None)
+
+    def test_task_id_collisions_across_daemons_stay_separated(self):
+        """Every daemon numbers tasks mw-task-N; a handle's
+        subscriptions must not hear a same-numbered task on another
+        backend's queue."""
+        sim, daemon, broker, gateway, key = build_three_backends()
+        session = Session(
+            daemon=daemon, federation=broker, cloud=gateway, cloud_api_key=key
+        )
+        session.attach_events()
+        local = session.submit(JobSpec(program=make_program(shots=10)))
+        cloud = session.submit(
+            JobSpec(program=make_program(shots=10)), backend="cloud"
+        )
+        assert local.job_id == cloud.job_id == "mw-task-1"  # the collision
+        seen = []
+        local.on(lambda ev: seen.append(ev.site), kinds=("completed",))
+        sim.run(until=120.0)
+        assert local.done() and cloud.done()
+        assert seen == ["local"]  # the cloud twin never leaked through
+
+    def test_shared_daemon_not_double_attached(self):
+        """One MiddlewareDaemon serving as both local daemon and cloud
+        backend publishes each transition once."""
+        sim, daemon, broker, gateway, key = build_three_backends()
+        shared_gateway_daemon = gateway.daemon
+        session = Session(
+            daemon=shared_gateway_daemon, cloud=gateway, cloud_api_key=key
+        )
+        bus = session.attach_events()
+        events = []
+        bus.subscribe(lambda ev: events.append(ev))
+        handle = session.submit(JobSpec(program=make_program(shots=10)))
+        sim.run(until=60.0)
+        queued = [e for e in events if e.kind == "queued" and e.job_id == handle.job_id]
+        assert len(queued) == 1
