@@ -11,14 +11,27 @@ drives a 10,000-job arrival sweep (plus a malleable mix) over an
   CI regression gate can pin it: before the indexed job tables this was
   the total submission count and grew without bound; now it follows the
   in-flight population,
-* **tick wall latency** — mean/p95/max wall-clock per reconcile, and
-  the cost of a tick *after* every job finished (the steady-state
-  housekeeping price of a long-lived broker),
-* **total wall time** — end-to-end cost of simulating the sweep.
+* **tick wall latency** — mean/p95/max wall-clock per reconcile, plus
+  *self-calibrated* p50/p95/p99 ratios: each percentile divided by the
+  wall cost of a fixed pure-python probe loop measured on the same
+  machine.  The ratios survive a runner-hardware change, so CI can gate
+  them where raw milliseconds would be weather,
+* **per-phase tick profile** — the held/fixed/malleable/observe wall
+  split from ``broker.last_reconcile`` and the per-step cost of the
+  simulation kernel itself (``sim.enable_profiling``),
+* **tracing overhead** — the sweep runs in three flavors: ``plain``
+  (poll-mode broker, the gated baseline), ``events`` (lifecycle bus
+  attached), and ``traced`` (full span pipeline).  Scheduling is
+  bit-identical across all three — the DES outputs must not move — and
+  ``traced`` vs ``events`` wall time is the advertised tracing
+  overhead.
 
 ``python -m benchmarks.bench_ablation_scale`` prints the table;
 ``--profile out.prof`` additionally runs the sweep under cProfile and
-dumps the stats for offline inspection (CI uploads this artifact).
+dumps the stats for offline inspection; ``--trace-out out.json`` runs
+a traced sweep and writes the JSON trace export (per-stage simulated
+means + one complete sample span tree, wall fields stripped so the
+artifact diffs cleanly between runs).  CI uploads both artifacts.
 """
 
 import os
@@ -48,6 +61,18 @@ N_SITES = 8
 TICK_INTERVAL_S = 15.0
 HORIZON_S = N_JOBS * ARRIVAL_SPACING_S + 300.0
 
+#: every span a traced fixed-size federated job must produce
+TRACE_STAGES = (
+    "job", "admission", "placement", "queue-wait",
+    "execute", "dispatch", "result-fetch",
+)
+
+#: the DES outputs that must be bit-identical across plain/events/traced
+DETERMINISTIC_KEYS = (
+    "completed", "failed", "ticks", "scanned_per_tick_mean",
+    "scanned_per_tick_max", "scanned_final_tick", "drained_scanned",
+)
+
 
 def _program():
     return (
@@ -58,17 +83,49 @@ def _program():
     )
 
 
-def run_c6() -> dict:
-    """One instrumented sweep; returns the tick-cost metrics."""
+def _probe_ms() -> float:
+    """Wall cost of a fixed pure-python workload on *this* machine.
+
+    Dividing tick latencies by this turns them into machine-independent
+    ratios: a faster runner shrinks numerator and denominator together.
+    Minimum of five repeats, so a scheduler hiccup during calibration
+    cannot inflate every gated ratio of the run.
+    """
+    best = float("inf")
+    for _ in range(5):
+        acc = 0
+        t0 = time.perf_counter()
+        for i in range(50_000):
+            acc += i ^ (i >> 3)
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def run_c6(traced: str = "plain", _capture: dict | None = None) -> dict:
+    """One instrumented sweep; returns the tick-cost metrics.
+
+    ``traced`` selects the observability flavor: ``"plain"`` (poll-mode
+    broker), ``"events"`` (lifecycle bus attached), or ``"traced"``
+    (full span pipeline).  ``_capture``, when given, receives the
+    tracer and the submitted job ids for test/export introspection.
+    """
+    if traced not in ("plain", "events", "traced"):
+        raise ValueError(f"unknown C6 flavor {traced!r}")
     sim, registry, broker, sites = build_federation_stack(
         n_sites=N_SITES,
         shot_rate_hz=200.0,
         max_queue_depth=64,
         heartbeat_interval=TICK_INTERVAL_S,
     )
+    tracer = None
+    if traced == "events":
+        broker.attach_events()
+    elif traced == "traced":
+        tracer = broker.attach_tracer()
+    step_profile = sim.enable_profiling()
     # the bench owns the housekeeping loop (instead of
     # spawn_housekeeping) so it can time each reconcile individually
-    ticks: list[tuple[float, float, float]] = []  # (sim time, wall s, scanned)
+    ticks: list[tuple[float, float, float, tuple]] = []
 
     def housekeeping():
         while True:
@@ -76,18 +133,22 @@ def run_c6() -> dict:
             t0 = time.perf_counter()
             broker.reconcile()
             wall = time.perf_counter() - t0
-            scanned = (
-                broker.last_reconcile["jobs_scanned"]
-                + broker.last_reconcile["malleable_scanned"]
-            )
-            ticks.append((sim.now, wall, scanned))
+            last = broker.last_reconcile
+            ticks.append((
+                sim.now,
+                wall,
+                last["jobs_scanned"] + last["malleable_scanned"],
+                (last["held_s"], last["fixed_s"],
+                 last["malleable_s"], last["observe_s"]),
+            ))
 
     sim.spawn(housekeeping(), name="c6-housekeeping", background=True)
 
     program = _program()
+    job_ids: list[str] = []
     for i in range(N_JOBS):
         def submit(owner=f"tenant-{i % 8}"):
-            broker.submit(program, shots=SHOTS, owner=owner)
+            job_ids.append(broker.submit(program, shots=SHOTS, owner=owner))
 
         sim.call_in(i * ARRIVAL_SPACING_S, submit)
     malleable_spacing = (N_JOBS * ARRIVAL_SPACING_S) / (N_MALLEABLE + 1)
@@ -99,6 +160,7 @@ def run_c6() -> dict:
 
         sim.call_in((i + 1) * malleable_spacing, submit_malleable)
 
+    probe_ms = _probe_ms()
     wall_start = time.perf_counter()
     sim.run(until=HORIZON_S)
     total_wall = time.perf_counter() - wall_start
@@ -113,9 +175,10 @@ def run_c6() -> dict:
     )
 
     stats = broker.stats()
-    tick_wall_ms = np.asarray([w for _, w, _ in ticks]) * 1e3
-    scanned = np.asarray([s for _, _, s in ticks])
-    return {
+    tick_wall_ms = np.asarray([w for _, w, _, _ in ticks]) * 1e3
+    scanned = np.asarray([s for _, _, s, _ in ticks])
+    phases_ms = np.asarray([p for _, _, _, p in ticks]) * 1e3
+    out = {
         "jobs": N_JOBS,
         "malleable_jobs": N_MALLEABLE,
         "completed": stats["by_state"]["completed"],
@@ -130,16 +193,73 @@ def run_c6() -> dict:
         "tick_ms_max": float(tick_wall_ms.max()),
         "drained_tick_ms": drained_tick_ms,
         "total_wall_s": total_wall,
+        # self-calibrated latency ratios (gate-able across machines)
+        "probe_ms": probe_ms,
+        "latency_p50_ratio": float(np.percentile(tick_wall_ms, 50)) / probe_ms,
+        "latency_p95_ratio": float(np.percentile(tick_wall_ms, 95)) / probe_ms,
+        "latency_p99_ratio": float(np.percentile(tick_wall_ms, 99)) / probe_ms,
+        # per-phase tick profile + simulation-kernel step cost
+        "phase_held_ms_mean": float(phases_ms[:, 0].mean()),
+        "phase_fixed_ms_mean": float(phases_ms[:, 1].mean()),
+        "phase_malleable_ms_mean": float(phases_ms[:, 2].mean()),
+        "phase_observe_ms_mean": float(phases_ms[:, 3].mean()),
+        "sim_steps": float(step_profile["steps"]),
+        "sim_step_us_mean": step_profile["wall_s"] / step_profile["steps"] * 1e6,
+    }
+    if tracer is not None:
+        totals: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for trace_id in tracer.trace_ids():
+            for span in tracer.spans(trace_id):
+                if span.duration is None:
+                    continue
+                totals[span.name] = totals.get(span.name, 0.0) + span.duration
+                counts[span.name] = counts.get(span.name, 0) + 1
+        for name in sorted(totals):
+            out[f"stage_{name}_sim_mean_s"] = totals[name] / counts[name]
+        out["spans_closed"] = float(sum(counts.values()))
+    if _capture is not None:
+        _capture["tracer"] = tracer
+        _capture["job_ids"] = job_ids
+    return out
+
+
+def trace_export(tracer, job_ids: list[str], mode: str) -> dict:
+    """The diffable JSON trace artifact: per-stage simulated-time means
+    aggregated over every job, plus the first job's full span tree.
+    Wall-clock fields are stripped — everything left is deterministic
+    DES output, so two runs of the same code produce identical files.
+    """
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for trace_id in tracer.trace_ids():
+        for span in tracer.spans(trace_id):
+            if span.duration is None:
+                continue
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+            counts[span.name] = counts.get(span.name, 0) + 1
+    sample = tracer.export_job_json(job_ids[0])
+    for span in sample["spans"]:
+        span.pop("wall_duration_s", None)
+    return {
+        "mode": mode,
+        "jobs": N_JOBS,
+        "malleable_jobs": N_MALLEABLE,
+        "stage_sim_mean_s": {
+            name: totals[name] / counts[name] for name in sorted(totals)
+        },
+        "stage_span_counts": {name: counts[name] for name in sorted(counts)},
+        "sample_trace": sample,
     }
 
 
-def _print_report(out: dict) -> None:
+def _print_report(out: dict, flavor: str = "plain") -> None:
     rows = [{"metric": k, "value": round(v, 4)} for k, v in out.items()]
     print(
         format_table(
             rows,
             title=f"C6 — broker hot-path scale ({out['jobs']} jobs, "
-            f"{N_SITES} sites)",
+            f"{N_SITES} sites, {flavor})",
         )
     )
 
@@ -164,8 +284,37 @@ def test_c6_tick_cost_tracks_live_work(benchmark):
     assert out["drained_tick_ms"] < 50.0
 
 
+def test_c6_tracing_is_invisible_to_scheduling():
+    """Acceptance for the tracing plane: attaching the bus or the full
+    span pipeline must not move a single deterministic DES output, every
+    traced job must yield its complete span tree, and the traced sweep's
+    wall cost over the events-only sweep stays within a loose overhead
+    bound (the precise ratio is reported by the regression suite)."""
+    capture: dict = {}
+    plain = run_c6()
+    events = run_c6(traced="events")
+    traced = run_c6(traced="traced", _capture=capture)
+    for key in DETERMINISTIC_KEYS:
+        assert plain[key] == events[key] == traced[key], key
+
+    tracer, job_ids = capture["tracer"], capture["job_ids"]
+    root = tracer.job_root(job_ids[0])
+    assert root is not None and not root.open and root.status == "ok"
+    names = {span.name for span in tracer.job_spans(job_ids[0])}
+    assert set(TRACE_STAGES) <= names
+    # every fixed job carries at least the full stage set
+    assert traced["spans_closed"] >= len(TRACE_STAGES) * traced["jobs"]
+    assert traced["stage_execute_sim_mean_s"] > 0.0
+
+    overhead = traced["total_wall_s"] / events["total_wall_s"]
+    print(f"tracing overhead: {overhead:.3f}x over events-only")
+    assert overhead < 1.25
+
+
 def main(argv=None) -> int:
     import argparse
+    import json
+    import pathlib
 
     parser = argparse.ArgumentParser(description="C6 broker scale bench")
     parser.add_argument(
@@ -173,6 +322,12 @@ def main(argv=None) -> int:
         metavar="PATH",
         default=None,
         help="run under cProfile and dump stats to PATH",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="run a traced sweep and write the JSON trace export to PATH",
     )
     args = parser.parse_args(argv)
     if args.profile:
@@ -188,8 +343,20 @@ def main(argv=None) -> int:
         stats = pstats.Stats(profiler)
         stats.sort_stats("cumulative").print_stats(15)
         print(f"profile written to {args.profile}")
-    else:
+    elif not args.trace_out:
         _print_report(run_c6())
+    if args.trace_out:
+        capture: dict = {}
+        out = run_c6(traced="traced", _capture=capture)
+        _print_report(out, flavor="traced")
+        export = trace_export(
+            capture["tracer"],
+            capture["job_ids"],
+            mode="smoke" if SMOKE else "full",
+        )
+        path = pathlib.Path(args.trace_out)
+        path.write_text(json.dumps(export, indent=2, sort_keys=True) + "\n")
+        print(f"trace export written to {path}")
     return 0
 
 

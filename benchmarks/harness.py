@@ -234,8 +234,11 @@ def bench_regression_suite() -> dict:
     # C6 — broker hot-path scale.  The scanned-per-tick counts are
     # deterministic DES outputs (wall timings are not), so they gate
     # like makespans: a rise means the reconcile sweep started touching
-    # history again.  Wall-clock numbers ride along ungated for the CI
-    # artifact trail.
+    # history again.  Raw wall-clock numbers ride along ungated for the
+    # CI artifact trail; the *self-calibrated* latency percentiles
+    # (tick wall latency / same-machine probe cost) gate with a wide
+    # tolerance — they survive a runner-hardware change, a raw
+    # millisecond does not.
     c6 = run_c6()
     metrics["tickcost_c6_scanned_per_tick_mean"] = round(
         c6["scanned_per_tick_mean"], 4
@@ -247,6 +250,37 @@ def bench_regression_suite() -> dict:
     metrics["throughput_c6_completed_jobs"] = float(c6["completed"])
     metrics["walltime_c6_total_s"] = round(c6["total_wall_s"], 3)
     metrics["walltime_c6_tick_ms_mean"] = round(c6["tick_ms_mean"], 4)
+    metrics["walltime_c6_probe_ms"] = round(c6["probe_ms"], 4)
+    metrics["walltime_c6_sim_step_us_mean"] = round(c6["sim_step_us_mean"], 4)
+    for pct in ("p50", "p95", "p99"):
+        metrics[f"latency_c6_{pct}_ratio"] = round(
+            c6[f"latency_{pct}_ratio"], 4
+        )
+    # tracing overhead: the same sweep with the lifecycle bus attached
+    # (events) and with the full span pipeline (traced).  Scheduling
+    # must be bit-identical across all three flavors — a drift here is
+    # an instrumentation bug, not a regression to tolerate.
+    c6_events = run_c6(traced="events")
+    c6_traced = run_c6(traced="traced")
+    for key in (
+        "completed", "failed", "scanned_per_tick_mean",
+        "scanned_per_tick_max", "scanned_final_tick",
+    ):
+        if not (c6[key] == c6_events[key] == c6_traced[key]):
+            raise RuntimeError(
+                f"C6 {key} drifted under instrumentation: "
+                f"plain={c6[key]} events={c6_events[key]} "
+                f"traced={c6_traced[key]}"
+            )
+    metrics["walltime_c6_events_total_s"] = round(
+        c6_events["total_wall_s"], 3
+    )
+    metrics["walltime_c6_traced_total_s"] = round(
+        c6_traced["total_wall_s"], 3
+    )
+    metrics["walltime_c6_trace_overhead_ratio"] = round(
+        c6_traced["total_wall_s"] / c6_events["total_wall_s"], 4
+    )
     mode = "smoke" if os.environ.get("BENCH_SMOKE", "") not in ("", "0") else "full"
     return {"mode": mode, "metrics": metrics}
 
@@ -282,6 +316,17 @@ def compare_runs(baseline: dict, current: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"{name}: {value:.3f} vs baseline {base:.3f} "
                 f"({100 * (value / base - 1):.1f}% < -{100 * tolerance:.0f}%)"
+            )
+        elif name.startswith("latency_") and value > max(
+            base * (1.0 + 5.0 * tolerance), base + 0.05
+        ):
+            # latency_* are self-calibrated wall ratios: deterministic
+            # in shape but still wall-clock underneath, so they get 5x
+            # the makespan tolerance plus an absolute floor that keeps
+            # near-zero baselines from failing on scheduler jitter
+            failures.append(
+                f"{name}: {value:.4f} vs baseline {base:.4f} "
+                f"(> {5 * 100 * tolerance:.0f}% latency tolerance)"
             )
     return failures
 

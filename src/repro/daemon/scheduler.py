@@ -61,6 +61,11 @@ class SecondLevelScheduler:
         self.selection_policy = selection_policy
         self.on_task_done = on_task_done
         self.current: QueuedTask | None = None
+        #: set by :func:`repro.observability.tracing.instrument_scheduler`
+        #: — when a tracer is wired, each execution runs under a
+        #: "dispatch" span tagged with this site label
+        self.span_tracer = None
+        self.span_site = "local"
         self._wake = Store(name="scheduler-wake")
         self._worker = sim.spawn(self._run(), name="second-level-scheduler")
         self.tasks_completed = 0
@@ -128,6 +133,12 @@ class SecondLevelScheduler:
             priority=task.priority.name.lower(),
             wait=task.wait_time(),
         )
+        span = None
+        if self.span_tracer is not None:
+            span = self.span_tracer.start_task_span(
+                self.span_site, task.task_id, "dispatch", self.sim.now,
+                resource=task.resource,
+            )
         resource = self.resources.get(task.resource)
         try:
             if resource is None:
@@ -152,9 +163,11 @@ class SecondLevelScheduler:
                     task_id=task.task_id,
                     by=cause[1],
                 )
+                self._end_span(span, "preempted")
                 self.queue.requeue(task, self.sim.now)
                 self.current = None
                 return
+            self._end_span(span, "failed")
             task.state = TaskState.FAILED
             task.error = f"interrupted: {intr.cause!r}"
             task.finished_at = self.sim.now
@@ -162,18 +175,24 @@ class SecondLevelScheduler:
             self._finish(task)
             return
         except Exception as err:
+            self._end_span(span, "failed")
             task.state = TaskState.FAILED
             task.error = f"{type(err).__name__}: {err}"
             task.finished_at = self.sim.now
             self.current = None
             self._finish(task)
             return
+        self._end_span(span, "ok")
         task.state = TaskState.COMPLETED
         task.result = result
         task.finished_at = self.sim.now
         self.current = None
         self.tasks_completed += 1
         self._finish(task)
+
+    def _end_span(self, span, status: str) -> None:
+        if span is not None:
+            self.span_tracer.end_span(span, self.sim.now, status=status)
 
     def _exec_kwargs(self, resource: QuantumResource, task: QueuedTask) -> dict:
         # only QPU-backed resources understand batching

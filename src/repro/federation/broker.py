@@ -36,6 +36,7 @@ from ..errors import (
     SiteUnavailable,
     SpecError,
 )
+from ..observability.tracing import TraceContext, Tracer, instrument_scheduler
 from ..runtime.backend_select import select_resource
 from ..simkernel import Simulator, Timeout
 from ..spec import JobSpec
@@ -146,9 +147,20 @@ class FederationBroker:
         self._reroutes = 0  # maintained: sum over jobs of attempts - 1
         self._id_counter = itertools.count(1)
         self._malleable = None  # lazily-built MalleableManager
-        #: lifecycle bus (see :meth:`attach_events`); ``None`` keeps the
-        #: broker on the polling path
-        self.events: LifecycleBus | None = None
+        #: the broker always owns a lifecycle bus — its own publishes
+        #: (placements, outcomes, admissions, resizes) flow to it from
+        #: the first submission, which is what lets FederationMetrics
+        #: derive every counter from subscriptions instead of record_*
+        #: call sites.  :meth:`attach_events` additionally wires *sites*
+        #: onto it and flips :attr:`_push` (push-based task tracking).
+        self.events: LifecycleBus = LifecycleBus()
+        #: True once :meth:`attach_events` ran: task transitions arrive
+        #: as events and the refresh paths stop polling ``task_status``
+        self._push = False
+        #: optional :class:`~repro.observability.tracing.Tracer` (see
+        #: :meth:`attach_tracer`); ``None`` skips all span bookkeeping
+        self.tracer: Tracer | None = None
+        self._wire_bus(self.events)
         #: live placement index: (site, task_id) -> federated job id,
         #: maintained by _place/_abandon/_fail/completion so pushed site
         #: events resolve to the owning job without a scan
@@ -205,39 +217,71 @@ class FederationBroker:
 
     # -- lifecycle events ------------------------------------------------------
 
+    def _wire_bus(self, bus: LifecycleBus) -> None:
+        bus.subscribe(self.metrics._on_event)
+        bus.subscribe(self._on_site_event)
+
     def attach_events(self, bus: LifecycleBus | None = None) -> LifecycleBus:
         """Switch the broker to push-based lifecycle tracking.
 
-        Wires a :class:`~repro.federation.events.LifecycleBus` (a fresh
-        one unless given) onto every registered site — and, via the
-        registry hook, every future joiner — so task state transitions
-        arrive as events instead of being polled: the fixed-size
-        ``_refresh`` and the malleable resize loop stop calling
-        ``task_status`` per job/unit per tick.  Idempotent; returns the
-        active bus.  Attach *before* submitting work — transitions that
-        happened pre-attach were never published.
+        Wires the broker's lifecycle bus (or ``bus``, which replaces it)
+        onto every registered site — and, via the registry hook, every
+        future joiner — so task state transitions arrive as events
+        instead of being polled: the fixed-size ``_refresh`` and the
+        malleable resize loop stop calling ``task_status`` per job/unit
+        per tick.  Idempotent; returns the active bus.  Attach *before*
+        submitting work — transitions that happened pre-attach were
+        never published.
         """
-        if self.events is not None:
+        if self._push:
             return self.events
-        self.events = bus if bus is not None else LifecycleBus()
+        if bus is not None and bus is not self.events:
+            # external bus: re-point broker publishes and subscribers at
+            # it; the internal bus (and anything it recorded) is dropped
+            self._wire_bus(bus)
+            if self.tracer is not None:
+                self.tracer.attach_bus(bus)
+            self.events = bus
+        self._push = True
         for name in self.registry.names():
             self.registry.site(name).attach_bus(self.events)
         self.registry.on_register(lambda site: site.attach_bus(self.events))
-        self.events.subscribe(self._on_site_event)
         return self.events
 
-    def _publish(self, kind: str, job_id: str, site: str = "", task_id: str = "", **payload) -> None:
-        if self.events is not None:
-            self.events.publish(
-                JobEvent(
-                    time=self.sim.now,
-                    kind=kind,
-                    job_id=job_id,
-                    site=site,
-                    task_id=task_id,
-                    payload=payload,
-                )
+    def attach_tracer(self, tracer: Tracer | None = None) -> Tracer:
+        """Trace every job end-to-end: switches to push-based events
+        (span boundaries are bus transitions), subscribes the tracer,
+        and instruments every site daemon's scheduler — current and
+        future joiners — so dispatch spans nest under execute spans.
+        Idempotent; returns the active tracer.
+        """
+        if self.tracer is not None:
+            return self.tracer
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.attach_events()
+        self.tracer.attach_bus(self.events)
+        for name in self.registry.names():
+            instrument_scheduler(
+                self.registry.site(name).daemon.scheduler, self.tracer, name
             )
+        self.registry.on_register(
+            lambda site: instrument_scheduler(
+                site.daemon.scheduler, self.tracer, site.name
+            )
+        )
+        return self.tracer
+
+    def _publish(self, kind: str, job_id: str, site: str = "", task_id: str = "", **payload) -> None:
+        self.events.publish(
+            JobEvent(
+                time=self.sim.now,
+                kind=kind,
+                job_id=job_id,
+                site=site,
+                task_id=task_id,
+                payload=payload,
+            )
+        )
 
     def _on_site_event(self, event: JobEvent) -> None:
         """Route one site task transition to the placement that owns it
@@ -313,6 +357,7 @@ class FederationBroker:
         if spec.is_multi:
             return self.malleable.submit_spec(spec)
         self._check_budget_hint(spec)
+        admit_wall = time.perf_counter()
         hold = self._admit(spec.tenant)
         seq = next(self._id_counter)
         job = FederatedJob(
@@ -330,10 +375,36 @@ class FederationBroker:
         )
         self._jobs[job.job_id] = job
         self._by_state[job.state][job.job_id] = job
+        if self.tracer is not None:
+            self._trace_intake(job.job_id, spec, admit_wall, hold)
         self._publish("job_held" if hold else "job_submitted", job.job_id)
         if not hold:
             self._place(job)
         return job.job_id
+
+    def _trace_intake(
+        self, job_id: str, spec: JobSpec, admit_wall: float, hold: bool
+    ) -> None:
+        """Bind the job to its trace (continuing the spec's propagated
+        context, or opening a fresh root for broker-direct submissions)
+        and record the admission span."""
+        tracer = self.tracer
+        now = self.sim.now
+        ctx_dict = spec.metadata.get("trace_context")
+        if ctx_dict:
+            tracer.bind_job(job_id, TraceContext.from_dict(ctx_dict))
+        else:
+            root = tracer.start_trace("job", now, job_id=job_id, tenant=spec.tenant)
+            tracer.bind_job(job_id, root)
+        span = tracer.start_job_span(
+            job_id,
+            "admission",
+            now,
+            wall_start=admit_wall,
+            decision="hold" if hold else "admit",
+        )
+        if span is not None:
+            tracer.end_span(span, now)
 
     def _check_budget_hint(self, spec: JobSpec) -> None:
         """Reject up front when the spec *declares* a cost the tenant's
@@ -358,7 +429,9 @@ class FederationBroker:
         from ..accounting import AdmissionDecision
 
         decision = self.accounting.admission(tenant)
-        self.metrics.record_admission(decision.value)
+        # no job id exists yet at intake time: the event carries only
+        # the decision (which is all the admissions counter keys on)
+        self._publish("admission", "", decision=decision.value)
         if decision is AdmissionDecision.REJECT:
             raise BudgetExceededError(
                 f"tenant {tenant!r} exhausted its federation budget "
@@ -483,7 +556,8 @@ class FederationBroker:
         self._set_state(job, JobState.PLACED)
         self._track_placement(job)
         self._publish("job_placed", job.job_id, site=site_name, task_id=task_id)
-        self.metrics.record_placement(site_name)
+        if self.tracer is not None:
+            self._trace_placement(job, site_name, task_id)
         self._reserve(job, site_name)
 
     def _job_shots(self, job: FederatedJob) -> int:
@@ -541,15 +615,29 @@ class FederationBroker:
             self._set_state(job, JobState.PLACED)
             self._track_placement(job)
             self._publish("job_placed", job.job_id, site=choice.name, task_id=task_id)
-            self.metrics.record_placement(choice.name)
+            if self.tracer is not None:
+                self._trace_placement(job, choice.name, task_id)
             self._reserve(job, choice.name)
             return
+
+    def _trace_placement(self, job: FederatedJob, site: str, task_id: str) -> None:
+        """Record the placement decision as an instant span and bind the
+        site task under it, so its queue-wait/execute spans nest there."""
+        tracer = self.tracer
+        now = self.sim.now
+        span = tracer.start_job_span(
+            job.job_id, "placement", now, site=site, task_id=task_id,
+            attempt=job.attempts,
+        )
+        if span is None:
+            return
+        tracer.end_span(span, now)
+        tracer.bind_task(site, task_id, span, now)
 
     def _fail(self, job: FederatedJob, reason: str) -> None:
         self._untrack_placement(job)
         job.error = reason
         self._set_state(job, JobState.FAILED)
-        self.metrics.record_outcome("failed")
         if self.accounting is not None:
             self.accounting.release_placement(job.job_id)
 
@@ -563,7 +651,13 @@ class FederationBroker:
             self.registry.site(dead_site).cancel(placement.task_id)
         except Exception:
             pass  # the site may be gone entirely; cancellation is best-effort
-        self.metrics.record_abandonment(dead_site)
+        self._publish(
+            "job_rerouted",
+            job.job_id,
+            site=dead_site,
+            task_id=placement.task_id,
+            reason=reason,
+        )
         if self.accounting is not None:
             self.accounting.meter_retry(
                 job.owner, dead_site, now=self.sim.now, job_id=job.job_id
@@ -585,7 +679,7 @@ class FederationBroker:
             self._abandon_and_reroute(job, f"site {placement.site} unhealthy")
             return
         site = self.registry.site(placement.site)
-        if self.events is not None:
+        if self._push:
             # push path: the site already told us about every terminal
             # transition — nothing pushed means the task is still live,
             # so there is nothing to poll
@@ -607,16 +701,24 @@ class FederationBroker:
                 )
                 return
         if status["state"] == "completed":
+            fetch_span = None
+            if self.tracer is not None:
+                fetch_span = self.tracer.start_job_span(
+                    job.job_id, "result-fetch", now, site=placement.site
+                )
             try:
                 job.result = site.task_result(job.owner, placement.task_id)
             except Exception as err:
+                if fetch_span is not None:
+                    self.tracer.end_span(fetch_span, now, status="error")
                 self._abandon_and_reroute(
                     job, f"query failed on {placement.site}: {err}"
                 )
                 return
+            if fetch_span is not None:
+                self.tracer.end_span(fetch_span, now)
             self._untrack_placement(job)
             self._set_state(job, JobState.COMPLETED)
-            self.metrics.record_outcome("completed")
             self._meter_completion(job, placement.site, status)
         elif status["state"] in ("failed", "cancelled"):
             self._abandon_and_reroute(
@@ -686,7 +788,7 @@ class FederationBroker:
                 continue
             if not self._releasable(job):
                 continue  # stay parked; the next reconcile retries
-            self.metrics.record_admission("released")
+            self._publish("admission", job.job_id, decision="released")
             self._place(job)
             # placing reserved budget (or failing released it): the
             # tenant's next admission answer may differ — drop the memo
@@ -701,22 +803,33 @@ class FederationBroker:
         scanned = len(self._by_state[JobState.HELD])
         if self.accounting is not None:
             self._release_held({})
+        held_done = time.perf_counter()
         live = self._in_state(JobState.PLACED)
         scanned += len(live)
         for job in live:
             self._refresh(job)
+        fixed_done = time.perf_counter()
         malleable_scanned = 0
         if self._malleable is not None:
             # the malleable pass builds its own admission memo: the
             # refresh loop above may have moved tenants' budgets
             malleable_scanned = self._malleable.tick()
+        malleable_done = time.perf_counter()
         self.metrics.observe_sites(self.registry.snapshots(self.sim.now))
+        self.metrics.observe_snapshot_cache(self.registry.snapshot_cache_hits)
         if self.accounting is not None:
             self.metrics.observe_accounting(self.accounting)
+        ended = time.perf_counter()
+        # per-stage wall profile of the tick — the C6 bench turns these
+        # into the self-calibrated latency ratios the CI gate watches
         self.last_reconcile = {
             "jobs_scanned": float(scanned),
             "malleable_scanned": float(malleable_scanned),
-            "duration_s": time.perf_counter() - started,
+            "duration_s": ended - started,
+            "held_s": held_done - started,
+            "fixed_s": fixed_done - held_done,
+            "malleable_s": malleable_done - fixed_done,
+            "observe_s": ended - malleable_done,
         }
         self.metrics.observe_reconcile(
             scanned + malleable_scanned, self.last_reconcile["duration_s"]
@@ -755,7 +868,7 @@ class FederationBroker:
             evicted += self._malleable.evict_terminal(ttl)
         if evicted:
             self._evicted += evicted
-            self.metrics.record_evictions(evicted)
+            self._publish("jobs_evicted", "", count=evicted)
         return evicted
 
     def _spill(self, job: FederatedJob) -> None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
 from ..errors import PlacementError, ResourceNotFound, SiteUnavailable, SpecError
@@ -275,6 +276,7 @@ class MalleableManager:
             parsed = [parse_site_leg(s) for s in spec.sites]
             restrict = tuple(site for site, _ in parsed)
             pins = {site: res for site, res in parsed if res is not None}
+        admit_wall = perf_counter()
         hold = self.broker._admit(spec.tenant)
         ledger = ShareLedger(spec.iterations, max_attempts=self.broker.max_attempts)
         seq = next(self._id_counter)
@@ -299,6 +301,8 @@ class MalleableManager:
         )
         self._jobs[job.job_id] = job
         self._by_state[job.state][job.job_id] = job
+        if self.broker.tracer is not None:
+            self.broker._trace_intake(job.job_id, spec, admit_wall, hold)
         self.broker._publish("job_held" if hold else "job_submitted", job.job_id)
         if not hold:
             self._seed_shares(job)
@@ -323,7 +327,7 @@ class MalleableManager:
                 continue
             if not self._candidates(job):
                 continue  # transient no-site window: stay parked
-            self.broker.metrics.record_admission("released")
+            self.broker._publish("admission", job.job_id, decision="released")
             self._set_state(job, JobState.PLACED)
             self._seed_shares(job)
             if job.state is JobState.PLACED:
@@ -342,7 +346,6 @@ class MalleableManager:
                 f"no healthy site can take a {job.n_qubits}-qubit malleable job"
             )
             self._set_state(job, JobState.FAILED)
-            self.broker.metrics.record_outcome("failed")
             return
         now = self.broker.sim.now
         ranked = self.broker.policy.rank_resize(job, candidates, now)
@@ -499,7 +502,7 @@ class MalleableManager:
         it, every in-flight unit is polled (O(in-flight))."""
         now = self.broker.sim.now
         placement = job.placement
-        if self.broker.events is not None:
+        if self.broker._push:
             pending = self._unit_events.pop(job.job_id, None) or {}
             work = [
                 (unit, pending[unit])
@@ -523,9 +526,7 @@ class MalleableManager:
                 result = None
                 if status["state"] == "completed":
                     try:
-                        result = self.broker.registry.site(
-                            dispatch.site
-                        ).task_result(job.owner, dispatch.task_id)
+                        result = self._fetch_result(job, dispatch)
                     except Exception as err:
                         self._abandon_unit(job, unit, f"query failed: {err}")
                         continue
@@ -534,7 +535,7 @@ class MalleableManager:
                     site = self.broker.registry.site(dispatch.site)
                     status = site.task_status(job.owner, dispatch.task_id)
                     if status["state"] == "completed":
-                        result = site.task_result(job.owner, dispatch.task_id)
+                        result = self._fetch_result(job, dispatch)
                     else:
                         result = None
                 except Exception as err:
@@ -561,7 +562,9 @@ class MalleableManager:
                 finished = status.get("finished_at")
                 end = finished if finished is not None else now
                 self._observe_latency(job, dispatch.site, end - base)
-                self.broker.metrics.record_unit(dispatch.site)
+                self.broker._publish(
+                    "unit_completed", job.job_id, site=dispatch.site, unit=unit
+                )
                 if self.broker.accounting is not None:
                     self.broker.accounting.meter_completion(
                         job.owner,
@@ -577,7 +580,28 @@ class MalleableManager:
                 )
         if placement.ledger.done and job.state is JobState.PLACED:
             self._set_state(job, JobState.COMPLETED)
-            self.broker.metrics.record_outcome("completed")
+
+    def _fetch_result(self, job: MalleableJob, dispatch: UnitDispatch) -> Any:
+        """Pull one completed unit's result, under a ``result-fetch``
+        span when the broker traces."""
+        site = self.broker.registry.site(dispatch.site)
+        tracer = self.broker.tracer
+        if tracer is None:
+            return site.task_result(job.owner, dispatch.task_id)
+        now = self.broker.sim.now
+        span = tracer.start_job_span(
+            job.job_id, "result-fetch", now, wall_start=perf_counter(),
+            site=dispatch.site, task_id=dispatch.task_id, unit=dispatch.unit,
+        )
+        if span is None:
+            return site.task_result(job.owner, dispatch.task_id)
+        try:
+            result = site.task_result(job.owner, dispatch.task_id)
+        except Exception:
+            tracer.end_span(span, self.broker.sim.now, status="error")
+            raise
+        tracer.end_span(span, self.broker.sim.now)
+        return result
 
     def _fail_if_stranded(self, job: MalleableJob) -> None:
         """Mirror the fixed-size broker's behavior when the federation
@@ -595,7 +619,6 @@ class MalleableManager:
             f"({ledger.pending_units} units stranded)"
         )
         self._set_state(job, JobState.FAILED)
-        self.broker.metrics.record_outcome("failed")
 
     def _site_latency(self, job: MalleableJob, site: str, now: float) -> float | None:
         """Effective unit latency: the completion EWMA, or the running
@@ -656,12 +679,14 @@ class MalleableManager:
         )
         self._set_state(job, JobState.FAILED)
         self._cancel_all(job)
-        self.broker.metrics.record_outcome("failed")
         return True
 
     def _abandon_unit(self, job: MalleableJob, unit: int, reason: str) -> None:
         dispatch = self._drop_dispatch(job, unit, reason)
-        self.broker.metrics.record_abandonment(dispatch.site)
+        self.broker._publish(
+            "job_rerouted", job.job_id, site=dispatch.site,
+            task_id=dispatch.task_id, unit=unit, reason=reason,
+        )
         if self.broker.accounting is not None:
             self.broker.accounting.meter_retry(
                 job.owner,
@@ -694,7 +719,6 @@ class MalleableManager:
             unit = queued.pop()  # newest placement goes back first
             self._drop_dispatch(job, unit, f"reclaimed: {reason}")
             ledger.reclaim(unit)
-            self.broker.metrics.record_share_event(site, "reclaim")
             self.broker._publish(
                 "resize", job.job_id, site=site, action="reclaim",
                 unit=unit, reason=reason,
@@ -708,7 +732,9 @@ class MalleableManager:
         doomed = placement.ledger.in_flight_at(site)
         for unit in doomed:
             self._drop_dispatch(job, unit, reason)
-            self.broker.metrics.record_abandonment(site)
+            self.broker._publish(
+                "job_rerouted", job.job_id, site=site, unit=unit, reason=reason
+            )
             if self.broker.accounting is not None:
                 self.broker.accounting.meter_retry(
                     job.owner, site, now=self.broker.sim.now, job_id=job.job_id
@@ -844,7 +870,7 @@ class MalleableManager:
                 self._reclaim_queued(job, site, reasons[site])
             changed = True
         if changed:
-            self.broker.metrics.record_rebalance()
+            self.broker._publish("rebalance", job.job_id)
             self.broker.metrics.observe_share_weights(job.placement.weights())
 
     def _dispatch(
@@ -907,6 +933,8 @@ class MalleableManager:
                     unit=unit, site=site_name, task_id=task_id, placed_at=now
                 )
                 self._task_map[(site_name, task_id)] = (job.job_id, unit)
+                if self.broker.tracer is not None:
+                    self._trace_dispatch(job, site_name, task_id, unit)
                 if self.broker.accounting is not None:
                     self.broker.accounting.reserve_placement(
                         job.owner,
@@ -914,6 +942,20 @@ class MalleableManager:
                         shots=job.shots_per_unit,
                         key=f"{job.job_id}/u{unit}",
                     )
+
+    def _trace_dispatch(
+        self, job: MalleableJob, site: str, task_id: str, unit: int
+    ) -> None:
+        """Record one unit's placement as an instant span and bind the
+        site task under it (mirrors the fixed-size broker)."""
+        tracer = self.broker.tracer
+        now = self.broker.sim.now
+        span = tracer.start_job_span(
+            job.job_id, "placement", now, site=site, task_id=task_id, unit=unit
+        )
+        if span is not None:
+            tracer.end_span(span, now)
+            tracer.bind_task(site, task_id, span, now, unit=unit)
 
     def _record_event(
         self,
@@ -935,7 +977,6 @@ class MalleableManager:
             )
         )
         self._resize_events += 1
-        self.broker.metrics.record_share_event(site, kind)
         self.broker._publish(
             "resize",
             job.job_id,

@@ -6,6 +6,16 @@ the standard Prometheus exposition, and flow into any site's (or a
 dedicated federation) :class:`~repro.observability.tsdb.TimeSeriesDB`
 via the ordinary :class:`~repro.observability.scrape.Scraper` target
 protocol (:meth:`FederationMetrics.collector`).
+
+Counters are **bus-driven**: :meth:`attach_bus` subscribes to the
+broker's :class:`~repro.federation.events.LifecycleBus` and every
+counter increment is derived from the published event stream —
+placements from ``job_placed``, outcomes from ``job_completed`` /
+``job_failed``, resizes from ``resize``, and so on.  There are no
+scattered ``record_*`` call sites left in the broker or the resize
+loop: anything the metrics plane can see, any other subscriber can see
+too.  The same subscription feeds per-stage latency histograms
+(queue-wait, execute, end-to-end) from task-transition timestamps.
 """
 
 from __future__ import annotations
@@ -23,6 +33,13 @@ _HEALTH_VALUE = {
     SiteHealth.SATURATED: 1.0,
     SiteHealth.UNHEALTHY: 0.0,
 }
+
+#: stage-latency buckets in *simulated* seconds — wide because queue
+#: waits under contention run to minutes of simulated time
+_STAGE_BUCKETS = (
+    0.05, 0.1, 0.5, 1.0, 2.5, 5.0, 15.0, 30.0,
+    60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
 
 
 class FederationMetrics:
@@ -116,36 +133,94 @@ class FederationMetrics:
             "federation_reconcile_duration_ms",
             "Wall-clock cost of the last reconcile sweep",
         )
+        self.snapshot_cache_hits = self.registry.counter(
+            "federation_snapshot_cache_hits_total",
+            "Site snapshots served from the registry cache "
+            "(no queue/health/calibration drift since the last build)",
+        )
+        # -- per-stage latency (bus-derived, simulated seconds) ---------------
+        self.stage_latency = self.registry.histogram(
+            "federation_stage_latency_seconds",
+            "Per-stage latency in simulated seconds "
+            "(stage: queue-wait/execute/job)",
+            label_names=("stage",),
+            buckets=_STAGE_BUCKETS,
+        )
+        # open-stage tracking for the latency histograms
+        self._pending_jobs: dict[str, float] = {}
+        self._queued_tasks: dict[tuple[str, str], float] = {}
+        self._running_tasks: dict[tuple[str, str], float] = {}
+        self._cache_hits_seen = 0
 
-    # -- recording (broker calls) -------------------------------------------
+    # -- bus-driven recording -------------------------------------------------
 
-    def record_placement(self, site: str) -> None:
-        self.placements.inc(labels={"site": site})
+    def attach_bus(self, bus) -> None:
+        """Derive every counter from the event stream of ``bus``."""
+        bus.subscribe(self._on_event)
 
-    def record_abandonment(self, site: str) -> None:
-        self.reroutes.inc(labels={"site": site})
-
-    def record_outcome(self, outcome: str) -> None:
-        self.outcomes.inc(labels={"outcome": outcome})
-
-    def record_share_event(self, site: str, kind: str) -> None:
-        self.share_events.inc(labels={"site": site, "kind": kind})
-
-    def record_rebalance(self) -> None:
-        self.rebalances.inc()
-
-    def record_unit(self, site: str) -> None:
-        self.units_completed.inc(labels={"site": site})
+    def _on_event(self, event) -> None:
+        kind = event.kind
+        # task transitions first: they dominate event volume
+        if event.task_id and not kind.startswith("job_"):
+            key = (event.site, event.task_id)
+            if kind == "queued":
+                self._queued_tasks[key] = event.time
+            elif kind == "running":
+                queued_at = self._queued_tasks.pop(key, None)
+                if queued_at is not None:
+                    self.stage_latency.observe(
+                        event.time - queued_at, labels={"stage": "queue-wait"}
+                    )
+                self._running_tasks[key] = event.time
+            elif kind in ("completed", "failed", "cancelled"):
+                started_at = self._running_tasks.pop(key, None)
+                self._queued_tasks.pop(key, None)
+                if started_at is not None:
+                    self.stage_latency.observe(
+                        event.time - started_at, labels={"stage": "execute"}
+                    )
+            elif kind == "preempted":
+                self._running_tasks.pop(key, None)
+            return
+        if kind == "job_placed":
+            self.placements.inc(labels={"site": event.site})
+        elif kind in ("job_completed", "job_failed"):
+            outcome = "completed" if kind == "job_completed" else "failed"
+            self.outcomes.inc(labels={"outcome": outcome})
+            submitted_at = self._pending_jobs.pop(event.job_id, None)
+            if submitted_at is not None:
+                self.stage_latency.observe(
+                    event.time - submitted_at, labels={"stage": "job"}
+                )
+        elif kind in ("job_submitted", "job_held"):
+            self._pending_jobs.setdefault(event.job_id, event.time)
+        elif kind == "job_rerouted":
+            self.reroutes.inc(labels={"site": event.site})
+        elif kind == "resize":
+            self.share_events.inc(
+                labels={"site": event.site, "kind": event.payload.get("action", "")}
+            )
+        elif kind == "rebalance":
+            self.rebalances.inc()
+        elif kind == "unit_completed":
+            self.units_completed.inc(labels={"site": event.site})
+        elif kind == "admission":
+            self.admissions.inc(
+                labels={"decision": event.payload.get("decision", "")}
+            )
+        elif kind == "jobs_evicted":
+            self.evictions.inc(int(event.payload.get("count", 0)))
 
     def observe_share_weights(self, weights: Mapping[str, float]) -> None:
         for site, weight in weights.items():
             self.share_weight.set(float(weight), labels={"site": site})
 
-    def record_admission(self, decision: str) -> None:
-        self.admissions.inc(labels={"decision": decision})
-
-    def record_evictions(self, n: int) -> None:
-        self.evictions.inc(n)
+    def observe_snapshot_cache(self, hits_total: int) -> None:
+        """Sync the cache-hit counter to the registry's cumulative count."""
+        delta = hits_total - self._cache_hits_seen
+        if delta > 0:
+            self.snapshot_cache_hits.inc(delta)
+            self._cache_hits_seen = hits_total
 
     def observe_reconcile(self, scanned: int, duration_s: float) -> None:
         self.reconcile_scanned.set(float(scanned))

@@ -57,7 +57,7 @@ class _SiteRecord:
     site: FederatedSite
     registered_at: float
     last_heartbeat: float
-    beat_seq: int = 0  # bumps per heartbeat; part of the snapshot cache key
+    beat_seq: int = 0  # bumps per heartbeat (liveness introspection)
 
 
 class SiteRegistry:
@@ -66,16 +66,23 @@ class SiteRegistry:
     Snapshot production is the federation's hottest read path — the
     broker rebuilds the candidate view for every placement and every
     reconcile sweep.  Each site's snapshot is therefore cached keyed on
-    ``(now, heartbeat seq, liveness, queue depth)``: identical inputs
-    reproduce the identical (immutable) snapshot without re-walking the
-    site's catalog, capacity, and calibration surfaces.  The sorted
-    name list is likewise cached and invalidated on membership change.
+    everything that can change its content: liveness, queue depth, the
+    classified health (which folds in heartbeat expiry, so a snapshot
+    can never outlive a health transition), and the site's
+    :meth:`~repro.federation.site.FederatedSite.snapshot_signature`
+    (resource identity + calibration versions).  Unlike the earlier
+    ``now``-keyed cache, this key survives housekeeping ticks — and
+    heartbeats — when nothing drifted; ``snapshot_cache_hits`` /
+    ``snapshot_cache_misses`` count how often.  The sorted name list is
+    likewise cached and invalidated on membership change.
     """
 
     def __init__(self, heartbeat_expiry: float = 60.0) -> None:
         if heartbeat_expiry <= 0:
             raise FederationError("heartbeat_expiry must be positive")
         self.heartbeat_expiry = heartbeat_expiry
+        self.snapshot_cache_hits = 0
+        self.snapshot_cache_misses = 0
         self._records: dict[str, _SiteRecord] = {}
         self._beat_sim: Simulator | None = None
         self._beat_interval: float = 0.0
@@ -161,13 +168,19 @@ class SiteRegistry:
     ) -> SiteSnapshot:
         site = record.site
         depth = site.queue_depth()
-        key = (now, record.beat_seq, site.alive, depth)
+        health = self._classify(record, now, depth)
+        # the heartbeat itself is NOT in the key: a beat changes no
+        # snapshot content, and expiry transitions surface through
+        # ``health`` — so quiet ticks keep hitting the cache
+        key = (site.alive, depth, health, site.snapshot_signature())
         cached = self._snap_cache.get(site.name)
         if cached is not None and cached[0] == key:
+            self.snapshot_cache_hits += 1
             return cached[1]
+        self.snapshot_cache_misses += 1
         snap = SiteSnapshot(
             name=site.name,
-            health=self._classify(record, now, depth),
+            health=health,
             queue_depth=depth,
             max_queue_depth=site.max_queue_depth,
             fidelity_proxy=site.fidelity_proxy(),

@@ -55,10 +55,25 @@ class FederatedSite:
         # a resource (even under the same name) rebuilds
         self._catalog_cache: tuple[tuple, dict[str, str]] | None = None
         self._capacity_cache: tuple[tuple, dict[str, int]] | None = None
+        self._device_cache: tuple[tuple, dict[str, QPUDevice]] | None = None
 
     def _resource_key(self) -> tuple:
         return tuple(
             (name, id(res)) for name, res in self.daemon.resources.items()
+        )
+
+    def snapshot_signature(self) -> tuple:
+        """Cheap change signal for registry snapshot caching: the
+        resource identity plus every hardware device's calibration
+        version — identical signatures guarantee identical catalog,
+        capacity, fidelity, and calibration snapshots."""
+        key = self._resource_key()
+        return (
+            key,
+            tuple(
+                (name, device.calibration.version)
+                for name, device in self._devices(key).items()
+            ),
         )
 
     # -- introspection (feeds SiteRegistry snapshots) -----------------------
@@ -87,13 +102,20 @@ class FederatedSite:
             depth += 1
         return depth
 
+    def _devices(self, key: tuple) -> dict[str, QPUDevice]:
+        cached = self._device_cache
+        if cached is None or cached[0] != key:
+            out: dict[str, QPUDevice] = {}
+            for name, res in self.daemon.resources.items():
+                device = getattr(res, "device", None)
+                if isinstance(device, QPUDevice):
+                    out[name] = device
+            cached = (key, out)
+            self._device_cache = cached
+        return cached[1]
+
     def hardware_devices(self) -> dict[str, QPUDevice]:
-        out: dict[str, QPUDevice] = {}
-        for name, res in self.daemon.resources.items():
-            device = getattr(res, "device", None)
-            if isinstance(device, QPUDevice):
-                out[name] = device
-        return out
+        return dict(self._devices(self._resource_key()))
 
     def calibration_snapshot(self) -> dict[str, dict[str, float]]:
         """Per-hardware-resource calibration state (drift visibility)."""

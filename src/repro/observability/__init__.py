@@ -20,16 +20,19 @@ The stack is rebuilt from scratch with the same division of labour:
 * :mod:`drift`     — QPU calibration drift detectors (EWMA + CUSUM)
   for the paper's "automated drift detection" future-work item,
 * :mod:`jobmeta`   — per-job metadata ("per-job metadata on qubit
-  performance can assist in interpreting noisy results").
+  performance can assist in interpreting noisy results"),
+* :mod:`tracing`   — distributed tracing: job-scoped span trees with
+  explicit context propagation from Session to shot.
 """
 
 from .alerts import Alert, AlertManager, AlertRule, AlertState
-from .dashboard import Dashboard, Panel
+from .dashboard import Dashboard, Panel, render_trace_timeline
 from .drift import CusumDetector, DriftDetector, EwmaDetector
 from .exporter import render_exposition
 from .jobmeta import JobMetadataStore
 from .metrics import Counter, Gauge, Histogram, MetricRegistry
 from .scrape import Scraper
+from .tracing import Span, TraceContext, Tracer, instrument_scheduler
 from .tsdb import TimeSeriesDB
 
 __all__ = [
@@ -48,6 +51,11 @@ __all__ = [
     "MetricRegistry",
     "Panel",
     "Scraper",
+    "Span",
     "TimeSeriesDB",
+    "TraceContext",
+    "Tracer",
+    "instrument_scheduler",
     "render_exposition",
+    "render_trace_timeline",
 ]

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from ..errors import ObservabilityError, TSDBError
 from .tsdb import TimeSeriesDB
 
-__all__ = ["Dashboard", "Panel"]
+__all__ = ["Dashboard", "Panel", "render_trace_timeline"]
 
 
 @dataclass(frozen=True)
@@ -81,3 +81,41 @@ class Dashboard:
         ):
             dash.add_panel(panel)
         return dash
+
+
+def render_trace_timeline(tracer, trace_id: str, width: int = 48) -> str:
+    """Text timeline of one job's span tree (the terminal-Jaeger view).
+
+    Each line is one span, indented by tree depth, with a proportional
+    bar over the trace's simulated time range and the per-stage
+    duration.  Spans on the critical path are marked ``*``.  Open spans
+    render as running to the end of the range.
+    """
+    tree = tracer.span_tree(trace_id)
+    critical = {s.span_id for s in tracer.critical_path(trace_id)}
+    spans_flat: list[tuple[int, object]] = []
+
+    def walk(node, depth: int) -> None:
+        spans_flat.append((depth, node["span"]))
+        for child in sorted(node["children"], key=lambda n: (n["span"].start, n["span"].span_id)):
+            walk(child, depth + 1)
+
+    walk(tree, 0)
+    t0 = tree["span"].start
+    t1 = max(
+        (s.end for _, s in spans_flat if s.end is not None), default=t0
+    )
+    horizon = max(t1 - t0, 1e-9)
+    label_width = max(len(s.name) + 2 * d for d, s in spans_flat) + 2
+    lines = [f"== trace {trace_id} ({t1 - t0:.3f}s simulated) =="]
+    for depth, span in spans_flat:
+        end = span.end if span.end is not None else t1
+        lo = int((span.start - t0) / horizon * width)
+        hi = max(int((end - t0) / horizon * width), lo + 1)
+        bar = " " * lo + "█" * (hi - lo) + " " * (width - hi)
+        mark = "*" if span.span_id in critical else " "
+        label = "  " * depth + span.name
+        dur = "..." if span.end is None else f"{span.duration:.3f}s"
+        status = "" if span.status == "ok" else f" [{span.status}]"
+        lines.append(f" {mark}{label:<{label_width}}|{bar}| {dur}{status}")
+    return "\n".join(lines)

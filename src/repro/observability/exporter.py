@@ -13,6 +13,8 @@ QPU metrics into existing observability stacks at the data center").
 
 from __future__ import annotations
 
+import math
+
 from .metrics import MetricRegistry
 
 __all__ = ["render_exposition"]
@@ -26,11 +28,11 @@ def _format_labels(labels: dict) -> str:
 
 
 def _format_value(value: float) -> str:
-    if value == float("inf"):
-        return "+Inf"
-    if value == float("-inf"):
-        return "-Inf"
-    if value != value:  # NaN
+    # coerce first: numpy scalars repr as "np.float64(...)" otherwise
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
         return "NaN"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))

@@ -120,6 +120,11 @@ class Histogram(_Instrument):
         super().__init__(name, help_text, label_names)
         if not buckets or list(buckets) != sorted(buckets):
             raise MetricError("histogram buckets must be sorted and non-empty")
+        if not all(b == b and abs(b) != float("inf") for b in buckets):
+            # the +Inf bucket is implicit in the exposition; an explicit
+            # infinite (or NaN) bound would render as a duplicate
+            # `le="inf"` series and corrupt cumulative counts
+            raise MetricError("histogram buckets must be finite")
         self.buckets = tuple(float(b) for b in buckets)
         self._counts: dict[tuple, np.ndarray] = {}
         self._sums: dict[tuple, float] = {}
@@ -151,9 +156,13 @@ class Histogram(_Instrument):
         """Bucket-interpolated quantile estimate (Prometheus-style)."""
         if not (0.0 <= q <= 1.0):
             raise MetricError(f"quantile must be in [0,1], got {q}")
+        self._check_labels(labels)
         key = _label_key(labels)
         if key not in self._counts or self._totals[key] == 0:
-            return float("nan")
+            raise MetricError(
+                f"quantile of empty histogram {self.name!r} "
+                f"(labels={dict(labels or {})})"
+            )
         cumulative = np.cumsum(self._counts[key])
         target = q * self._totals[key]
         idx = int(np.searchsorted(cumulative, target, side="left"))

@@ -28,12 +28,29 @@ from ..simkernel import Simulator, Timeout
 
 __all__ = ["CalibrationState", "DriftModel", "DriftProcess"]
 
+#: parameters whose mutation bumps :attr:`CalibrationState.version`
+_VERSIONED_FIELDS = frozenset(
+    (
+        "t1_us",
+        "t2_us",
+        "state_prep_error",
+        "detection_epsilon",
+        "detection_epsilon_prime",
+        "rabi_calibration_error",
+        "detuning_offset",
+        "last_calibrated_at",
+    )
+)
+
 
 @dataclass
 class CalibrationState:
     """Current physical calibration of the device.
 
     ``fidelity_proxy`` summarizes overall health in [0, 1]; 1.0 = nominal.
+    ``version`` counts parameter mutations (drift steps, jumps,
+    recalibrations, direct assignment) — a cheap change signal that lets
+    snapshot caches skip recomputing fidelity when nothing drifted.
     """
 
     t1_us: float = 100.0                 # effective relaxation time
@@ -44,6 +61,14 @@ class CalibrationState:
     rabi_calibration_error: float = 0.01  # relative Omega miscalibration
     detuning_offset: float = 0.0          # rad/us systematic offset
     last_calibrated_at: float = 0.0
+    #: declared after every tracked field so dataclass __init__ resets it
+    #: to 0 deterministically once the field assignments above ran
+    version: int = 0
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name in _VERSIONED_FIELDS:
+            object.__setattr__(self, "version", getattr(self, "version", 0) + 1)
 
     NOMINAL: dict[str, float] = field(
         default_factory=lambda: {

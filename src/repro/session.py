@@ -23,6 +23,13 @@ lifecycle plane: every backend's state transitions land on one
 :class:`~repro.federation.events.LifecycleBus`, ``JobHandle.wait()``
 wakes on the pushed terminal event instead of polling status, and
 ``JobHandle.on(...)`` delivers per-job callbacks.
+
+With :meth:`Session.attach_tracer` each submission additionally opens
+a root span, the spec carries its
+:class:`~repro.observability.tracing.TraceContext` into the backend,
+and every stage (admission, placement, queue wait, execution, dispatch,
+result fetch) lands as a child span — the whole tree is retrievable by
+job id from the returned :class:`~repro.observability.tracing.Tracer`.
 """
 
 from __future__ import annotations
@@ -187,6 +194,7 @@ class Session:
         self.cloud_api_key = cloud_api_key
         self.user = user
         self.events: LifecycleBus | None = None
+        self.tracer = None
         self._daemon_client = None
         self._fed_client = None
         #: one REST session token per priority class — priority lives on
@@ -223,9 +231,12 @@ class Session:
         gateway's task transitions.  Idempotent; returns the bus."""
         if self.events is not None:
             return self.events
-        bus = bus if bus is not None else LifecycleBus()
         if self.federation is not None:
+            # the broker owns an always-on bus; joining it instead of
+            # minting a fresh one keeps every publisher on one plane
             bus = self.federation.attach_events(bus)
+        elif bus is None:
+            bus = LifecycleBus()
         seen: list = []
         for daemon, backend in (
             (self.daemon, "daemon"),
@@ -239,6 +250,35 @@ class Session:
             )
         self.events = bus
         return bus
+
+    def attach_tracer(self, tracer=None):
+        """Join the tracing plane (implies :meth:`attach_events`): wire
+        a :class:`~repro.observability.tracing.Tracer` into the bus,
+        the federation broker, and every local daemon scheduler, so
+        each submission from here on yields a complete span tree.
+        Idempotent; returns the tracer."""
+        if self.tracer is not None:
+            return self.tracer
+        from .observability.tracing import Tracer, instrument_scheduler
+
+        tracer = tracer if tracer is not None else Tracer()
+        bus = self.attach_events()
+        tracer.attach_bus(bus)
+        if self.federation is not None:
+            self.federation.attach_tracer(tracer)
+        seen: list = []
+        for daemon, backend in (
+            (self.daemon, "daemon"),
+            (self.cloud.daemon if self.cloud is not None else None, "cloud"),
+        ):
+            if daemon is None or any(daemon.queue is q for q in seen):
+                continue
+            seen.append(daemon.queue)
+            instrument_scheduler(
+                daemon.scheduler, tracer, self._site_label(backend)
+            )
+        self.tracer = tracer
+        return tracer
 
     @staticmethod
     def _queue_publisher(daemon, site: str, bus: LifecycleBus):
@@ -285,6 +325,21 @@ class Session:
             )
         spec = spec.validate(default_tenant=self.user)
         backend = backend or self.backend_for(spec)
+        root = None
+        if self.tracer is not None:
+            root = self.tracer.start_trace(
+                "job", self.sim.now, tenant=spec.tenant, backend=backend
+            )
+            if backend == "federation":
+                # the broker re-binds the job from this propagated
+                # context, so its spans join the session's trace
+                spec = replace(
+                    spec,
+                    metadata={
+                        **spec.metadata,
+                        "trace_context": self.tracer.context(root).to_dict(),
+                    },
+                )
         token = ""
         if backend == "daemon":
             job_id, token = self._submit_daemon(spec)
@@ -294,6 +349,17 @@ class Session:
             job_id = self._submit_cloud(spec)
         else:
             raise SpecError(f"unknown backend {backend!r}")
+        if root is not None and backend != "federation":
+            self.tracer.bind_job(job_id, root)
+            if backend == "daemon":
+                # the queue task *is* the job: its terminal transition
+                # closes the whole trace.  Binding right after submit is
+                # race-free — the scheduler runs in a simulated process
+                # that cannot have advanced yet.
+                self.tracer.bind_task(
+                    self._site_label("daemon"), job_id, root,
+                    self.sim.now, close_root=True,
+                )
         return JobHandle(self, spec, job_id, backend, token=token)
 
     # -- daemon backend --------------------------------------------------------

@@ -17,6 +17,7 @@ cluster and daemon schedulers): :meth:`Process.interrupt` raises
 from __future__ import annotations
 
 from collections.abc import Callable, Generator
+from time import perf_counter
 from typing import Any
 
 from ..errors import ClockError, ProcessError, SimulationError
@@ -220,6 +221,18 @@ class Simulator:
         self.clock = SimClock(start)
         self.events = EventQueue()
         self._processes: list[Process] = []
+        self._profile: dict[str, float] | None = None
+
+    def enable_profiling(self) -> dict[str, float]:
+        """Accumulate per-step wall cost into a live ``{"steps", "wall_s"}``
+        dict (returned; also re-returned on repeat calls).  Used by the
+        bench harness to self-calibrate latency ratios — profiling adds
+        two branch checks per step and never touches event ordering, so
+        a profiled run is bit-identical to an unprofiled one.
+        """
+        if self._profile is None:
+            self._profile = {"steps": 0, "wall_s": 0.0}
+        return self._profile
 
     @property
     def now(self) -> float:
@@ -287,12 +300,18 @@ class Simulator:
 
     def step(self) -> float:
         """Process the single next event; returns its time."""
+        profile = self._profile
+        if profile is not None:
+            wall_start = perf_counter()
         entry = self.events.pop()
         self.clock.advance_to(entry.time)
         event = entry.event
         if not event.triggered:
             event.trigger(None)
         event.run_callbacks()
+        if profile is not None:
+            profile["steps"] += 1
+            profile["wall_s"] += perf_counter() - wall_start
         return entry.time
 
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:

@@ -201,15 +201,28 @@ class TestRegistryCaches:
         sim, registry, broker, sites = build_federation(n_sites=1)
         first = registry.snapshot("site-0", now=0.0)
         assert registry.snapshot("site-0", now=0.0) is first  # cached
-        assert registry.snapshot("site-0", now=1.0) is not first  # new key
+        # time alone is not a cache key: an undrifted site's snapshot
+        # survives the housekeeping tick
+        assert registry.snapshot("site-0", now=1.0) is first
+        assert registry.snapshot_cache_hits == 2
         registry.heartbeat("site-0", now=1.0)
         beat = registry.snapshot("site-0", now=1.0)
-        assert beat is not first
-        # a queue mutation at the same instant invalidates too
+        assert beat is first  # a heartbeat changes no snapshot content
+        # a queue mutation invalidates
         sites["site-0"].submit(PROGRAM, "onprem", shots=5)
         deeper = registry.snapshot("site-0", now=1.0)
         assert deeper is not beat
         assert deeper.queue_depth == beat.queue_depth + 1
+        # calibration drift invalidates through the version signal
+        device = next(iter(sites["site-0"].hardware_devices().values()))
+        device.calibration.t2_us -= 5.0
+        drifted = registry.snapshot("site-0", now=1.0)
+        assert drifted is not deeper
+        # ... but heartbeat expiry still flips health with no key change
+        assert (
+            registry.snapshot("site-0", now=1e6).health
+            is SiteHealth.UNHEALTHY
+        )
 
     def test_snapshot_health_matches_health_of(self):
         sim, registry, broker, sites = build_federation(

@@ -1,0 +1,76 @@
+"""Exposition-format edge cases: non-finite values and empty histograms.
+
+Prometheus' text format spells infinities ``+Inf``/``-Inf`` and
+not-a-number ``NaN``; a naive ``repr`` writes ``inf``/``nan`` and
+breaks downstream parsers.  Similarly, a quantile of a histogram that
+never observed anything has no defensible value — it must raise, not
+return a silent 0 or NaN.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.observability import Histogram, MetricRegistry, render_exposition
+
+
+class TestNonFiniteRendering:
+    def render(self, value):
+        registry = MetricRegistry()
+        registry.gauge("edge_gauge").set(value)
+        return render_exposition(registry)
+
+    def test_positive_infinity(self):
+        assert "edge_gauge +Inf" in self.render(math.inf)
+
+    def test_negative_infinity(self):
+        assert "edge_gauge -Inf" in self.render(-math.inf)
+
+    def test_nan(self):
+        assert "edge_gauge NaN" in self.render(math.nan)
+
+    def test_numpy_scalars_render_plainly(self):
+        """np.float64 repr is ``np.float64(...)`` on numpy >= 2; the
+        exporter must coerce before formatting."""
+        text = self.render(np.float64(2.5))
+        assert "edge_gauge 2.5" in text
+        assert "np.float64" not in text
+        assert "edge_gauge 3" in self.render(np.float64(3.0))
+
+    def test_integral_floats_render_without_decimal(self):
+        assert "edge_gauge 7" in self.render(7.0)
+        assert "edge_gauge 7.0" not in self.render(7.0)
+
+
+class TestHistogramEdges:
+    def test_infinite_bucket_bound_rejected(self):
+        """The +Inf bucket is implicit; an explicit one would emit a
+        duplicate ``le`` series."""
+        with pytest.raises(MetricError, match="finite"):
+            Histogram("h", buckets=(1.0, math.inf))
+
+    def test_nan_bucket_bound_rejected(self):
+        with pytest.raises(MetricError, match="finite"):
+            Histogram("h", buckets=(1.0, math.nan, 2.0))
+
+    def test_quantile_of_empty_histogram_raises(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError, match="empty histogram"):
+            histogram.quantile(0.5)
+
+    def test_quantile_of_empty_label_series_raises(self):
+        """Observations under one label set must not satisfy a
+        quantile query for a different, empty one."""
+        histogram = Histogram("h", buckets=(1.0, 2.0), label_names=("site",))
+        histogram.observe(0.5, labels={"site": "a"})
+        assert histogram.quantile(0.5, labels={"site": "a"}) <= 1.0
+        with pytest.raises(MetricError, match="empty histogram"):
+            histogram.quantile(0.5, labels={"site": "b"})
+
+    def test_exposition_still_emits_implicit_inf_bucket(self):
+        registry = MetricRegistry()
+        registry.histogram("lat", buckets=(1.0,)).observe(5.0)
+        text = render_exposition(registry)
+        assert 'lat_bucket{le="+Inf"} 1' in text

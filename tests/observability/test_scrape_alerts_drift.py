@@ -13,12 +13,13 @@ from repro.observability import (
     Dashboard,
     EwmaDetector,
     JobMetadataStore,
+    MetricRegistry,
     Panel,
     Scraper,
     TimeSeriesDB,
 )
 from repro.qpu import QPUDevice
-from repro.simkernel import Simulator
+from repro.simkernel import Simulator, Timeout
 
 
 class TestScraper:
@@ -64,6 +65,59 @@ class TestScraper:
         scraper.add_target("x", lambda now: {})
         with pytest.raises(ObservabilityError):
             scraper.add_target("x", lambda now: {})
+
+    def test_labeled_histogram_round_trips_into_the_tsdb(self):
+        """A registry snapshot (labels folded into names) scraped under
+        target labels comes back out of the TSDB intact: cumulative
+        bucket counts, sums, and per-scrape monotonicity."""
+        sim = Simulator()
+        db = TimeSeriesDB()
+        registry = MetricRegistry()
+        latency = registry.histogram(
+            "stage_latency_seconds",
+            buckets=(0.1, 1.0, 10.0),
+            label_names=("stage",),
+        )
+        scraper = Scraper(sim, db, interval=10.0)
+        scraper.add_target(
+            "broker",
+            lambda now: registry.snapshot(),
+            labels={"federation": "west"},
+        )
+        scraper.start()
+
+        def workload():
+            latency.observe(0.05, labels={"stage": "execute"})
+            latency.observe(0.5, labels={"stage": "execute"})
+            latency.observe(0.5, labels={"stage": "queue-wait"})
+            yield Timeout(15.0)  # one scrape in between
+            latency.observe(5.0, labels={"stage": "execute"})
+
+        sim.spawn(workload())
+        sim.run(until=25.0)
+
+        target_labels = {"federation": "west"}
+        times, counts = db.query(
+            "stage_latency_seconds_count{stage=execute}", labels=target_labels
+        )
+        assert list(times) == [10.0, 20.0]
+        assert list(counts) == [2.0, 3.0]  # monotone across scrapes
+        # cumulative bucket counts at the final scrape
+        for le, expected in (("0.1", 1.0), ("1.0", 2.0), ("10.0", 3.0)):
+            _, values = db.query(
+                f"stage_latency_seconds_bucket{{le={le},stage=execute}}",
+                labels=target_labels,
+            )
+            assert values[-1] == expected
+        _, sums = db.query(
+            "stage_latency_seconds_sum{stage=execute}", labels=target_labels
+        )
+        assert sums[-1] == pytest.approx(5.55)
+        # the other label series scraped independently
+        _, queue_counts = db.query(
+            "stage_latency_seconds_count{stage=queue-wait}", labels=target_labels
+        )
+        assert list(queue_counts) == [1.0, 1.0]
 
 
 class TestDashboard:
@@ -136,6 +190,48 @@ class TestAlerts:
         assert mgr.get("dead").state is AlertState.INACTIVE
         mgr.evaluate(now=100.0)
         assert mgr.get("dead").state is AlertState.FIRING
+
+    def test_continuous_violation_does_not_duplicate_history(self):
+        """A rule that keeps violating is one FIRING transition, not one
+        per evaluation: the history dedups on state change."""
+        db = TimeSeriesDB()
+        mgr = AlertManager(db)
+        mgr.add_rule(AlertRule("low", "fid", "<", 0.85, for_seconds=0.0))
+        for t in range(6):
+            db.write("fid", float(t), 0.5)
+            mgr.evaluate(now=float(t))
+        alert = mgr.get("low")
+        assert alert.state is AlertState.FIRING
+        assert alert.history == [(0.0, "firing")]
+        assert alert.fired_at == 0.0
+
+    def test_refires_after_resolution(self):
+        """violate -> resolve -> violate again must FIRE twice, with the
+        full transition sequence (and fresh ``for_seconds`` debouncing)
+        in the history."""
+        db = TimeSeriesDB()
+        mgr = AlertManager(db)
+        mgr.add_rule(AlertRule("low", "fid", "<", 0.85, for_seconds=10.0))
+        trace = [
+            (0.0, 0.5),   # violating -> PENDING
+            (10.0, 0.5),  # 10 s of violation -> FIRING
+            (20.0, 0.95), # healthy -> INACTIVE
+            (30.0, 0.5),  # violating again -> PENDING (debounce restarts)
+            (41.0, 0.5),  # -> FIRING again
+        ]
+        for now, value in trace:
+            db.write("fid", now, value)
+            mgr.evaluate(now=now)
+        alert = mgr.get("low")
+        assert alert.history == [
+            (0.0, "pending"),
+            (10.0, "firing"),
+            (20.0, "inactive"),
+            (30.0, "pending"),
+            (41.0, "firing"),
+        ]
+        assert alert.fired_at == 41.0
+        assert alert.resolved_at == 20.0
 
     def test_default_qpu_rules(self):
         db = TimeSeriesDB()
