@@ -281,6 +281,30 @@ def bench_regression_suite() -> dict:
     metrics["walltime_c6_trace_overhead_ratio"] = round(
         c6_traced["total_wall_s"] / c6_events["total_wall_s"], 4
     )
+    # C7 — the scheduling-algorithm sweep.  Every registered algorithm
+    # replays one saturated trace through one driver; makespans and
+    # utilizations gate the relative claims (EASY < FIFO, elastic <
+    # rigid) numerically.  The legacy-loop makespans pin the adapter
+    # re-routing of the three production scheduling loops — those
+    # numbers moving means the suite changed scheduling *behavior*.
+    from benchmarks.bench_algorithm_sweep import (
+        run_broker_loop,
+        run_cluster_loop,
+        run_daemon_loop,
+        run_sweep,
+    )
+
+    for row in run_sweep():
+        key = f"{row['algorithm']}_{row['trace']}".replace("-", "_")
+        metrics[f"makespan_c7_{key}_s"] = row["makespan_s"]
+        metrics[f"throughput_c7_{key}_util"] = row["utilization"]
+    daemon_loop = run_daemon_loop()
+    metrics["makespan_c7leg_daemon_s"] = round(daemon_loop["makespan"], 3)
+    cluster_loop = run_cluster_loop()
+    metrics["throughput_c7leg_cluster_starts"] = float(cluster_loop["starts"])
+    broker_loop = run_broker_loop()
+    metrics["makespan_c7leg_broker_s"] = round(broker_loop["makespan"], 3)
+    metrics["throughput_c7leg_broker_jobs"] = float(broker_loop["completed"])
     mode = "smoke" if os.environ.get("BENCH_SMOKE", "") not in ("", "0") else "full"
     return {"mode": mode, "metrics": metrics}
 

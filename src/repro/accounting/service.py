@@ -98,21 +98,31 @@ class FederationAccounting:
         now: float = 0.0,
         job_id: str = "",
     ) -> None:
-        """Bill one finished job (or malleable unit) at ``site``."""
+        """Bill one finished job (or malleable unit) at ``site``.
+
+        Every priced cost also feeds the arbiter's decayed-usage track
+        (a no-op unless the arbiter has a half-life configured), so
+        fair-share weights can discount recent heavy spenders.
+        """
         if shots > 0:
-            self.ledger.meter(
+            event = self.ledger.meter(
                 tenant, site, UsageKind.QPU_SHOTS, shots, now, job_id=job_id
             )
+            self.arbiter.observe_usage(tenant, event.cost, now)
         if cpu_seconds > 0:
-            self.ledger.meter(
+            event = self.ledger.meter(
                 tenant, site, UsageKind.CPU_SECONDS, cpu_seconds, now, job_id=job_id
             )
+            self.arbiter.observe_usage(tenant, event.cost, now)
 
     def meter_retry(
         self, tenant: str, site: str, now: float = 0.0, job_id: str = ""
     ) -> None:
         """Bill one abandoned placement / malleable-unit retry."""
-        self.ledger.meter(tenant, site, UsageKind.RETRIES, 1, now, job_id=job_id)
+        event = self.ledger.meter(
+            tenant, site, UsageKind.RETRIES, 1, now, job_id=job_id
+        )
+        self.arbiter.observe_usage(tenant, event.cost, now)
 
     # -- reporting -----------------------------------------------------------
 

@@ -13,12 +13,19 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from ..scheduling.algorithms import SchedulingAlgorithm, SystemView, cluster_views, get_algorithm
 from .job import Job
 from .licenses import LicensePool
 from .node import Node
 from .partition import Partition, PreemptMode
 
-__all__ = ["PriorityCalculator", "Placement", "Scheduler", "SchedulingDecision"]
+__all__ = [
+    "AlgorithmScheduler",
+    "PriorityCalculator",
+    "Placement",
+    "Scheduler",
+    "SchedulingDecision",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +83,60 @@ class PriorityCalculator:
             jobs,
             key=lambda j: (-self.score(j, partitions[j.spec.partition], now), j.job_id),
         )
+
+
+class _VirtualOccupancy:
+    """One scheduling pass's virtual ledger: licenses and per-node
+    cpu/mem/gres already committed to earlier decisions in the same
+    pass, so one plan never double-spends live capacity."""
+
+    def __init__(self, licenses: LicensePool) -> None:
+        self.licenses = licenses
+        self.taken_licenses: dict[str, int] = {}
+        self.taken_nodes: dict[str, tuple[int, int, dict[str, int]]] = {}
+
+    def fits(
+        self, job: Job, partition: Partition, exclude: frozenset[str] = frozenset()
+    ) -> list[str] | None:
+        spec = job.spec
+        for lname, lcount in spec.licenses:
+            if self.licenses.available(lname) - self.taken_licenses.get(lname, 0) < lcount:
+                return None
+        chosen: list[str] = []
+        for node in partition.schedulable_nodes():
+            if node.name in exclude:
+                continue
+            taken_cpus, taken_mem, taken_gres = self.taken_nodes.get(
+                node.name, (0, 0, {})
+            )
+            if node.cpus_available - taken_cpus < spec.cpus:
+                continue
+            if node.memory_available - taken_mem < spec.memory_mb:
+                continue
+            if any(
+                g.name not in node.gres
+                or node.gres[g.name].available - taken_gres.get(g.name, 0) < g.count
+                for g in spec.gres
+            ):
+                continue
+            chosen.append(node.name)
+            if len(chosen) == spec.num_nodes:
+                return chosen
+        return None
+
+    def commit(self, job: Job, node_names: list[str]) -> None:
+        for lname, lcount in job.spec.licenses:
+            self.taken_licenses[lname] = self.taken_licenses.get(lname, 0) + lcount
+        for name in node_names:
+            cpus, mem, gres = self.taken_nodes.get(name, (0, 0, {}))
+            new_gres = dict(gres)
+            for g in job.spec.gres:
+                new_gres[g.name] = new_gres.get(g.name, 0) + g.count
+            self.taken_nodes[name] = (
+                cpus + job.spec.cpus,
+                mem + job.spec.memory_mb,
+                new_gres,
+            )
 
 
 class Scheduler:
@@ -328,50 +389,9 @@ class Scheduler:
         """
         decision = SchedulingDecision()
         ordered = self.priority.sort_pending(pending, partitions, now)
-        # Virtual license ledger so one pass doesn't double-spend.
-        virtual_taken: dict[str, int] = {}
-        virtual_nodes_taken: dict[str, tuple[int, int, dict[str, int]]] = {}
-
-        def virtually_fits(job: Job, partition: Partition, exclude: frozenset[str]) -> list[str] | None:
-            spec = job.spec
-            for lname, lcount in spec.licenses:
-                if licenses.available(lname) - virtual_taken.get(lname, 0) < lcount:
-                    return None
-            chosen: list[str] = []
-            for node in partition.schedulable_nodes():
-                if node.name in exclude:
-                    continue
-                taken_cpus, taken_mem, taken_gres = virtual_nodes_taken.get(
-                    node.name, (0, 0, {})
-                )
-                if node.cpus_available - taken_cpus < spec.cpus:
-                    continue
-                if node.memory_available - taken_mem < spec.memory_mb:
-                    continue
-                if any(
-                    g.name not in node.gres
-                    or node.gres[g.name].available - taken_gres.get(g.name, 0) < g.count
-                    for g in spec.gres
-                ):
-                    continue
-                chosen.append(node.name)
-                if len(chosen) == spec.num_nodes:
-                    return chosen
-            return None
-
-        def commit_virtual(job: Job, node_names: list[str]) -> None:
-            for lname, lcount in job.spec.licenses:
-                virtual_taken[lname] = virtual_taken.get(lname, 0) + lcount
-            for name in node_names:
-                cpus, mem, gres = virtual_nodes_taken.get(name, (0, 0, {}))
-                new_gres = dict(gres)
-                for g in job.spec.gres:
-                    new_gres[g.name] = new_gres.get(g.name, 0) + g.count
-                virtual_nodes_taken[name] = (
-                    cpus + job.spec.cpus,
-                    mem + job.spec.memory_mb,
-                    new_gres,
-                )
+        virtual = _VirtualOccupancy(licenses)
+        virtually_fits = virtual.fits
+        commit_virtual = virtual.commit
 
         blocked_head: Job | None = None
         shadow_time: float | None = None
@@ -414,4 +434,98 @@ class Scheduler:
                         decision.starts.append(Placement(job.job_id, tuple(nodes)))
                         decision.backfilled.append(job.job_id)
                         commit_virtual(job, nodes)
+        return decision
+
+
+class AlgorithmScheduler(Scheduler):
+    """A :class:`Scheduler` whose planning pass is a pluggable
+    :class:`~repro.scheduling.algorithms.base.SchedulingAlgorithm`.
+
+    The default algorithm (``"cluster-legacy"``) delegates to a plain
+    :class:`Scheduler`'s :meth:`~Scheduler.plan` and carries the exact
+    placements back through decision payloads, so the controller's
+    decisions are bit-identical to the pre-refactor path.  Generic
+    algorithms (e.g. ``"easy-backfill"``) see node-granular views and
+    their start decisions are materialized onto concrete nodes here;
+    that view is exact for whole-node workloads and conservative for
+    heterogeneous per-cpu packing.  Preemption planning stays native
+    (inherited) — it is not part of the ``schedule`` vocabulary.
+    """
+
+    def __init__(
+        self,
+        algorithm: SchedulingAlgorithm | str | None = None,
+        priority: PriorityCalculator | None = None,
+        backfill: bool = True,
+        preemption: bool = True,
+    ) -> None:
+        super().__init__(priority=priority, backfill=backfill, preemption=preemption)
+        #: the delegate engine handed to the legacy adapter through
+        #: ``system.native`` — a plain Scheduler sharing our config
+        self.engine = Scheduler(
+            priority=self.priority, backfill=backfill, preemption=preemption
+        )
+        self.algorithm = self._resolve(algorithm)
+
+    @staticmethod
+    def _resolve(
+        algorithm: SchedulingAlgorithm | str | None,
+    ) -> SchedulingAlgorithm:
+        if algorithm is None:
+            return get_algorithm("cluster-legacy")
+        if isinstance(algorithm, str):
+            return get_algorithm(algorithm)
+        return algorithm
+
+    def use_algorithm(self, algorithm: SchedulingAlgorithm | str) -> None:
+        self.algorithm = self._resolve(algorithm)
+
+    def plan(
+        self,
+        pending: Sequence[Job],
+        running: Sequence[Job],
+        partitions: dict[str, Partition],
+        licenses: LicensePool,
+        now: float,
+    ) -> SchedulingDecision:
+        ordered = self.priority.sort_pending(pending, partitions, now)
+        views_pending, resources, _ = cluster_views(ordered, running, partitions, now)
+        system = SystemView(
+            now=now,
+            native={
+                "engine": self.engine,
+                "pending": pending,
+                "running": running,
+                "partitions": partitions,
+                "licenses": licenses,
+            },
+        )
+        raw = self.algorithm.schedule(views_pending, resources, system)
+        decision = SchedulingDecision()
+        by_id = {job.job_id: job for job in pending}
+        virtual = _VirtualOccupancy(licenses)
+        for item in raw:
+            if item.kind in ("start", "backfill"):
+                placement = item.payload.get("placement")
+                if placement is None:
+                    # generic decision: materialize partition-level units
+                    # onto concrete nodes, first-fit on virtual occupancy
+                    job = by_id.get(int(item.job_id))
+                    if job is None:
+                        continue
+                    partition = partitions.get(item.resource or job.spec.partition)
+                    if partition is None:
+                        continue
+                    nodes = virtual.fits(job, partition)
+                    if nodes is None:
+                        continue
+                    virtual.commit(job, nodes)
+                    placement = Placement(job.job_id, tuple(nodes))
+                decision.starts.append(placement)
+                if item.kind == "backfill":
+                    decision.backfilled.append(placement.job_id)
+            elif item.kind == "reserve":
+                decision.head_blocked = int(item.job_id)
+                shadow = item.payload.get("shadow_time")
+                decision.shadow_time = shadow
         return decision

@@ -8,6 +8,7 @@ User (bearer token = session token unless noted):
 
     POST   /sessions                      open a session (no token)
     POST   /tasks                         submit a program
+    POST   /jobs                          submit a declarative JobSpec dict
     GET    /tasks/{id}                    status
     GET    /tasks/{id}/result             counts + metadata
     GET    /tasks/{id}/metadata           per-job metadata (paper §2.5)
@@ -121,6 +122,22 @@ def build_router(daemon: MiddlewareDaemon) -> Router:
         )
 
     @_wrap
+    def submit_job(request: Request) -> Response:
+        body = request.body
+        if "program" not in body:
+            raise HttpError(400, "body must include 'program'")
+        task = daemon.submit_spec(token=request.token, spec=body)
+        return Response(
+            status=202,
+            body={
+                "task_id": task.task_id,
+                "state": task.state.value,
+                "priority": task.priority.name.lower(),
+                "metadata": dict(task.metadata),
+            },
+        )
+
+    @_wrap
     def task_status(request: Request) -> Response:
         return Response(body=daemon.task_status(request.token, request.params["id"]))
 
@@ -158,6 +175,7 @@ def build_router(daemon: MiddlewareDaemon) -> Router:
 
     router.add("POST", "/sessions", create_session)
     router.add("POST", "/tasks", submit_task)
+    router.add("POST", "/jobs", submit_job)
     router.add("GET", "/tasks/{id}", task_status)
     router.add("GET", "/tasks/{id}/result", task_result)
     router.add("GET", "/tasks/{id}/metadata", task_metadata)

@@ -90,6 +90,10 @@ class QueuedTask:
     _queue: "MiddlewareQueue | None" = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: heap sequence of the task's latest (re)queueing — the FIFO
+    #: tiebreak scheduling algorithms sort on; a requeued task gets a
+    #: fresh number, sending it to the back of its priority class
+    _heap_seq: int = field(default=0, init=False, repr=False, compare=False)
 
     def __setattr__(self, name: str, value: Any) -> None:
         if name == "state":
@@ -146,6 +150,10 @@ class MiddlewareQueue:
         self._queued_counts: dict[PriorityClass, int] = {
             p: 0 for p in PriorityClass
         }
+        # live queued tasks (insertion-ordered), maintained on every
+        # state transition: scheduling algorithms read the eligible set
+        # per selection, which must not scan the terminal-task table
+        self._queued: dict[str, QueuedTask] = {}
         # push-based lifecycle: external observers (federated sites,
         # session facades) register here and hear every task state
         # transition at the simulated instant it happens — the hook
@@ -169,8 +177,10 @@ class MiddlewareQueue:
     ) -> None:
         if old is TaskState.QUEUED:
             self._queued_counts[task.priority] -= 1
+            self._queued.pop(task.task_id, None)
         if new is TaskState.QUEUED:
             self._queued_counts[task.priority] += 1
+            self._queued[task.task_id] = task
         for callback in self._transition_listeners:
             callback(task, old, new)
 
@@ -199,13 +209,16 @@ class MiddlewareQueue:
         self._tasks[task.task_id] = task
         task._queue = self
         self._queued_counts[task.priority] += 1  # hook only sees changes
+        self._queued[task.task_id] = task
         for callback in self._transition_listeners:
             callback(task, None, TaskState.QUEUED)
         self._push(task)
         return task
 
     def _push(self, task: QueuedTask) -> None:
-        heapq.heappush(self._heap, (int(task.priority), next(self._seq), task.task_id))
+        seq = next(self._seq)
+        task._heap_seq = seq
+        heapq.heappush(self._heap, (int(task.priority), seq, task.task_id))
 
     # -- consumption -----------------------------------------------------------
 
@@ -217,6 +230,13 @@ class MiddlewareQueue:
             if task.state is TaskState.QUEUED:
                 return task
         return None
+
+    def prune(self) -> None:
+        """Drop stale heap heads (tasks consumed out-of-band by a
+        scheduling algorithm rather than :meth:`pop`), keeping the heap
+        bounded by the live queued count instead of total history."""
+        while self._heap and self._tasks[self._heap[0][2]].state is not TaskState.QUEUED:
+            heapq.heappop(self._heap)
 
     def peek_priority(self) -> PriorityClass | None:
         for prio, _, task_id in sorted(self._heap):
@@ -256,6 +276,11 @@ class MiddlewareQueue:
 
     def all_tasks(self) -> list[QueuedTask]:
         return list(self._tasks.values())
+
+    def queued_tasks(self) -> list[QueuedTask]:
+        """Live queued tasks, O(queued) — the eligible set scheduling
+        algorithms select from."""
+        return list(self._queued.values())
 
     def tasks_for_session(self, session_id: str) -> list[QueuedTask]:
         return [t for t in self._tasks.values() if t.session_id == session_id]

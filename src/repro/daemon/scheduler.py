@@ -29,6 +29,7 @@ from collections.abc import Callable
 
 from ..errors import DaemonError
 from ..qrmi.interface import QuantumResource
+from ..scheduling.algorithms import SchedulingAlgorithm, daemon_views, get_algorithm
 from ..simkernel import Interrupt, Simulator, Store, TraceRecorder
 from .queue import MiddlewareQueue, PriorityClass, QueuedTask, TaskState
 
@@ -52,6 +53,7 @@ class SecondLevelScheduler:
         trace: TraceRecorder | None = None,
         selection_policy: Callable[[list[QueuedTask], float], QueuedTask | None] | None = None,
         on_task_done: Callable[[QueuedTask], None] | None = None,
+        algorithm: SchedulingAlgorithm | str | None = None,
     ) -> None:
         self.sim = sim
         self.queue = queue
@@ -60,6 +62,7 @@ class SecondLevelScheduler:
         self.trace = trace if trace is not None else TraceRecorder()
         self.selection_policy = selection_policy
         self.on_task_done = on_task_done
+        self.algorithm = self._resolve_algorithm(algorithm)
         self.current: QueuedTask | None = None
         #: set by :func:`repro.observability.tracing.instrument_scheduler`
         #: — when a tracer is wired, each execution runs under a
@@ -70,6 +73,22 @@ class SecondLevelScheduler:
         self._worker = sim.spawn(self._run(), name="second-level-scheduler")
         self.tasks_completed = 0
         self.tasks_preempted = 0
+
+    # -- algorithm selection ----------------------------------------------------
+
+    @staticmethod
+    def _resolve_algorithm(
+        algorithm: SchedulingAlgorithm | str | None,
+    ) -> SchedulingAlgorithm:
+        if algorithm is None:
+            return get_algorithm("fifo-priority")
+        if isinstance(algorithm, str):
+            return get_algorithm(algorithm)
+        return algorithm
+
+    def use_algorithm(self, algorithm: SchedulingAlgorithm | str) -> None:
+        """Swap the queue discipline by registry name (or instance)."""
+        self.algorithm = self._resolve_algorithm(algorithm)
 
     # -- notification -----------------------------------------------------------
 
@@ -108,10 +127,22 @@ class SecondLevelScheduler:
             # consume it from the heap lazily by marking then popping equals
             chosen.state = TaskState.RUNNING
             return chosen
-        task = self.queue.pop()
-        if task is not None:
-            task.state = TaskState.RUNNING
-        return task
+        eligible = self.queue.queued_tasks()
+        if not eligible:
+            return None
+        pending, resources, system = daemon_views(eligible, self.sim.now)
+        chosen = None
+        for decision in self.algorithm.schedule(pending, resources, system):
+            if decision.kind in ("start", "backfill"):
+                chosen = self.queue.get(decision.job_id)
+                break
+        if chosen is None:
+            return None
+        if chosen.state is not TaskState.QUEUED:
+            raise DaemonError("scheduling algorithm returned a non-queued task")
+        chosen.state = TaskState.RUNNING
+        self.queue.prune()
+        return chosen
 
     def _run(self):
         while True:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..errors import DaemonError, SessionError
+from ..errors import DaemonError, SessionError, ValidationError
 from ..observability import (
     AlertManager,
     JobMetadataStore,
@@ -54,6 +54,7 @@ class MiddlewareDaemon:
         scrape_interval: float = 15.0,
         session_idle_timeout: float = 3600.0,
         selection_policy=None,
+        algorithm=None,
     ) -> None:
         if not resources:
             raise DaemonError("daemon needs at least one QRMI resource")
@@ -75,6 +76,7 @@ class MiddlewareDaemon:
             trace=self.trace,
             selection_policy=selection_policy,
             on_task_done=self._record_task_metadata,
+            algorithm=algorithm,
         )
         # observability stack
         self.metrics = MetricRegistry()
@@ -199,6 +201,42 @@ class MiddlewareDaemon:
         session.task_ids.append(task.task_id)
         self._update_queue_gauges()
         self.scheduler.notify_submit(task)
+        return task
+
+    def submit_spec(self, token: str, spec: Any) -> QueuedTask:
+        """REST-native spec intake: accept a :class:`~repro.spec.JobSpec`
+        (or its ``to_dict`` payload, as arriving over ``POST /jobs``),
+        validate it, and route it through the normal submit path.
+
+        Tenancy and algorithm selection travel on the task's metadata;
+        queue priority stays with the session (paper §3.3 — the daemon
+        trusts the resource manager, not the payload, for priority).
+        Multi-unit specs belong to the federation and are refused.
+        """
+        from ..spec import JobSpec
+
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        session = self.resolve_session(token)
+        spec = spec.validate(default_tenant=session.user)
+        if spec.is_multi:
+            raise ValidationError(
+                "daemon runs single-unit jobs; submit multi-unit specs to the federation"
+            )
+        resource = spec.resource
+        if resource is None:
+            if len(self.resources) != 1:
+                raise DaemonError(
+                    f"spec names no resource; available: {sorted(self.resources)}"
+                )
+            resource = next(iter(self.resources))
+        task = self.submit_task(
+            token, spec.program.to_dict(), resource, shots=spec.shots
+        )
+        task.metadata.update(spec.metadata)
+        task.metadata["tenant"] = spec.tenant
+        if spec.algorithm is not None:
+            task.metadata["algorithm"] = spec.algorithm
         return task
 
     def _validate_against_target(self, program: AnalogProgram, resource: str) -> None:

@@ -72,6 +72,10 @@ class LicenseError(SchedulerError):
     """License pool accounting violation."""
 
 
+class AlgorithmError(SchedulerError):
+    """Scheduling-algorithm registry misuse (unknown name, bad decision)."""
+
+
 # ---------------------------------------------------------------------------
 # QPU device / emulators
 # ---------------------------------------------------------------------------

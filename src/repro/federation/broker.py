@@ -25,7 +25,7 @@ import enum
 import itertools
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..errors import (
@@ -38,6 +38,12 @@ from ..errors import (
 )
 from ..observability.tracing import TraceContext, Tracer, instrument_scheduler
 from ..runtime.backend_select import select_resource
+from ..scheduling.algorithms import (
+    PolicyRouting,
+    SchedulingAlgorithm,
+    federation_views,
+    get_algorithm,
+)
 from ..simkernel import Simulator, Timeout
 from ..spec import JobSpec
 from .events import TERMINAL_TASK_KINDS, JobEvent, LifecycleBus
@@ -123,12 +129,21 @@ class FederationBroker:
         policy: RoutingPolicy | None = None,
         max_attempts: int = 3,
         accounting=None,
+        algorithm: SchedulingAlgorithm | str | None = None,
     ) -> None:
         if max_attempts < 1:
             raise PlacementError("max_attempts must be >= 1")
         self.sim = sim
         self.registry = registry
         self.policy = policy or LeastQueuePolicy()
+        #: the broker-wide placement discipline — by default a
+        #: :class:`~repro.scheduling.algorithms.PolicyRouting` adapter
+        #: around :attr:`policy`, so legacy routing is bit-identical.
+        #: Jobs whose spec names an ``algorithm`` override it per-job.
+        self.algorithm = self._resolve_algorithm(algorithm)
+        #: per-name instances for spec-selected algorithms (one shared
+        #: instance per name keeps stateful disciplines coherent)
+        self._algo_cache: dict[str, SchedulingAlgorithm] = {}
         self.max_attempts = max_attempts
         self.metrics = FederationMetrics()
         #: optional :class:`~repro.accounting.FederationAccounting` —
@@ -356,6 +371,8 @@ class FederationBroker:
             raise PlacementError(str(err)) from err
         if spec.is_multi:
             return self.malleable.submit_spec(spec)
+        if self._should_convert(spec):
+            return self._convert_and_submit(spec)
         self._check_budget_hint(spec)
         admit_wall = time.perf_counter()
         hold = self._admit(spec.tenant)
@@ -381,6 +398,67 @@ class FederationBroker:
         if not hold:
             self._place(job)
         return job.job_id
+
+    # -- fixed -> malleable conversion -----------------------------------------
+
+    def _should_convert(self, spec: JobSpec) -> bool:
+        """Convert a fixed submission into malleable units when (a) the
+        spec declared convertibility (``malleable`` with ``min_units``
+        set and no pin), (b) the job's placement algorithm opted in via
+        ``convert_when_saturated``, and (c) every capable site is
+        saturated — i.e. the job would otherwise spill onto an
+        already-full queue as one indivisible blob."""
+        if (
+            spec.min_units is None
+            or not spec.malleable
+            or spec.pin is not None
+            or spec.resource is not None
+        ):
+            return False
+        algorithm = self.algorithm
+        if spec.algorithm is not None:
+            named = self._algo_cache.get(spec.algorithm)
+            if named is None:
+                named = get_algorithm(spec.algorithm)
+                self._algo_cache[spec.algorithm] = named
+            if named.handles_placement:
+                algorithm = named
+        if not algorithm.convert_when_saturated:
+            return False
+        n_qubits = _program_qubits(spec.program)
+        healthy = self.registry.healthy_snapshots(self.sim.now)
+        capable = [
+            snap
+            for snap in healthy
+            if snap.catalog and snap.max_qubits >= n_qubits
+        ]
+        return bool(capable) and all(snap.is_saturated for snap in capable)
+
+    def _convert_and_submit(self, spec: JobSpec) -> str:
+        """Split the fixed spec into ``min_units`` malleable units whose
+        shot counts sum to (at least) the original request, and route it
+        through the malleable manager.  The returned malleable job id is
+        transparent to the caller: :meth:`status` and :meth:`result`
+        delegate for converted jobs."""
+        units = spec.min_units or 1
+        shots_per_unit = max(1, -(-int(spec.shots) // units))
+        converted = replace(
+            spec, iterations=units, shots=shots_per_unit
+        ).validate()
+        job_id = self.malleable.submit_spec(converted)
+        self._publish(
+            "job_converted",
+            job_id,
+            units=units,
+            shots_per_unit=shots_per_unit,
+            tenant=spec.tenant,
+        )
+        return job_id
+
+    def is_malleable(self, job_id: str) -> bool:
+        """Is ``job_id`` tracked by the malleable manager (multi-unit
+        submission or a converted fixed job)?"""
+        return self._malleable is not None and job_id in self._malleable._jobs
 
     def _trace_intake(
         self, job_id: str, spec: JobSpec, admit_wall: float, hold: bool
@@ -505,6 +583,64 @@ class FederationBroker:
 
     # -- placement ------------------------------------------------------------
 
+    def _resolve_algorithm(
+        self, algorithm: SchedulingAlgorithm | str | None
+    ) -> SchedulingAlgorithm:
+        if algorithm is None:
+            return PolicyRouting(policy=self.policy)
+        if isinstance(algorithm, str):
+            algorithm = get_algorithm(algorithm)
+        if not algorithm.handles_placement:
+            raise PlacementError(
+                f"algorithm {algorithm.name!r} does not make placement "
+                "decisions and cannot drive broker routing"
+            )
+        return algorithm
+
+    def use_algorithm(self, algorithm: SchedulingAlgorithm | str | None) -> None:
+        """Swap the broker-wide placement discipline by registry name
+        (or instance); ``None`` restores policy routing."""
+        self.algorithm = self._resolve_algorithm(algorithm)
+
+    def _algorithm_for(self, job: FederatedJob) -> SchedulingAlgorithm:
+        """The placement discipline for one job: its spec's named
+        algorithm when that algorithm makes placement decisions,
+        otherwise the broker-wide default."""
+        name = getattr(job.spec, "algorithm", None)
+        if name is None:
+            return self.algorithm
+        algo = self._algo_cache.get(name)
+        if algo is None:
+            algo = get_algorithm(name)
+            self._algo_cache[name] = algo
+        if not algo.handles_placement:
+            # e.g. "agreement-elastic": a negotiation discipline, not a
+            # router — placement falls back to the broker default
+            return self.algorithm
+        return algo
+
+    def _choose_site(
+        self, job: FederatedJob, candidates: list[SiteSnapshot]
+    ) -> SiteSnapshot:
+        """Run the job's scheduling algorithm over adapter views of the
+        candidate snapshots and map its decision back to a snapshot.
+
+        The default :class:`PolicyRouting` algorithm calls
+        ``self.policy.choose`` exactly once, so legacy routing (including
+        stateful policies like round-robin) is bit-identical to the
+        pre-algorithm broker.  Algorithms that return no usable decision
+        fall back to direct policy choice rather than failing the job.
+        """
+        algorithm = self._algorithm_for(job)
+        pending, resources, system = federation_views(job, candidates, self.sim.now)
+        by_name = {snap.name: snap for snap in candidates}
+        for decision in algorithm.schedule(pending, resources, system):
+            if decision.kind in ("place", "start", "backfill", "reserve"):
+                snap = by_name.get(decision.resource)
+                if snap is not None:
+                    return snap
+        return self.policy.choose(job, candidates, self.sim.now)
+
     def _candidates(
         self, job: FederatedJob, exclude: tuple[str, ...]
     ) -> list[SiteSnapshot]:
@@ -593,7 +729,7 @@ class FederationBroker:
                     f"(excluded: {sorted(excluded)})",
                 )
                 return
-            choice = self.policy.choose(job, candidates, self.sim.now)
+            choice = self._choose_site(job, candidates)
             site = self.registry.site(choice.name)
             try:
                 # select among the resources that can actually hold the
@@ -933,6 +1069,9 @@ class FederationBroker:
         return self._jobs[job_id]
 
     def status(self, job_id: str) -> dict[str, Any]:
+        if self.is_malleable(job_id):
+            # converted fixed jobs carry malleable ids — same surface
+            return self.malleable_status(job_id)
         job = self.job(job_id)
         self._refresh(job)
         placement = job.current
@@ -947,6 +1086,10 @@ class FederationBroker:
         }
 
     def result(self, job_id: str) -> Any:
+        if self.is_malleable(job_id):
+            # converted fixed jobs: hand back the per-unit result map —
+            # FederatedClient.result merges it into one payload
+            return self.malleable_result(job_id)
         job = self.job(job_id)
         self._refresh(job)
         if job.state is JobState.FAILED:

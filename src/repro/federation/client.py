@@ -76,7 +76,11 @@ class FederatedClient:
 
     def result(self, job_id: str) -> RunResult:
         """Fetch the result from whichever site ran the job, wrapped in
-        the uniform single-site result type."""
+        the uniform single-site result type.  A fixed submission the
+        saturated broker converted to malleable units comes back merged
+        (see :meth:`malleable_result`) — conversion stays transparent."""
+        if self.broker.is_malleable(job_id):
+            return self.malleable_result(job_id)
         job = self.broker.job(job_id)
         emulation = self.broker.result(job_id)
         placement = job.current

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..errors import PlacementError, ResourceNotFound, SiteUnavailable, SpecError
 from ..runtime.backend_select import select_resource
+from ..scheduling.algorithms import AgreementElastic
 from ..scheduling.malleable import ShareLedger
 from ..spec import JobSpec, parse_site_leg
 from .broker import JobState, _program_qubits
@@ -193,6 +194,10 @@ class MalleableManager:
         self._unit_events: dict[str, dict[int, dict]] = {}
         #: terminal records dropped by :meth:`evict_terminal`
         self._evicted = 0
+        #: pairwise negotiator for agreement-based slot arbitration —
+        #: used whenever a live contender's spec names it (see
+        #: :meth:`_arbitrate_slots`); its transfer log feeds events
+        self._negotiator = AgreementElastic()
 
     # -- state tables ---------------------------------------------------------
 
@@ -413,7 +418,13 @@ class MalleableManager:
         :class:`~repro.accounting.FairShareArbiter`: on every site where
         several live jobs hold an active share, the per-site
         outstanding-unit budget (``max_outstanding_per_site``) becomes a
-        *shared* capacity divided weighted-max-min by tenant weight.
+        *shared* capacity divided weighted-max-min by tenant weight
+        (the *effective* weight — usage-decayed when the arbiter has a
+        half-life configured).  When any contender's spec selects the
+        ``"agreement-elastic"`` algorithm, the whole site switches to
+        pairwise steal negotiation starting from current in-flight
+        holdings instead of central water-filling — converging to the
+        same weighted target by local two-party agreements.
         Returns ``{(job_id, site): slots}`` or ``None`` when no
         arbitration applies (no accounting, or no contention)."""
         accounting = self.broker.accounting
@@ -452,6 +463,7 @@ class MalleableManager:
         )
         if signature == self._arb_sig:
             return self._arb_caps
+        now = self.broker.sim.now
         caps: dict[tuple[str, str], int] = {}
         for site in sorted(sites):
             contenders = [j for j in live if site in active[j.job_id]]
@@ -465,14 +477,29 @@ class MalleableManager:
                 owner_jobs[job.owner] = owner_jobs.get(job.owner, 0) + 1
             demands = {}
             weights = {}
+            holdings = {}
+            negotiated = False
             for job in contenders:
                 ledger = job.placement.ledger
-                outstanding = ledger.pending_units + len(ledger.in_flight_at(site))
+                in_flight = len(ledger.in_flight_at(site))
+                outstanding = ledger.pending_units + in_flight
                 demands[job.job_id] = min(capacity, outstanding)
-                weights[job.job_id] = accounting.arbiter.weight(
-                    job.owner
+                weights[job.job_id] = accounting.arbiter.effective_weight(
+                    job.owner, now
                 ) / owner_jobs[job.owner]
-            alloc = accounting.arbiter.allocate(capacity, demands, weights)
+                holdings[job.job_id] = in_flight
+                if getattr(job.spec, "algorithm", None) == "agreement-elastic":
+                    negotiated = True
+            if negotiated:
+                alloc, transfers = self._negotiator.negotiate(
+                    capacity, demands, weights, holdings
+                )
+                if transfers:
+                    self.broker._publish(
+                        "slots_agreed", "", site=site, transfers=transfers
+                    )
+            else:
+                alloc = accounting.arbiter.allocate(capacity, demands, weights)
             for job_id, slots in alloc.items():
                 caps[(job_id, site)] = slots
         self._arb_sig = signature

@@ -102,6 +102,17 @@ class DaemonClient:
         response = self._call("POST", "/tasks", body)
         return response.body["task_id"]
 
+    def submit_spec(self, spec: Any) -> dict[str, Any]:
+        """``POST /jobs``: ship one :class:`~repro.spec.JobSpec` (or its
+        ``to_dict`` payload) as the request body.  Unlike :meth:`submit`,
+        the whole spec travels — tenant, metadata, and the scheduling
+        ``algorithm`` selection arrive on the daemon task, and resource
+        fallback (single-resource daemons) happens server-side."""
+        from ..spec import JobSpec
+
+        body = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        return self._call("POST", "/jobs", body).body
+
     def status(self, task_id: str) -> dict[str, Any]:
         return self._call("GET", f"/tasks/{task_id}").body
 

@@ -1,0 +1,91 @@
+"""One scheduling interface: the pluggable algorithm suite.
+
+Every scheduling loop in the stack (daemon worker, cluster controller,
+federation broker, malleable arbitration, and the sweep bench) drives a
+:class:`~repro.scheduling.algorithms.base.SchedulingAlgorithm` through
+the same ``schedule(pending, resources, system) -> [Decision]`` call.
+Algorithms are one file each and selectable by name — through
+``JobSpec.algorithm``, ``SecondLevelScheduler.use_algorithm``,
+``FederationBroker.use_algorithm``, or the bench sweep.
+
+Module map
+==========
+
+``base``
+    The vocabulary (``PendingJob`` / ``RunningUnit`` / ``ResourceView``
+    / ``SystemView`` / ``Decision``), the ``SchedulingAlgorithm``
+    protocol, and the name-keyed registry
+    (``register`` / ``get_algorithm`` / ``available``).
+``views``
+    Duck-typed adapters that express daemon queue state, cluster
+    node/partition state, and federation site snapshots in the common
+    vocabulary.  Nothing here imports the adapted packages.
+``fifo_priority``
+    ``"fifo-priority"`` — the daemon queue's legacy (class, FIFO)
+    discipline; bit-identical to ``MiddlewareQueue.pop``.
+``cluster_legacy``
+    ``"cluster-legacy"`` — wraps ``cluster.Scheduler.plan`` (priority
+    + first-fit + node-exact EASY backfill); bit-identical decisions.
+``policy_routing``
+    ``"policy-routing"`` — wraps any federation routing policy's
+    ``choose``; bit-identical broker placements.
+``easy_backfill``
+    ``"easy-backfill"`` — generic unit-count EASY backfilling with
+    shadow reservation, usable by all three loops.
+``agreement_elastic``
+    ``"agreement-elastic"`` — contending malleable jobs negotiate
+    pairwise unit steals toward the (decayed) fair-share target.
+``simulate``
+    The Wagomu-style sweep driver: replay one trace through every
+    registered algorithm and compare makespan/utilization/wait.
+
+Adding an algorithm
+===================
+
+Write one module that imports only ``base`` (and stdlib), subclass
+``SchedulingAlgorithm``, set a unique ``name``, decorate with
+``@register``, implement ``schedule``, and import the module here so
+registration happens on package import.
+"""
+
+from .agreement_elastic import AgreementElastic
+from .base import (
+    Decision,
+    PendingJob,
+    ResourceView,
+    RunningUnit,
+    SchedulingAlgorithm,
+    SystemView,
+    available,
+    get_algorithm,
+    register,
+)
+from .cluster_legacy import ClusterBackfillLegacy
+from .easy_backfill import EasyBackfill
+from .fifo_priority import FifoPriority
+from .policy_routing import PolicyRouting
+from .simulate import SimJob, SimReport, simulate
+from .views import cluster_views, daemon_views, federation_views
+
+__all__ = [
+    "AgreementElastic",
+    "ClusterBackfillLegacy",
+    "Decision",
+    "EasyBackfill",
+    "FifoPriority",
+    "PendingJob",
+    "PolicyRouting",
+    "ResourceView",
+    "RunningUnit",
+    "SchedulingAlgorithm",
+    "SimJob",
+    "SimReport",
+    "SystemView",
+    "available",
+    "cluster_views",
+    "daemon_views",
+    "federation_views",
+    "get_algorithm",
+    "register",
+    "simulate",
+]

@@ -1,0 +1,183 @@
+"""The common scheduling-algorithm vocabulary, protocol, and registry.
+
+Every scheduling loop in the stack — the daemon's second-level worker,
+the cluster controller's planning pass, the federation broker's
+placement step, and the malleable manager's slot arbitration — speaks
+the same narrow language defined here:
+
+* :class:`PendingJob` / :class:`RunningUnit` / :class:`ResourceView` /
+  :class:`SystemView` — the state an algorithm may read,
+* :class:`Decision` — the only thing an algorithm may emit,
+* :class:`SchedulingAlgorithm` — the protocol (``schedule(pending,
+  resources, system) -> list[Decision]``) plus capability flags,
+* :func:`register` / :func:`get_algorithm` / :func:`available` — the
+  name-keyed registry that makes algorithms selectable through
+  ``JobSpec.algorithm`` and sweepable by the bench harness.
+
+Algorithm modules must stay import-light: they may import this module
+and the standard library only.  Anything caller-specific (a cluster
+``Job``, a federation ``SiteSnapshot``, a daemon ``QueuedTask``) rides
+in the ``native`` slots and in ``Decision.payload``, so an algorithm
+file never needs to know which of the three loops is driving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from ...errors import AlgorithmError
+
+__all__ = [
+    "Decision",
+    "PendingJob",
+    "ResourceView",
+    "RunningUnit",
+    "SchedulingAlgorithm",
+    "SystemView",
+    "available",
+    "get_algorithm",
+    "register",
+]
+
+
+# -- the vocabulary ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PendingJob:
+    """One schedulable unit of work, whatever layer it came from.
+
+    ``units`` is the layer's natural integer grain: nodes for cluster
+    jobs, queue slots for federation placements, always 1 for daemon
+    tasks.  ``estimated_runtime <= 0`` means "unknown" — backfillers
+    must treat such jobs as potentially infinite.
+    """
+
+    job_id: str
+    priority: int = 0           # lower = more urgent (daemon convention)
+    submit_seq: int = 0         # FIFO tiebreak within a priority level
+    units: int = 1
+    estimated_runtime: float = 0.0
+    malleable: bool = False
+    min_units: int | None = None
+    max_units: int | None = None
+    tenant: str = ""
+    native: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class RunningUnit:
+    """Occupancy on one resource: ``units`` busy until ``expected_end``."""
+
+    job_id: str
+    units: int
+    expected_end: float
+
+
+@dataclass(frozen=True)
+class ResourceView:
+    """One place work can run: a worker slot, a partition, a site."""
+
+    name: str
+    total_units: int
+    free_units: int
+    running: tuple[RunningUnit, ...] = ()
+    native: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class SystemView:
+    """Cross-resource context for one scheduling pass."""
+
+    now: float
+    fair_weight: Any = None     # callable tenant -> effective share weight
+    options: dict[str, Any] = field(default_factory=dict)
+    native: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One algorithm verdict.  Kinds in use across the three loops:
+
+    * ``"start"``     — run ``job_id`` on ``resource`` now,
+    * ``"backfill"``  — a start that jumped the blocked queue head,
+    * ``"reserve"``   — shadow reservation for a blocked head
+      (``payload["shadow_time"]``; brokers treat it as a spillover
+      placement hint),
+    * ``"place"``     — route a federated job to ``resource``,
+    * ``"resize"``    — set a malleable job's width to ``units``,
+    * ``"convert"``   — turn a fixed job into ``units`` malleable units.
+    """
+
+    kind: str
+    job_id: str
+    resource: str | None = None
+    units: int = 1
+    reason: str = ""
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+# -- the protocol ------------------------------------------------------------
+
+
+class SchedulingAlgorithm:
+    """Base class every registered algorithm extends.
+
+    Subclasses set ``name`` and implement :meth:`schedule`.  The two
+    capability flags let callers route around algorithms that only
+    cover part of the vocabulary:
+
+    * ``handles_placement`` — usable for single-job routing decisions
+      (the broker's per-job placement step),
+    * ``convert_when_saturated`` — the fixed→malleable knob: when the
+      algorithm owns a placement and every candidate is saturated, the
+      broker may convert a convertible fixed spec into malleable units.
+    """
+
+    name: ClassVar[str] = ""
+    handles_placement: ClassVar[bool] = True
+    convert_when_saturated: bool = False
+
+    def schedule(
+        self,
+        pending: tuple[PendingJob, ...],
+        resources: tuple[ResourceView, ...],
+        system: SystemView,
+    ) -> list[Decision]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# -- the registry ------------------------------------------------------------
+
+_REGISTRY: dict[str, type[SchedulingAlgorithm]] = {}
+
+
+def register(cls: type[SchedulingAlgorithm]) -> type[SchedulingAlgorithm]:
+    """Class decorator: make ``cls`` constructible by name."""
+    if not cls.name:
+        raise AlgorithmError(f"{cls.__name__} must set a non-empty name")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise AlgorithmError(f"algorithm name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_algorithm(name: str, **kwargs: Any) -> SchedulingAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown scheduling algorithm {name!r}; available: {available()}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available() -> list[str]:
+    """Sorted names of every registered algorithm."""
+    return sorted(_REGISTRY)

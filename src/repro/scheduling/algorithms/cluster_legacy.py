@@ -1,0 +1,63 @@
+"""The cluster controller's legacy planning pass, as an algorithm.
+
+Delegates wholesale to :meth:`repro.cluster.scheduler.Scheduler.plan`
+— multifactor priority order, first-fit placement, EASY backfill with
+node-exact shadow reservation — and converts the resulting
+``SchedulingDecision`` losslessly into the common vocabulary.  The
+concrete node lists ride in each decision's payload, so the adapter
+scheduler reconstructs placements verbatim: decisions are bit-identical
+to calling ``plan`` directly.
+
+The planning engine (a plain ``Scheduler``) and the native cluster
+state arrive through ``system.native``; this module never imports the
+cluster package, keeping the algorithm suite import-light.
+"""
+
+from __future__ import annotations
+
+from .base import Decision, PendingJob, ResourceView, SchedulingAlgorithm, SystemView, register
+
+__all__ = ["ClusterBackfillLegacy"]
+
+
+@register
+class ClusterBackfillLegacy(SchedulingAlgorithm):
+
+    name = "cluster-legacy"
+    handles_placement = False
+
+    def schedule(
+        self,
+        pending: tuple[PendingJob, ...],
+        resources: tuple[ResourceView, ...],
+        system: SystemView,
+    ) -> list[Decision]:
+        native = system.native or {}
+        engine = native["engine"]
+        decision = engine.plan(
+            native["pending"],
+            native["running"],
+            native["partitions"],
+            native["licenses"],
+            system.now,
+        )
+        backfilled = set(decision.backfilled)
+        out: list[Decision] = []
+        for placement in decision.starts:
+            out.append(
+                Decision(
+                    kind="backfill" if placement.job_id in backfilled else "start",
+                    job_id=str(placement.job_id),
+                    units=len(placement.node_names),
+                    payload={"placement": placement},
+                )
+            )
+        if decision.head_blocked is not None:
+            out.append(
+                Decision(
+                    kind="reserve",
+                    job_id=str(decision.head_blocked),
+                    payload={"shadow_time": decision.shadow_time},
+                )
+            )
+        return out

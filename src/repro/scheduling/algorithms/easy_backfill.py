@@ -1,0 +1,183 @@
+"""EASY backfilling over the generic vocabulary.
+
+The cluster scheduler has always had shadow-reservation backfill
+(:meth:`repro.cluster.scheduler.Scheduler.shadow_reservation`); this is
+the same discipline generalized to integer units so the daemon queue
+and the federation broker get it too:
+
+1. walk pending work in ``(priority, submit_seq)`` order, greedily
+   starting jobs while they fit,
+2. the first job that fits nowhere becomes the **head**: compute its
+   shadow time by replaying expected completions on a virtual copy of
+   occupancy, and reserve the earliest-draining resource for it,
+3. jobs behind the head may start ("backfill") only if they provably
+   cannot delay it: they run on a different resource, or finish before
+   the shadow time, or leave at least ``head.units`` free at the shadow
+   time — the unit-count form of Wagomu's ``delays_head`` check.
+
+Jobs with unknown runtime (``estimated_runtime <= 0``) are treated as
+infinite and can only backfill through the leaves-enough-units rule.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Decision, PendingJob, ResourceView, SchedulingAlgorithm, SystemView, register
+
+__all__ = ["EasyBackfill"]
+
+
+@register
+class EasyBackfill(SchedulingAlgorithm):
+
+    name = "easy-backfill"
+
+    def __init__(
+        self, backfill: bool = True, convert_when_saturated: bool = False
+    ) -> None:
+        self.backfill = backfill
+        self.convert_when_saturated = convert_when_saturated
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _pick(
+        resources: tuple[ResourceView, ...], free: dict[str, int], units: int
+    ) -> str | None:
+        """Most-headroom resource that fits ``units`` now (tie: name)."""
+        best: str | None = None
+        best_free = -1
+        for resource in resources:
+            room = free[resource.name]
+            if room >= units and room > best_free:
+                best, best_free = resource.name, room
+        return best
+
+    @staticmethod
+    def _shadow(
+        head: PendingJob,
+        resources: tuple[ResourceView, ...],
+        free: dict[str, int],
+        started: dict[str, list[tuple[float, int]]],
+        now: float,
+    ) -> tuple[float, str | None, int]:
+        """Earliest instant ``head`` fits on any resource.
+
+        Returns ``(shadow_time, resource_name, free_units_at_shadow)``;
+        ``(inf, None, 0)`` when the head can never fit.  Replays both
+        pre-existing occupancy (the view's running units) and the jobs
+        this very pass already started.
+        """
+        best_time, best_name, best_free = math.inf, None, 0
+        for resource in resources:
+            if resource.total_units < head.units:
+                continue
+            room = free[resource.name]
+            events = sorted(
+                [(u.expected_end, u.units) for u in resource.running]
+                + started[resource.name]
+            )
+            when: float | None = now if room >= head.units else None
+            for end, units in events:
+                if when is not None:
+                    break
+                room += units
+                if room >= head.units:
+                    when = max(now, end)
+            if when is not None and (when, resource.name) < (best_time, best_name or ""):
+                best_time, best_name, best_free = when, resource.name, room
+        return best_time, best_name, best_free
+
+    # -- the pass ------------------------------------------------------------
+
+    def schedule(
+        self,
+        pending: tuple[PendingJob, ...],
+        resources: tuple[ResourceView, ...],
+        system: SystemView,
+    ) -> list[Decision]:
+        now = system.now
+        free = {r.name: r.free_units for r in resources}
+        started: dict[str, list[tuple[float, int]]] = {r.name: [] for r in resources}
+        decisions: list[Decision] = []
+        head: PendingJob | None = None
+        shadow_time: float = math.inf
+        shadow_resource: str | None = None
+        free_at_shadow = 0
+
+        def commit(job: PendingJob, target: str) -> None:
+            free[target] -= job.units
+            end = now + job.estimated_runtime if job.estimated_runtime > 0 else math.inf
+            started[target].append((end, job.units))
+
+        for job in sorted(pending, key=lambda j: (j.priority, j.submit_seq)):
+            if head is None:
+                target = self._pick(resources, free, job.units)
+                if target is not None:
+                    commit(job, target)
+                    decisions.append(
+                        Decision(kind="start", job_id=job.job_id, resource=target, units=job.units)
+                    )
+                    continue
+                head = job
+                if not self.backfill:
+                    break
+                shadow_time, shadow_resource, free_at_shadow = self._shadow(
+                    job, resources, free, started, now
+                )
+                decisions.append(
+                    Decision(
+                        kind="reserve",
+                        job_id=job.job_id,
+                        resource=shadow_resource,
+                        units=job.units,
+                        payload={"shadow_time": shadow_time},
+                    )
+                )
+                continue
+            target = self._backfill_target(
+                job, resources, free, now, head, shadow_time, shadow_resource, free_at_shadow
+            )
+            if target is not None:
+                commit(job, target)
+                if target == shadow_resource and not self._ends_by(job, now, shadow_time):
+                    free_at_shadow -= job.units
+                decisions.append(
+                    Decision(kind="backfill", job_id=job.job_id, resource=target, units=job.units)
+                )
+        return decisions
+
+    @staticmethod
+    def _ends_by(job: PendingJob, now: float, deadline: float) -> bool:
+        return job.estimated_runtime > 0 and now + job.estimated_runtime <= deadline
+
+    def _backfill_target(
+        self,
+        job: PendingJob,
+        resources: tuple[ResourceView, ...],
+        free: dict[str, int],
+        now: float,
+        head: PendingJob,
+        shadow_time: float,
+        shadow_resource: str | None,
+        free_at_shadow: int,
+    ) -> str | None:
+        """A resource ``job`` may backfill onto without delaying ``head``."""
+        best: str | None = None
+        best_free = -1
+        for resource in resources:
+            room = free[resource.name]
+            if room < job.units or room <= best_free:
+                continue
+            if resource.name == shadow_resource:
+                # on the reserved resource the job must either drain
+                # before the head needs it, or demonstrably leave the
+                # head's units untouched at the shadow instant
+                safe = self._ends_by(job, now, shadow_time) or (
+                    free_at_shadow - job.units >= head.units
+                )
+                if not safe:
+                    continue
+            best, best_free = resource.name, room
+        return best

@@ -1,0 +1,226 @@
+"""A minimal workload simulator for sweeping scheduling algorithms.
+
+The Wagomu suite evaluates every algorithm by replaying one workload
+file through one driver (``runSimulations.sh``); this module is that
+driver for the common vocabulary.  It is intentionally *not* the full
+repro stack — no daemons, brokers, or QRMI resources — just arrivals,
+integer-unit resources, and an algorithm making start / backfill /
+resize calls, so a sweep over N algorithms costs milliseconds and the
+bench harness can gate relative wins (EASY vs FIFO, elastic vs rigid)
+deterministically.
+
+Rigid jobs occupy ``units`` for ``runtime``.  Malleable jobs carry
+``units * runtime`` total work and process it at their current width,
+which elastic algorithms renegotiate at every event via ``resize``
+decisions (the running-malleable roster rides in
+``system.options["elastic"]``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .base import PendingJob, ResourceView, RunningUnit, SchedulingAlgorithm, SystemView
+
+__all__ = ["SimJob", "SimReport", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimJob:
+    job_id: str
+    arrival: float
+    units: int
+    runtime: float
+    priority: int = 0
+    tenant: str = "t0"
+    malleable: bool = False
+    min_units: int | None = None
+    max_units: int | None = None
+
+    @property
+    def total_work(self) -> float:
+        return self.units * self.runtime
+
+
+@dataclass
+class SimReport:
+    makespan: float
+    utilization: float
+    mean_wait: float
+    completed: int
+    backfills: int
+    agreements: int
+    start_times: dict[str, float] = field(default_factory=dict)
+    finish_times: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class _Running:
+    job: SimJob
+    resource: str
+    width: int
+    work_left: float  # rigid jobs: remaining seconds * units
+
+    def expected_end(self, now: float) -> float:
+        if self.width <= 0:
+            return math.inf
+        return now + self.work_left / self.width
+
+
+def simulate(
+    algorithm: SchedulingAlgorithm,
+    jobs: list[SimJob],
+    resources: dict[str, int],
+    fair_weight=None,
+    horizon: float = 1e9,
+) -> SimReport:
+    arrivals = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+    submit_seq = {job.job_id: seq for seq, job in enumerate(arrivals)}
+    by_id = {job.job_id: job for job in jobs}
+    pending: list[SimJob] = []
+    running: dict[str, _Running] = {}
+    starts: dict[str, float] = {}
+    finishes: dict[str, float] = {}
+    capacity = dict(resources)
+    total_capacity = sum(capacity.values())
+    now = 0.0
+    busy_integral = 0.0
+    backfills = 0
+    agreements = 0
+    arrival_idx = 0
+
+    def free_units() -> dict[str, int]:
+        free = dict(capacity)
+        for run in running.values():
+            free[run.resource] -= run.width
+        return free
+
+    def build_views():
+        free = free_units()
+        pend = tuple(
+            PendingJob(
+                job_id=j.job_id,
+                priority=j.priority,
+                submit_seq=submit_seq[j.job_id],
+                units=j.units,
+                estimated_runtime=j.runtime,
+                malleable=j.malleable,
+                min_units=j.min_units,
+                max_units=j.max_units,
+                tenant=j.tenant,
+            )
+            for j in sorted(pending, key=lambda j: (j.priority, submit_seq[j.job_id]))
+        )
+        views = tuple(
+            ResourceView(
+                name=name,
+                total_units=capacity[name],
+                free_units=free[name],
+                running=tuple(
+                    RunningUnit(run.job.job_id, run.width, run.expected_end(now))
+                    for run in running.values()
+                    if run.resource == name
+                ),
+            )
+            for name in sorted(capacity)
+        )
+        elastic = tuple(
+            {
+                "job_id": run.job.job_id,
+                "tenant": run.job.tenant,
+                "resource": run.resource,
+                "width": run.width,
+                "min_units": run.job.min_units,
+                "max_units": run.job.max_units,
+            }
+            for run in running.values()
+            if run.job.malleable
+        )
+        system = SystemView(now=now, fair_weight=fair_weight, options={"elastic": elastic})
+        return pend, views, system
+
+    while (pending or running or arrival_idx < len(arrivals)) and now <= horizon:
+        # admit arrivals due now
+        while arrival_idx < len(arrivals) and arrivals[arrival_idx].arrival <= now:
+            pending.append(arrivals[arrival_idx])
+            arrival_idx += 1
+
+        pend, views, system = build_views()
+        free = free_units()
+        for decision in algorithm.schedule(pend, views, system):
+            # "place" is a router's start: in the mini-DES a routed job
+            # begins running immediately (capacity permitting)
+            if decision.kind in ("start", "backfill", "place"):
+                job = by_id.get(decision.job_id)
+                if job is None or job.job_id in starts or job not in pending:
+                    continue
+                # rigid jobs always run at their declared width; only
+                # malleable ones honor the decision's width
+                width = job.units if not job.malleable else max(1, decision.units)
+                target = decision.resource
+                if target not in free or free[target] < width:
+                    continue
+                free[target] -= width
+                pending.remove(job)
+                starts[job.job_id] = now
+                running[job.job_id] = _Running(
+                    job=job,
+                    resource=target,
+                    width=width,
+                    work_left=job.total_work if job.malleable else job.runtime * job.units,
+                )
+                if decision.kind == "backfill":
+                    backfills += 1
+            elif decision.kind == "resize":
+                run = running.get(decision.job_id)
+                if run is None or not run.job.malleable:
+                    continue
+                new = max(1, decision.units)
+                grow = new - run.width
+                if grow > free.get(run.resource, 0):
+                    new = run.width + free.get(run.resource, 0)
+                    grow = new - run.width
+                if new != run.width:
+                    free[run.resource] -= grow
+                    run.width = new
+                    agreements += 1
+
+        # advance to the next event: arrival or earliest completion
+        next_times = []
+        if arrival_idx < len(arrivals):
+            next_times.append(arrivals[arrival_idx].arrival)
+        for run in running.values():
+            next_times.append(run.expected_end(now))
+        if not next_times:
+            break
+        nxt = min(next_times)
+        if nxt <= now:
+            nxt = now  # same-instant completions (zero-work edge)
+        dt = nxt - now
+        busy = sum(run.width for run in running.values())
+        busy_integral += busy * dt
+        for run in running.values():
+            run.work_left -= run.width * dt
+        now = nxt
+        for job_id in [jid for jid, run in running.items() if run.work_left <= 1e-9]:
+            finishes[job_id] = now
+            del running[job_id]
+        if dt == 0.0 and not any(run.work_left <= 1e-9 for run in running.values()):
+            # nothing progressed and nothing will: algorithm declined to
+            # schedule anything runnable — avoid spinning forever
+            if arrival_idx >= len(arrivals) and not running:
+                break
+
+    makespan = max(finishes.values(), default=0.0)
+    waits = [starts[j] - by_id[j].arrival for j in starts]
+    return SimReport(
+        makespan=makespan,
+        utilization=(busy_integral / (total_capacity * makespan)) if makespan > 0 else 0.0,
+        mean_wait=sum(waits) / len(waits) if waits else 0.0,
+        completed=len(finishes),
+        backfills=backfills,
+        agreements=agreements,
+        start_times=starts,
+        finish_times=finishes,
+    )

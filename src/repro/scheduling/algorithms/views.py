@@ -1,0 +1,133 @@
+"""Adapter views: each scheduling loop's state in the common vocabulary.
+
+Three builders, one per loop.  All of them duck-type their inputs —
+this module imports nothing from ``daemon``/``cluster``/``federation``,
+so the algorithms package stays import-light and cycle-free:
+
+* :func:`daemon_views` — queued ``QueuedTask``s in front of the single
+  second-level worker slot,
+* :func:`cluster_views` — priority-ordered cluster ``Job``s over
+  node-granular partition views (exact for whole-node workloads;
+  heterogeneous per-cpu packing stays with the legacy adapter, which
+  carries native state instead),
+* :func:`federation_views` — one ``FederatedJob`` over candidate
+  ``SiteSnapshot``s, with each site's backlog synthesized as one
+  running unit that drains in ``queue_depth`` time units (so shadow
+  reservations rank sites by how soon their backlog clears).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+from .base import PendingJob, ResourceView, RunningUnit, SystemView
+
+__all__ = ["cluster_views", "daemon_views", "federation_views"]
+
+DAEMON_WORKER = "qpu-worker"
+
+
+def daemon_views(
+    tasks: Sequence[Any], now: float
+) -> tuple[tuple[PendingJob, ...], tuple[ResourceView, ...], SystemView]:
+    """Queued daemon tasks in front of one free worker slot.
+
+    ``submit_seq`` is the queue's heap sequence number, so FIFO order —
+    including requeued preempted tasks going to the back of their
+    class — matches :meth:`MiddlewareQueue.pop` exactly.
+    """
+    pending = tuple(
+        PendingJob(
+            job_id=task.task_id,
+            priority=int(task.priority),
+            submit_seq=task._heap_seq,
+            units=1,
+            tenant=task.user,
+            native=task,
+        )
+        for task in tasks
+    )
+    resources = (ResourceView(name=DAEMON_WORKER, total_units=1, free_units=1),)
+    return pending, resources, SystemView(now=now)
+
+
+def cluster_views(
+    ordered_jobs: Sequence[Any],
+    running: Sequence[Any],
+    partitions: Mapping[str, Any],
+    now: float,
+) -> tuple[tuple[PendingJob, ...], tuple[ResourceView, ...], SystemView]:
+    """Cluster state at node granularity for generic algorithms.
+
+    ``ordered_jobs`` must already be in multifactor-priority order (the
+    caller owns the :class:`PriorityCalculator`); the position becomes
+    ``submit_seq`` so generic ``(priority, submit_seq)`` sorts preserve
+    it.  A partition's free units are its fully-idle schedulable nodes.
+    """
+    pending = tuple(
+        PendingJob(
+            job_id=str(job.job_id),
+            submit_seq=seq,
+            units=job.spec.num_nodes,
+            estimated_runtime=job.effective_time_limit,
+            native=job,
+        )
+        for seq, job in enumerate(ordered_jobs)
+    )
+    by_partition: dict[str, list[RunningUnit]] = {name: [] for name in partitions}
+    for job in running:
+        by_partition.setdefault(job.spec.partition, []).append(
+            RunningUnit(
+                job_id=str(job.job_id),
+                units=job.spec.num_nodes,
+                expected_end=(job.start_time or now) + job.effective_time_limit,
+            )
+        )
+    resources = []
+    for name in sorted(partitions):
+        partition = partitions[name]
+        nodes = partition.schedulable_nodes()
+        resources.append(
+            ResourceView(
+                name=name,
+                total_units=len(nodes),
+                free_units=sum(1 for n in nodes if n.cpus_allocated == 0),
+                running=tuple(by_partition.get(name, ())),
+                native=partition,
+            )
+        )
+    return pending, tuple(resources), SystemView(now=now)
+
+
+def federation_views(
+    job: Any, candidates: Iterable[Any], now: float
+) -> tuple[tuple[PendingJob, ...], tuple[ResourceView, ...], SystemView]:
+    """One federated job over its candidate site snapshots."""
+    spec = getattr(job, "spec", None)
+    pending = (
+        PendingJob(
+            job_id=job.job_id,
+            units=1,
+            tenant=getattr(job, "owner", ""),
+            malleable=bool(getattr(spec, "malleable", False)),
+            min_units=getattr(spec, "min_units", None),
+            max_units=getattr(spec, "max_units", None),
+            native=job,
+        ),
+    )
+    resources = tuple(
+        ResourceView(
+            name=snap.name,
+            total_units=snap.max_queue_depth,
+            free_units=snap.headroom,
+            running=(
+                (RunningUnit("backlog", snap.queue_depth, now + snap.queue_depth),)
+                if snap.queue_depth
+                else ()
+            ),
+            native=snap,
+        )
+        for snap in candidates
+    )
+    return pending, resources, SystemView(now=now)

@@ -406,7 +406,9 @@ class Session:
                 spec,
                 resource=select_resource(available, requested=spec_request(spec)),
             )
-        return client.submit(spec), client.token
+        # POST /jobs ships the whole spec: tenant, metadata, and the
+        # scheduling-algorithm selection land on the daemon task
+        return client.submit_spec(spec)["task_id"], client.token
 
     def _submit_cloud(self, spec: JobSpec) -> str:
         if self.cloud is None:

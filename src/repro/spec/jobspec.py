@@ -68,7 +68,16 @@ class JobSpec:
       ``max_units`` (bounds on concurrently in-flight units),
     * **cost** — ``budget_hint`` (the declared cost of the whole job;
       admission rejects early when it exceeds the tenant's remaining
-      federation budget).
+      federation budget),
+    * **scheduling** — ``algorithm`` (a registered scheduling-algorithm
+      name; picks the broker's placement discipline for this job, or
+      the elastic negotiation strategy for malleable jobs — see
+      :mod:`repro.scheduling.algorithms`).
+
+    On a fixed-size spec, ``min_units`` (with ``malleable=True``, the
+    default) declares **convertibility**: a saturated federation may
+    convert the job into at least that many malleable units instead of
+    queueing it whole (the fixed→malleable knob).
     """
 
     program: Any
@@ -84,6 +93,7 @@ class JobSpec:
     max_units: int | None = None
     priority_class: str = "development"
     budget_hint: float | None = None
+    algorithm: str | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
 
     # -- derived views --------------------------------------------------------
@@ -153,8 +163,17 @@ class JobSpec:
                 "pin applies to fixed-size jobs only; restrict a "
                 "multi-unit job with sites=('site/resource', ...) legs"
             )
-        if (self.min_units is not None or self.max_units is not None) and iterations is None:
-            raise SpecError("min_units/max_units only apply to multi-unit jobs")
+        if (
+            (self.min_units is not None or self.max_units is not None)
+            and iterations is None
+            and not self.malleable
+        ):
+            # on a malleable fixed spec the bounds declare fixed→malleable
+            # convertibility; a rigid spec has no use for them
+            raise SpecError(
+                "min_units/max_units apply to multi-unit jobs or "
+                "convertible (malleable) fixed jobs"
+            )
         if self.min_units is not None and self.min_units < 1:
             raise SpecError(f"min_units must be >= 1, got {self.min_units}")
         if self.max_units is not None and self.max_units < 1:
@@ -173,6 +192,14 @@ class JobSpec:
         from ..daemon.queue import PriorityClass
 
         PriorityClass.parse(self.priority_class)
+        if self.algorithm is not None:
+            from ..scheduling.algorithms import available
+
+            if self.algorithm not in available():
+                raise SpecError(
+                    f"unknown scheduling algorithm {self.algorithm!r}; "
+                    f"available: {available()}"
+                )
         validated = replace(
             self,
             program=ir,
@@ -207,6 +234,7 @@ class JobSpec:
             "max_units": self.max_units,
             "priority_class": self.priority_class,
             "budget_hint": self.budget_hint,
+            "algorithm": self.algorithm,
             "metadata": dict(self.metadata),
         }
 
@@ -235,6 +263,7 @@ class JobSpec:
             max_units=data.get("max_units"),
             priority_class=str(data.get("priority_class", "development")),
             budget_hint=data.get("budget_hint"),
+            algorithm=data.get("algorithm"),
             metadata=dict(data.get("metadata", {})),
         )
 

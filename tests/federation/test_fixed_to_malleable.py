@@ -1,0 +1,185 @@
+"""Fixed→malleable conversion on saturation + agreement-based slot
+arbitration — the elastic half of the pluggable algorithm suite."""
+
+import sys
+from pathlib import Path
+
+from fedutil import build_federation, make_program
+from repro.federation import FederatedClient, JobState
+from repro.federation.malleable import ResizeConfig
+from repro.scheduling.algorithms import EasyBackfill
+from repro.spec import JobSpec
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "accounting"))
+
+from acctutil import build_accounted_federation, make_accounting  # noqa: E402
+
+
+def _saturate(broker, sites, per_site):
+    """Fill every site's queue to its max depth with fixed jobs."""
+    for _ in range(per_site * len(sites)):
+        broker.submit(make_program(shots=200))
+
+
+class TestFixedToMalleableConversion:
+    def _build(self):
+        sim, registry, broker, sites = build_federation(
+            n_sites=2, max_queue_depth=2, shot_rates=[1.0, 1.0]
+        )
+        broker.use_algorithm(EasyBackfill(convert_when_saturated=True))
+        return sim, broker, sites
+
+    def _convertible_spec(self, shots=40, **kwargs):
+        return JobSpec(
+            program=make_program(shots=shots),
+            shots=shots,
+            min_units=2,
+            malleable=True,
+            tenant="alice",
+            **kwargs,
+        )
+
+    def test_saturated_federation_converts_fixed_spec(self):
+        sim, broker, sites = self._build()
+        events = []
+        broker.attach_events().subscribe(
+            lambda ev: events.append(ev), kinds=("job_converted",)
+        )
+        _saturate(broker, sites, per_site=2)
+        job_id = broker.submit_spec(self._convertible_spec(shots=40))
+        assert broker.is_malleable(job_id)
+        assert len(events) == 1
+        assert events[0].payload["units"] == 2
+        assert events[0].payload["shots_per_unit"] == 20
+        assert events[0].payload["tenant"] == "alice"
+
+    def test_status_and_result_stay_transparent(self):
+        sim, broker, sites = self._build()
+        client = FederatedClient(broker, user="alice")
+        _saturate(broker, sites, per_site=2)
+        job_id = client.submit_spec(self._convertible_spec(shots=40))
+        assert broker.is_malleable(job_id)
+        # broker.status/result delegate for converted ids — same calls a
+        # fixed job would get
+        assert broker.status(job_id)["state"] in ("placed", "pending", "held")
+        sim.run(until=2000.0)
+        assert broker.status(job_id)["state"] == "completed"
+        merged = client.result(job_id)
+        assert merged.shots == 40  # 2 units x 20 shots, merged back
+        assert sum(merged.counts.values()) == 40
+
+    def test_unsaturated_federation_keeps_the_spec_fixed(self):
+        sim, broker, sites = self._build()
+        job_id = broker.submit_spec(self._convertible_spec())
+        assert not broker.is_malleable(job_id)
+        assert job_id.startswith("fed-job-")
+
+    def test_default_algorithm_never_converts(self):
+        # the stock PolicyRouting adapter has the knob off: saturation
+        # alone must not change submission semantics
+        sim, registry, broker, sites = build_federation(
+            n_sites=2, max_queue_depth=2
+        )
+        _saturate(broker, sites, per_site=2)
+        job_id = broker.submit_spec(self._convertible_spec())
+        assert not broker.is_malleable(job_id)
+
+    def test_pinned_spec_is_never_converted(self):
+        sim, broker, sites = self._build()
+        _saturate(broker, sites, per_site=2)
+        job_id = broker.submit_spec(
+            self._convertible_spec(pin="site-0/onprem")
+        )
+        assert not broker.is_malleable(job_id)
+
+    def test_per_spec_algorithm_opts_in_without_broker_default(self):
+        # broker keeps the stock adapter; the spec names a registered
+        # algorithm whose instance carries the conversion knob
+        sim, registry, broker, sites = build_federation(
+            n_sites=2, max_queue_depth=2
+        )
+        broker._algo_cache["easy-backfill"] = EasyBackfill(
+            convert_when_saturated=True
+        )
+        _saturate(broker, sites, per_site=2)
+        job_id = broker.submit_spec(
+            self._convertible_spec(algorithm="easy-backfill")
+        )
+        assert broker.is_malleable(job_id)
+
+
+class TestAgreementElasticArbitration:
+    def _build(self, weights=(3.0, 1.0), slots=4):
+        accounting = make_accounting()
+        accounting.set_share_weight("alpha", weights[0])
+        accounting.set_share_weight("beta", weights[1])
+        sim, _, broker, sites = build_accounted_federation(
+            n_sites=2,
+            accounting=accounting,
+            shot_rates=[1.0, 1.0],
+            max_queue_depth=32,
+            resize_config=ResizeConfig(max_outstanding_per_site=slots),
+        )
+        return sim, broker, accounting
+
+    def _elastic_spec(self, tenant, iterations=40):
+        return JobSpec(
+            program=make_program(shots=40),
+            shots=40,
+            iterations=iterations,
+            tenant=tenant,
+            algorithm="agreement-elastic",
+        )
+
+    def test_negotiated_slots_converge_to_weighted_split(self):
+        """One contender selecting agreement-elastic flips the whole
+        site to pairwise-steal negotiation — which must converge to the
+        same 3:1 weighted split the central arbiter would grant."""
+        sim, broker, _ = self._build()
+        agreed = []
+        broker.attach_events().subscribe(
+            lambda ev: agreed.append(ev), kinds=("slots_agreed",)
+        )
+        a = broker.submit_spec(self._elastic_spec("alpha"))
+        b = broker.submit_spec(self._elastic_spec("beta"))
+        sim.run(until=300.0)
+        job_a, job_b = broker.malleable_job(a), broker.malleable_job(b)
+        assert job_a.state is JobState.PLACED and job_b.state is JobState.PLACED
+        for site in ("site-0", "site-1"):
+            slots_a = len(job_a.placement.ledger.in_flight_at(site))
+            slots_b = len(job_b.placement.ledger.in_flight_at(site))
+            assert (slots_a, slots_b) == (3, 1)
+        assert agreed  # at least one negotiation actually transferred
+        for ev in agreed:
+            assert ev.site in ("site-0", "site-1")
+            assert ev.payload["transfers"]
+
+    def test_negotiated_caps_respect_site_capacity(self):
+        sim, broker, _ = self._build(weights=(1.0, 1.0), slots=4)
+        a = broker.submit_spec(self._elastic_spec("alpha"))
+        b = broker.submit_spec(self._elastic_spec("beta"))
+        sim.run(until=300.0)
+        for site in ("site-0", "site-1"):
+            total = sum(
+                len(broker.malleable_job(j).placement.ledger.in_flight_at(site))
+                for j in (a, b)
+            )
+            assert total <= 4
+
+    def test_mixed_jobs_all_negotiate_together(self):
+        """Only one of the two contenders asks for agreement-elastic;
+        the site still negotiates as a unit and both jobs make
+        progress toward completion."""
+        sim, broker, _ = self._build(weights=(1.0, 1.0))
+        a = broker.submit_spec(self._elastic_spec("alpha", iterations=20))
+        b = broker.submit_spec(
+            JobSpec(
+                program=make_program(shots=40),
+                shots=40,
+                iterations=20,
+                tenant="beta",
+            )
+        )
+        sim.run(until=2500.0)
+        assert broker.malleable_job(a).completed_units > 0
+        assert broker.malleable_job(b).completed_units > 0

@@ -86,8 +86,13 @@ class TestValidation:
         assert spec.iterations == 4  # two units per leg
 
     def test_elasticity_bounds(self):
+        # a rigid fixed spec has no use for unit bounds...
         with pytest.raises(SpecError, match="multi-unit"):
-            JobSpec(program=make_program(), min_units=1).validate()
+            JobSpec(program=make_program(), min_units=1, malleable=False).validate()
+        # ...but on a malleable fixed spec they declare fixed→malleable
+        # convertibility (the broker may split a saturated submission)
+        convertible = JobSpec(program=make_program(), min_units=3).validate()
+        assert convertible.min_units == 3 and not convertible.is_multi
         with pytest.raises(SpecError, match="exceeds"):
             JobSpec(
                 program=make_program(), iterations=8, min_units=5, max_units=2
