@@ -19,19 +19,23 @@ drives a 10,000-job arrival sweep (plus a malleable mix) over an
 * **per-phase tick profile** — the held/fixed/malleable/observe wall
   split from ``broker.last_reconcile`` and the per-step cost of the
   simulation kernel itself (``sim.enable_profiling``),
-* **tracing overhead** — the sweep runs in three flavors: ``plain``
-  (poll-mode broker, the gated baseline), ``events`` (lifecycle bus
-  attached), and ``traced`` (full span pipeline).  Scheduling is
-  bit-identical across all three — the DES outputs must not move — and
-  ``traced`` vs ``events`` wall time is the advertised tracing
-  overhead.
+* **instrumentation overhead** — the sweep runs in four flavors:
+  ``plain`` (poll-mode broker, the gated baseline), ``events``
+  (lifecycle bus attached), ``traced`` (full span pipeline), and
+  ``profiled`` (continuous scope profiler + phase-profile store + SLO
+  tracker).  Scheduling is bit-identical across all four — the DES
+  outputs must not move — and ``traced``/``profiled`` wall time over
+  the cheaper flavors is the advertised instrumentation overhead.
 
 ``python -m benchmarks.bench_ablation_scale`` prints the table;
 ``--profile out.prof`` additionally runs the sweep under cProfile and
 dumps the stats for offline inspection; ``--trace-out out.json`` runs
 a traced sweep and writes the JSON trace export (per-stage simulated
 means + one complete sample span tree, wall fields stripped so the
-artifact diffs cleanly between runs).  CI uploads both artifacts.
+artifact diffs cleanly between runs); ``--profile-report out.txt`` and
+``--slo-out out.json`` run one profiled sweep and write the top-N +
+flame report and the SLO/phase-profile summary.  CI uploads all of
+these as artifacts.
 """
 
 import os
@@ -67,10 +71,16 @@ TRACE_STAGES = (
     "execute", "dispatch", "result-fetch",
 )
 
-#: the DES outputs that must be bit-identical across plain/events/traced
+#: the DES outputs that must be bit-identical across all flavors
 DETERMINISTIC_KEYS = (
     "completed", "failed", "ticks", "scanned_per_tick_mean",
     "scanned_per_tick_max", "scanned_final_tick", "drained_scanned",
+)
+
+#: hot-path scopes a profiled C6 sweep must observe
+PROFILE_SCOPES = (
+    "sim.step", "broker.reconcile", "malleable.tick",
+    "scheduler.select", "algorithm.schedule", "tsdb.flush",
 )
 
 
@@ -105,11 +115,13 @@ def run_c6(traced: str = "plain", _capture: dict | None = None) -> dict:
     """One instrumented sweep; returns the tick-cost metrics.
 
     ``traced`` selects the observability flavor: ``"plain"`` (poll-mode
-    broker), ``"events"`` (lifecycle bus attached), or ``"traced"``
-    (full span pipeline).  ``_capture``, when given, receives the
-    tracer and the submitted job ids for test/export introspection.
+    broker), ``"events"`` (lifecycle bus attached), ``"traced"`` (full
+    span pipeline), or ``"profiled"`` (scope profiler + phase-profile
+    store + SLO tracker).  ``_capture``, when given, receives the
+    tracer/profiler/profiles/slo and the submitted job ids for
+    test/export introspection.
     """
-    if traced not in ("plain", "events", "traced"):
+    if traced not in ("plain", "events", "traced", "profiled"):
         raise ValueError(f"unknown C6 flavor {traced!r}")
     sim, registry, broker, sites = build_federation_stack(
         n_sites=N_SITES,
@@ -117,11 +129,18 @@ def run_c6(traced: str = "plain", _capture: dict | None = None) -> dict:
         max_queue_depth=64,
         heartbeat_interval=TICK_INTERVAL_S,
     )
-    tracer = None
+    tracer = profiler = profiles = slo = None
     if traced == "events":
         broker.attach_events()
     elif traced == "traced":
         tracer = broker.attach_tracer()
+    elif traced == "profiled":
+        from repro.observability import SLOTracker
+
+        profiler = broker.attach_profiler()
+        profiles = broker.attach_profiles()
+        slo = SLOTracker()
+        slo.attach_bus(broker.events)
     step_profile = sim.enable_profiling()
     # the bench owns the housekeeping loop (instead of
     # spawn_housekeeping) so it can time each reconcile individually
@@ -218,8 +237,19 @@ def run_c6(traced: str = "plain", _capture: dict | None = None) -> dict:
         for name in sorted(totals):
             out[f"stage_{name}_sim_mean_s"] = totals[name] / counts[name]
         out["spans_closed"] = float(sum(counts.values()))
+    if profiler is not None:
+        slo.evaluate(sim.now)
+        snap = profiler.snapshot()
+        out["profile_paths"] = float(len(snap))
+        out["profile_total_s"] = profiler.total_seconds()
+        out["profile_sim_step_calls"] = snap.get(("sim.step",), {}).get("count", 0.0)
+        out["profiled_signatures"] = float(len(profiles.signatures()))
+        out["profiled_jobs"] = float(profiles.summary()["jobs_profiled"])
     if _capture is not None:
         _capture["tracer"] = tracer
+        _capture["profiler"] = profiler
+        _capture["profiles"] = profiles
+        _capture["slo"] = slo
         _capture["job_ids"] = job_ids
     return out
 
@@ -311,6 +341,42 @@ def test_c6_tracing_is_invisible_to_scheduling():
     assert overhead < 1.25
 
 
+def test_c6_profiling_is_invisible_to_scheduling():
+    """Acceptance for the profiling plane: the profiled flavor makes
+    bit-identical scheduling decisions, every instrumented hot path
+    shows up in the scope stats, the phase-profile store fills from the
+    same sweep, and the end-to-end overhead stays within a loose wall
+    bound (the precise ratio is gated by the regression suite)."""
+    capture: dict = {}
+    plain = run_c6()
+    profiled = run_c6(traced="profiled", _capture=capture)
+    for key in DETERMINISTIC_KEYS:
+        assert plain[key] == profiled[key], key
+
+    profiler = capture["profiler"]
+    seen = {name for path in profiler.paths() for name in path}
+    assert set(PROFILE_SCOPES) <= seen, set(PROFILE_SCOPES) - seen
+    # every sim event dispatched under a sim.step frame, and nested
+    # scopes attribute to their parents (reconcile under sim.step)
+    assert profiled["profile_sim_step_calls"] > 0
+    assert any(
+        len(path) > 1 and path[0] == "sim.step" for path in profiler.paths()
+    )
+
+    profiles = capture["profiles"]
+    assert profiles.summary()["jobs_profiled"] > 0
+    for profile in (profiles.get(t, s) for t, s in profiles.keys()):
+        assert set(profile.phases) <= {
+            "queue_wait_s", "classical_pre_s", "execute_s", "job_s", "resize_churn",
+        }
+    slo = capture["slo"]
+    assert slo.last_results, "SLO tracker never evaluated"
+
+    overhead = profiled["total_wall_s"] / plain["total_wall_s"]
+    print(f"profiling overhead: {overhead:.3f}x over plain")
+    assert overhead < 1.6
+
+
 def main(argv=None) -> int:
     import argparse
     import json
@@ -329,6 +395,18 @@ def main(argv=None) -> int:
         default=None,
         help="run a traced sweep and write the JSON trace export to PATH",
     )
+    parser.add_argument(
+        "--profile-report",
+        metavar="PATH",
+        default=None,
+        help="run a profiled sweep and write the top-N + flame report to PATH",
+    )
+    parser.add_argument(
+        "--slo-out",
+        metavar="PATH",
+        default=None,
+        help="run a profiled sweep and write the SLO + phase-profile summary JSON to PATH",
+    )
     args = parser.parse_args(argv)
     if args.profile:
         import cProfile
@@ -343,8 +421,29 @@ def main(argv=None) -> int:
         stats = pstats.Stats(profiler)
         stats.sort_stats("cumulative").print_stats(15)
         print(f"profile written to {args.profile}")
-    elif not args.trace_out:
+    elif not (args.trace_out or args.profile_report or args.slo_out):
         _print_report(run_c6())
+    if args.profile_report or args.slo_out:
+        capture: dict = {}
+        out = run_c6(traced="profiled", _capture=capture)
+        _print_report(out, flavor="profiled")
+        if args.profile_report:
+            profiler = capture["profiler"]
+            report = (
+                profiler.report_top(20) + "\n\n" + profiler.render_flame() + "\n"
+            )
+            path = pathlib.Path(args.profile_report)
+            path.write_text(report)
+            print(f"profile report written to {path}")
+        if args.slo_out:
+            summary = {
+                "mode": "smoke" if SMOKE else "full",
+                "slo": capture["slo"].summary(),
+                "profiles": capture["profiles"].snapshot(),
+            }
+            path = pathlib.Path(args.slo_out)
+            path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+            print(f"SLO summary written to {path}")
     if args.trace_out:
         capture: dict = {}
         out = run_c6(traced="traced", _capture=capture)

@@ -256,30 +256,54 @@ def bench_regression_suite() -> dict:
         metrics[f"latency_c6_{pct}_ratio"] = round(
             c6[f"latency_{pct}_ratio"], 4
         )
-    # tracing overhead: the same sweep with the lifecycle bus attached
-    # (events) and with the full span pipeline (traced).  Scheduling
-    # must be bit-identical across all three flavors — a drift here is
-    # an instrumentation bug, not a regression to tolerate.
+    # instrumentation overhead: the same sweep with the lifecycle bus
+    # attached (events), with the full span pipeline (traced), and with
+    # the continuous profiling plane (profiled).  Scheduling must be
+    # bit-identical across all four flavors — a drift here is an
+    # instrumentation bug, not a regression to tolerate.
     c6_events = run_c6(traced="events")
     c6_traced = run_c6(traced="traced")
+    c6_profiled = run_c6(traced="profiled")
     for key in (
         "completed", "failed", "scanned_per_tick_mean",
         "scanned_per_tick_max", "scanned_final_tick",
     ):
-        if not (c6[key] == c6_events[key] == c6_traced[key]):
+        if not (c6[key] == c6_events[key] == c6_traced[key] == c6_profiled[key]):
             raise RuntimeError(
                 f"C6 {key} drifted under instrumentation: "
                 f"plain={c6[key]} events={c6_events[key]} "
-                f"traced={c6_traced[key]}"
+                f"traced={c6_traced[key]} profiled={c6_profiled[key]}"
             )
+    profile_overhead = c6_profiled["total_wall_s"] / c6["total_wall_s"]
+    if profile_overhead > 1.6:
+        # hard stop independent of any baseline: "low overhead" is the
+        # profiler's contract, not a number to be re-baselined away
+        raise RuntimeError(
+            f"C6 profiling overhead {profile_overhead:.2f}x exceeds the "
+            "1.6x contract"
+        )
     metrics["walltime_c6_events_total_s"] = round(
         c6_events["total_wall_s"], 3
     )
     metrics["walltime_c6_traced_total_s"] = round(
         c6_traced["total_wall_s"], 3
     )
+    metrics["walltime_c6_profiled_total_s"] = round(
+        c6_profiled["total_wall_s"], 3
+    )
     metrics["walltime_c6_trace_overhead_ratio"] = round(
         c6_traced["total_wall_s"] / c6_events["total_wall_s"], 4
+    )
+    # self-calibrated walltime ratios (the ROADMAP "raw speed" gates):
+    # wall cost over same-machine probe cost survives a runner change,
+    # so these *_ratio names gate in compare_runs where raw seconds
+    # stay an ungated artifact trail
+    metrics["walltime_c6_profile_overhead_ratio"] = round(profile_overhead, 4)
+    metrics["walltime_c6_total_ratio"] = round(
+        c6["total_wall_s"] * 1e3 / c6["probe_ms"], 4
+    )
+    metrics["walltime_c6_drained_tick_ratio"] = round(
+        c6["drained_tick_ms"] / c6["probe_ms"], 4
     )
     # C7 — the scheduling-algorithm sweep.  Every registered algorithm
     # replays one saturated trace through one driver; makespans and
@@ -351,6 +375,21 @@ def compare_runs(baseline: dict, current: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"{name}: {value:.4f} vs baseline {base:.4f} "
                 f"(> {5 * 100 * tolerance:.0f}% latency tolerance)"
+            )
+        elif (
+            name.startswith("walltime_")
+            and name.endswith("_ratio")
+            and value > max(base * (1.0 + 5.0 * tolerance), base + 0.25)
+        ):
+            # walltime_*_ratio are the raw-speed gates: end-to-end wall
+            # cost (or instrumentation overhead) over the same-machine
+            # probe cost.  Same 5x treatment as latency_*, with a wider
+            # absolute floor — whole-run ratios jitter more than
+            # single-tick percentiles.  Plain walltime_* seconds stay
+            # ungated: they are the artifact trail, not the gate.
+            failures.append(
+                f"{name}: {value:.4f} vs baseline {base:.4f} "
+                f"(> {5 * 100 * tolerance:.0f}% walltime-ratio tolerance)"
             )
     return failures
 

@@ -16,6 +16,8 @@ User (bearer token = session token unless noted):
     GET    /resources/{name}/target       current device specs (no token)
     GET    /sdks                          supported SDKs (no token)
     GET    /metrics                       Prometheus exposition (no token)
+    GET    /healthz                      liveness/readiness summary (no token)
+    GET    /profiles                     per-workload phase profiles (no token)
 
 Admin (bearer token must have the ADMIN role):
 
@@ -173,6 +175,14 @@ def build_router(daemon: MiddlewareDaemon) -> Router:
     def metrics(request: Request) -> Response:
         return Response(body={"text": daemon.metrics_text()})
 
+    @_wrap
+    def healthz(request: Request) -> Response:
+        return Response(body=daemon.healthz())
+
+    @_wrap
+    def profiles(request: Request) -> Response:
+        return Response(body={"profiles": daemon.profiles.snapshot()})
+
     router.add("POST", "/sessions", create_session)
     router.add("POST", "/tasks", submit_task)
     router.add("POST", "/jobs", submit_job)
@@ -183,6 +193,8 @@ def build_router(daemon: MiddlewareDaemon) -> Router:
     router.add("GET", "/resources/{name}/target", resource_target)
     router.add("GET", "/sdks", list_sdks)
     router.add("GET", "/metrics", metrics)
+    router.add("GET", "/healthz", healthz)
+    router.add("GET", "/profiles", profiles)
 
     # -- admin surface -----------------------------------------------------------
 

@@ -69,6 +69,10 @@ class SecondLevelScheduler:
         #: "dispatch" span tagged with this site label
         self.span_tracer = None
         self.span_site = "local"
+        #: set by :func:`repro.observability.profiling.instrument_scheduler_profiler`
+        #: — when wired, each select pass runs under a "scheduler.select"
+        #: profiler scope
+        self.scope_profiler = None
         self._wake = Store(name="scheduler-wake")
         self._worker = sim.spawn(self._run(), name="second-level-scheduler")
         self.tasks_completed = 0
@@ -113,6 +117,13 @@ class SecondLevelScheduler:
     # -- the worker -----------------------------------------------------------
 
     def _select(self) -> QueuedTask | None:
+        profiler = self.scope_profiler
+        if profiler is None:
+            return self._select_inner()
+        with profiler.scope("scheduler.select"):
+            return self._select_inner()
+
+    def _select_inner(self) -> QueuedTask | None:
         if self.selection_policy is not None:
             eligible = [
                 t for t in self.queue.all_tasks() if t.state is TaskState.QUEUED
@@ -125,6 +136,7 @@ class SecondLevelScheduler:
             if chosen.state is not TaskState.QUEUED:
                 raise DaemonError("selection policy returned a non-queued task")
             # consume it from the heap lazily by marking then popping equals
+            chosen.started_at = self.sim.now
             chosen.state = TaskState.RUNNING
             return chosen
         eligible = self.queue.queued_tasks()
@@ -140,6 +152,7 @@ class SecondLevelScheduler:
             return None
         if chosen.state is not TaskState.QUEUED:
             raise DaemonError("scheduling algorithm returned a non-queued task")
+        chosen.started_at = self.sim.now
         chosen.state = TaskState.RUNNING
         self.queue.prune()
         return chosen
@@ -154,7 +167,8 @@ class SecondLevelScheduler:
                 yield from self._run_task(task)
 
     def _run_task(self, task: QueuedTask):
-        task.started_at = self.sim.now
+        # started_at was stamped in _select, *before* the RUNNING
+        # transition, so queue listeners observe a consistent task
         self.current = task
         self.trace.emit(
             self.sim.now,
@@ -199,24 +213,24 @@ class SecondLevelScheduler:
                 self.current = None
                 return
             self._end_span(span, "failed")
-            task.state = TaskState.FAILED
             task.error = f"interrupted: {intr.cause!r}"
             task.finished_at = self.sim.now
+            task.state = TaskState.FAILED
             self.current = None
             self._finish(task)
             return
         except Exception as err:
             self._end_span(span, "failed")
-            task.state = TaskState.FAILED
             task.error = f"{type(err).__name__}: {err}"
             task.finished_at = self.sim.now
+            task.state = TaskState.FAILED
             self.current = None
             self._finish(task)
             return
         self._end_span(span, "ok")
-        task.state = TaskState.COMPLETED
         task.result = result
         task.finished_at = self.sim.now
+        task.state = TaskState.COMPLETED
         self.current = None
         self.tasks_completed += 1
         self._finish(task)

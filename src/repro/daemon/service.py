@@ -21,7 +21,9 @@ from ..observability import (
     AlertManager,
     JobMetadataStore,
     MetricRegistry,
+    ProfileStore,
     Scraper,
+    SLOTracker,
     TimeSeriesDB,
     render_exposition,
 )
@@ -95,6 +97,14 @@ class MiddlewareDaemon:
             label_names=("class",),
         )
         self._m_sessions = self.metrics.gauge("daemon_active_sessions", "Live sessions")
+        #: per-workload phase signatures, fed from every queue transition
+        #: (served raw by ``GET /profiles``)
+        self.profiles = ProfileStore()
+        self.queue.add_transition_listener(self.profiles.queue_listener())
+        #: optional :class:`~repro.observability.slo.SLOTracker` — when a
+        #: deployment declares objectives (``daemon.slo = SLOTracker(...)``),
+        #: its burn rates render in ``/metrics``
+        self.slo: SLOTracker | None = None
         self.alerts: AlertManager | None = None
         self._lowlevel: dict[str, LowLevelControl] = {}
         for name, resource in self.resources.items():
@@ -290,7 +300,31 @@ class MiddlewareDaemon:
 
     def metrics_text(self) -> str:
         self._update_queue_gauges()
-        return render_exposition(self.metrics)
+        return render_exposition(self.metrics, alerts=self.alerts, slo=self.slo)
+
+    def healthz(self) -> dict[str, Any]:
+        """Liveness/readiness summary for ``GET /healthz``.
+
+        ``ready`` means the scraper is keeping up: before the first
+        scrape is even due the daemon is trivially ready; afterwards the
+        last scrape must be within two intervals.  ``status`` degrades
+        (but the route stays 200 — liveness) when it is not.
+        """
+        now = self.now
+        last = self.scraper.last_scrape_at
+        lag = None if last is None else now - last
+        due = now >= self.scraper.interval
+        ready = (not due) or (lag is not None and lag <= 2 * self.scraper.interval)
+        firing = 0 if self.alerts is None else len(self.alerts.firing())
+        return {
+            "live": True,
+            "ready": ready,
+            "status": "ok" if ready and firing == 0 else "degraded",
+            "scrape_lag_s": lag,
+            "scrape_targets": len(self.scraper.targets()),
+            "firing_alerts": firing,
+            "queue_depth": self.queue.queued_count(),
+        }
 
     def telemetry(self, resource: str) -> dict[str, Any]:
         device = self.hardware_device(resource)

@@ -36,6 +36,8 @@ from ..errors import (
     SiteUnavailable,
     SpecError,
 )
+from ..observability.profiles import ProfileStore
+from ..observability.profiling import Profiler, instrument_scheduler_profiler
 from ..observability.tracing import TraceContext, Tracer, instrument_scheduler
 from ..runtime.backend_select import select_resource
 from ..scheduling.algorithms import (
@@ -119,6 +121,13 @@ def _program_qubits(program: Any) -> int:
         return 0
 
 
+def _program_name(program: Any) -> str:
+    name = getattr(program, "name", None)
+    if name is None and isinstance(program, dict):
+        name = program.get("name")
+    return name or "program"
+
+
 class FederationBroker:
     """Route jobs across a :class:`SiteRegistry` with a pluggable policy."""
 
@@ -175,6 +184,13 @@ class FederationBroker:
         #: optional :class:`~repro.observability.tracing.Tracer` (see
         #: :meth:`attach_tracer`); ``None`` skips all span bookkeeping
         self.tracer: Tracer | None = None
+        #: optional :class:`~repro.observability.profiling.Profiler`
+        #: (see :meth:`attach_profiler`); ``None`` costs one branch per
+        #: hot-path site
+        self.profiler: Profiler | None = None
+        #: optional :class:`~repro.observability.profiles.ProfileStore`
+        #: (see :meth:`attach_profiles`)
+        self.profiles: ProfileStore | None = None
         self._wire_bus(self.events)
         #: live placement index: (site, task_id) -> federated job id,
         #: maintained by _place/_abandon/_fail/completion so pushed site
@@ -286,6 +302,47 @@ class FederationBroker:
         )
         return self.tracer
 
+    def attach_profiler(self, profiler: Profiler | None = None) -> Profiler:
+        """Turn on continuous hot-path profiling: the simulator wraps
+        every event dispatch in a ``sim.step`` scope, each site daemon's
+        select pass (current and future joiners) runs under
+        ``scheduler.select``, the scrapers' TSDB flushes under
+        ``tsdb.flush``, and the broker's own reconcile / resize /
+        placement paths scope themselves.  The profiler never touches
+        scheduling state, so a profiled run is bit-identical to a plain
+        one (the C6 bench enforces this).  Idempotent; returns the
+        active profiler.
+        """
+        if self.profiler is not None:
+            return self.profiler
+        self.profiler = profiler if profiler is not None else Profiler()
+        self.sim.enable_scope_profiling(self.profiler)
+
+        def wire(site) -> None:
+            instrument_scheduler_profiler(site.daemon.scheduler, self.profiler)
+            scraper = getattr(site.daemon, "scraper", None)
+            if scraper is not None:
+                scraper.profiler = self.profiler
+
+        for name in self.registry.names():
+            wire(self.registry.site(name))
+        self.registry.on_register(wire)
+        return self.profiler
+
+    def attach_profiles(self, store: ProfileStore | None = None) -> ProfileStore:
+        """Collect per-workload phase signatures: switches to push-based
+        events and feeds a :class:`ProfileStore` from the lifecycle bus.
+        The store's summary appears in :meth:`stats`; site daemons also
+        expose their own stores via ``GET /profiles``.  Idempotent;
+        returns the active store.
+        """
+        if self.profiles is not None:
+            return self.profiles
+        self.profiles = store if store is not None else ProfileStore()
+        self.attach_events()
+        self.profiles.attach_bus(self.events)
+        return self.profiles
+
     def _publish(self, kind: str, job_id: str, site: str = "", task_id: str = "", **payload) -> None:
         self.events.publish(
             JobEvent(
@@ -394,7 +451,13 @@ class FederationBroker:
         self._by_state[job.state][job.job_id] = job
         if self.tracer is not None:
             self._trace_intake(job.job_id, spec, admit_wall, hold)
-        self._publish("job_held" if hold else "job_submitted", job.job_id)
+        self._publish(
+            "job_held" if hold else "job_submitted",
+            job.job_id,
+            tenant=spec.tenant,
+            program=_program_name(spec.program),
+            qubits=job.n_qubits,
+        )
         if not hold:
             self._place(job)
         return job.job_id
@@ -631,6 +694,15 @@ class FederationBroker:
         pre-algorithm broker.  Algorithms that return no usable decision
         fall back to direct policy choice rather than failing the job.
         """
+        profiler = self.profiler
+        if profiler is None:
+            return self._choose_site_inner(job, candidates)
+        with profiler.scope("algorithm.schedule"):
+            return self._choose_site_inner(job, candidates)
+
+    def _choose_site_inner(
+        self, job: FederatedJob, candidates: list[SiteSnapshot]
+    ) -> SiteSnapshot:
         algorithm = self._algorithm_for(job)
         pending, resources, system = federation_views(job, candidates, self.sim.now)
         by_name = {snap.name: snap for snap in candidates}
@@ -935,6 +1007,14 @@ class FederationBroker:
         fixed-size refresh, the malleable resize loop) + a metrics
         snapshot.  Terminal jobs are archived out of the sweep tables,
         so tick cost tracks in-flight work, not completed history."""
+        profiler = self.profiler
+        if profiler is None:
+            self._reconcile()
+            return
+        with profiler.scope("broker.reconcile"):
+            self._reconcile()
+
+    def _reconcile(self) -> None:
         started = time.perf_counter()
         scanned = len(self._by_state[JobState.HELD])
         if self.accounting is not None:
@@ -949,7 +1029,12 @@ class FederationBroker:
         if self._malleable is not None:
             # the malleable pass builds its own admission memo: the
             # refresh loop above may have moved tenants' budgets
-            malleable_scanned = self._malleable.tick()
+            profiler = self.profiler
+            if profiler is None:
+                malleable_scanned = self._malleable.tick()
+            else:
+                with profiler.scope("malleable.tick"):
+                    malleable_scanned = self._malleable.tick()
         malleable_done = time.perf_counter()
         self.metrics.observe_sites(self.registry.snapshots(self.sim.now))
         self.metrics.observe_snapshot_cache(self.registry.snapshot_cache_hits)
@@ -1143,4 +1228,7 @@ class FederationBroker:
             "resize_events": resize_events,
             "evicted": self._evicted,
             "sites": self.registry.names(),
+            "profiles": (
+                self.profiles.summary() if self.profiles is not None else None
+            ),
         }

@@ -37,7 +37,7 @@ from ..runtime.backend_select import select_resource
 from ..scheduling.algorithms import AgreementElastic
 from ..scheduling.malleable import ShareLedger
 from ..spec import JobSpec, parse_site_leg
-from .broker import JobState, _program_qubits
+from .broker import JobState, _program_name, _program_qubits
 from .events import TERMINAL_TASK_KINDS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -308,7 +308,13 @@ class MalleableManager:
         self._by_state[job.state][job.job_id] = job
         if self.broker.tracer is not None:
             self.broker._trace_intake(job.job_id, spec, admit_wall, hold)
-        self.broker._publish("job_held" if hold else "job_submitted", job.job_id)
+        self.broker._publish(
+            "job_held" if hold else "job_submitted",
+            job.job_id,
+            tenant=spec.tenant,
+            program=_program_name(ir),
+            qubits=job.n_qubits,
+        )
         if not hold:
             self._seed_shares(job)
             # arbitrated from the first dispatch: a late-arriving job

@@ -22,7 +22,13 @@ The stack is rebuilt from scratch with the same division of labour:
 * :mod:`jobmeta`   — per-job metadata ("per-job metadata on qubit
   performance can assist in interpreting noisy results"),
 * :mod:`tracing`   — distributed tracing: job-scoped span trees with
-  explicit context propagation from Session to shot.
+  explicit context propagation from Session to shot,
+* :mod:`profiling` — continuous hot-path scope profiler (call-path
+  stats, top-N report, flamegraph-style tree, TSDB flush),
+* :mod:`profiles`  — per-workload phase signatures keyed by (tenant,
+  program signature), EWMA-updated from lifecycle events,
+* :mod:`slo`       — latency objectives with multi-window burn-rate
+  rules compiled onto the alert manager.
 """
 
 from .alerts import Alert, AlertManager, AlertRule, AlertState
@@ -31,7 +37,10 @@ from .drift import CusumDetector, DriftDetector, EwmaDetector
 from .exporter import render_exposition
 from .jobmeta import JobMetadataStore
 from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .profiles import PhaseProfile, ProfileStore, program_signature
+from .profiling import Profiler, instrument_scheduler_profiler
 from .scrape import Scraper
+from .slo import DEFAULT_OBJECTIVES, LatencyObjective, SLOTracker
 from .tracing import Span, TraceContext, Tracer, instrument_scheduler
 from .tsdb import TimeSeriesDB
 
@@ -42,20 +51,28 @@ __all__ = [
     "AlertState",
     "Counter",
     "CusumDetector",
+    "DEFAULT_OBJECTIVES",
     "Dashboard",
     "DriftDetector",
     "EwmaDetector",
     "Gauge",
     "Histogram",
     "JobMetadataStore",
+    "LatencyObjective",
     "MetricRegistry",
     "Panel",
+    "PhaseProfile",
+    "ProfileStore",
+    "Profiler",
+    "SLOTracker",
     "Scraper",
     "Span",
     "TimeSeriesDB",
     "TraceContext",
     "Tracer",
     "instrument_scheduler",
+    "instrument_scheduler_profiler",
+    "program_signature",
     "render_exposition",
     "render_trace_timeline",
 ]

@@ -39,6 +39,11 @@ class Scraper:
         self.interval = interval
         self._targets: list[_Target] = []
         self._process = None
+        #: optional profiler; when set, each scrape runs under a
+        #: ``tsdb.flush`` scope (the scrape IS the TSDB write hot path)
+        self.profiler = None
+        #: sim time of the last completed scrape (None before the first)
+        self.last_scrape_at: float | None = None
 
     def add_target(
         self,
@@ -65,15 +70,34 @@ class Scraper:
         self._process = self.sim.spawn(self._run(), name="scraper", background=True)
 
     def scrape_once(self, now: float) -> None:
+        profiler = self.profiler
+        if profiler is None:
+            self._scrape(now)
+            return
+        with profiler.scope("tsdb.flush"):
+            self._scrape(now)
+
+    def _scrape(self, now: float) -> None:
         for target in self._targets:
             try:
                 values = target.collect(now)
             except Exception:
                 target.errors += 1
                 self.tsdb.write("scrape_error", now, 1.0, labels={"target": target.name})
-                continue
-            target.scrapes += 1
-            self.tsdb.write_many(dict(values), now, labels=target.labels)
+            else:
+                target.scrapes += 1
+                self.tsdb.write_many(dict(values), now, labels=target.labels)
+            # self-metrics: a broken collector is visible as a flat
+            # scrapes curve + rising errors curve, per target
+            self.tsdb.write(
+                "scrape_target_scrapes", now, float(target.scrapes),
+                labels={"target": target.name},
+            )
+            self.tsdb.write(
+                "scrape_target_errors", now, float(target.errors),
+                labels={"target": target.name},
+            )
+        self.last_scrape_at = now
 
     def _run(self):
         while True:

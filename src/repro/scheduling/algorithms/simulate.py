@@ -75,7 +75,10 @@ def simulate(
     fair_weight=None,
     horizon: float = 1e9,
 ) -> SimReport:
-    arrivals = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+    # tiebreak same-instant arrivals by submission (input) order — a
+    # lexicographic job_id tiebreak would rank "j10" ahead of "j2" and
+    # hand FIFO-order algorithms the wrong head
+    arrivals = sorted(jobs, key=lambda j: j.arrival)
     submit_seq = {job.job_id: seq for seq, job in enumerate(arrivals)}
     by_id = {job.job_id: job for job in jobs}
     pending: list[SimJob] = []

@@ -1,0 +1,180 @@
+"""Edge-case coverage: absence rules at scrape-cadence boundaries and
+non-finite values flowing scraper -> TSDB -> exposition."""
+
+import math
+
+import pytest
+
+from repro.observability import (
+    AlertManager,
+    AlertRule,
+    AlertState,
+    MetricRegistry,
+    Scraper,
+    TimeSeriesDB,
+    render_exposition,
+)
+from repro.simkernel import Simulator
+
+
+def absence_rule(absent_seconds=30.0):
+    return AlertRule(
+        name="telemetry-absent",
+        measurement="qpu_fidelity_proxy",
+        labels={"device": "d0"},
+        absent_seconds=absent_seconds,
+    )
+
+
+class TestAbsenceCadenceEdges:
+    def test_exactly_at_absent_seconds_is_not_absent(self):
+        """The horizon comparison is strictly '>': a point exactly
+        absent_seconds old still counts as present, so a rule tuned to
+        2x the scrape interval never flaps on an on-time cadence."""
+        db = TimeSeriesDB()
+        db.write("qpu_fidelity_proxy", 10.0, 0.97, labels={"device": "d0"})
+        manager = AlertManager(db)
+        manager.add_rule(absence_rule(absent_seconds=30.0))
+        alert = manager.get("telemetry-absent")
+
+        manager.evaluate(now=40.0)  # age == absent_seconds exactly
+        assert alert.state is AlertState.INACTIVE
+
+        manager.evaluate(now=40.0 + 1e-9)  # one tick past the horizon
+        assert alert.state is AlertState.FIRING  # for_seconds defaults to 0
+
+    def test_no_points_at_all_is_absent(self):
+        manager = AlertManager(TimeSeriesDB())
+        manager.add_rule(absence_rule())
+        manager.evaluate(now=0.0)
+        assert manager.get("telemetry-absent").state is AlertState.FIRING
+
+    def test_target_dying_mid_window_fires_then_recovers(self):
+        """A scraped target that stops reporting mid-run stalls its
+        series; the absence rule fires after the horizon and resolves
+        as soon as the target comes back."""
+        sim = Simulator()
+        db = TimeSeriesDB()
+        scraper = Scraper(sim, db, interval=10.0)
+        alive = [True]
+
+        def collect(now):
+            if not alive[0]:
+                raise RuntimeError("target down")
+            return {"qpu_fidelity_proxy": 0.97}
+
+        scraper.add_target("d0", collect, labels={"device": "d0"})
+        manager = AlertManager(db)
+        manager.add_rule(absence_rule(absent_seconds=25.0))
+        alert = manager.get("telemetry-absent")
+
+        for t in (10.0, 20.0, 30.0):
+            scraper.scrape_once(t)
+        manager.evaluate(now=30.0)
+        assert alert.state is AlertState.INACTIVE
+
+        alive[0] = False  # dies mid-window: scrapes continue, data stops
+        for t in (40.0, 50.0, 60.0):
+            scraper.scrape_once(t)
+        manager.evaluate(now=60.0)  # last good point at 30, age 30 > 25
+        assert alert.state is AlertState.FIRING
+        # the self-metrics make the failure visible per target
+        assert db.latest("scrape_target_errors", labels={"target": "d0"})[1] == 3.0
+        assert db.latest("scrape_target_scrapes", labels={"target": "d0"})[1] == 3.0
+        assert db.latest("scrape_error", labels={"target": "d0"})[1] == 1.0
+
+        alive[0] = True
+        scraper.scrape_once(70.0)
+        manager.evaluate(now=70.0)
+        assert alert.state is AlertState.INACTIVE
+        assert alert.resolved_at == 70.0
+
+    def test_absence_with_for_seconds_traverses_pending(self):
+        db = TimeSeriesDB()
+        db.write("qpu_fidelity_proxy", 0.0, 0.97, labels={"device": "d0"})
+        manager = AlertManager(db)
+        manager.add_rule(
+            AlertRule(
+                name="telemetry-absent",
+                measurement="qpu_fidelity_proxy",
+                labels={"device": "d0"},
+                absent_seconds=20.0,
+                for_seconds=15.0,
+            )
+        )
+        alert = manager.get("telemetry-absent")
+        manager.evaluate(now=30.0)
+        assert alert.state is AlertState.PENDING
+        manager.evaluate(now=45.0)
+        assert alert.state is AlertState.FIRING
+
+
+class TestNonFiniteFlow:
+    def scrape_values(self, values):
+        sim = Simulator()
+        db = TimeSeriesDB()
+        scraper = Scraper(sim, db, interval=10.0)
+        scraper.add_target("d0", lambda now: values, labels={"device": "d0"})
+        scraper.scrape_once(10.0)
+        return db
+
+    def test_nan_and_inf_survive_scraper_and_tsdb(self):
+        db = self.scrape_values({
+            "qpu_fidelity_proxy": float("nan"),
+            "qpu_queue_eta": float("inf"),
+        })
+        _, fidelity = db.latest("qpu_fidelity_proxy", labels={"device": "d0"})
+        assert math.isnan(fidelity)
+        _, eta = db.latest("qpu_queue_eta", labels={"device": "d0"})
+        assert math.isinf(eta) and eta > 0
+
+    def test_nan_never_violates_threshold_rules(self):
+        """NaN compares False under every operator, so a poisoned
+        sample parks the rule INACTIVE instead of flapping."""
+        db = self.scrape_values({"qpu_fidelity_proxy": float("nan")})
+        manager = AlertManager(db)
+        for op in ("<", "<=", ">", ">=", "=="):
+            manager.add_rule(
+                AlertRule(
+                    name=f"nan-{op}",
+                    measurement="qpu_fidelity_proxy",
+                    op=op,
+                    threshold=0.5,
+                    labels={"device": "d0"},
+                )
+            )
+        manager.evaluate(now=20.0)
+        assert manager.firing() == []
+
+    def test_nan_still_counts_as_presence(self):
+        db = self.scrape_values({"qpu_fidelity_proxy": float("nan")})
+        manager = AlertManager(db)
+        manager.add_rule(absence_rule(absent_seconds=30.0))
+        manager.evaluate(now=20.0)
+        assert manager.get("telemetry-absent").state is AlertState.INACTIVE
+
+    def test_inf_violates_greater_than(self):
+        db = self.scrape_values({"qpu_queue_eta": float("inf")})
+        manager = AlertManager(db)
+        manager.add_rule(
+            AlertRule(
+                name="eta-exploded",
+                measurement="qpu_queue_eta",
+                op=">",
+                threshold=1e6,
+                labels={"device": "d0"},
+            )
+        )
+        manager.evaluate(now=20.0)
+        assert manager.get("eta-exploded").state is AlertState.FIRING
+
+    def test_exposition_formats_non_finite_values(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("weird_values", "non-finite test", ["kind"])
+        gauge.set(float("nan"), labels={"kind": "nan"})
+        gauge.set(float("inf"), labels={"kind": "posinf"})
+        gauge.set(float("-inf"), labels={"kind": "neginf"})
+        text = render_exposition(registry)
+        assert 'weird_values{kind="nan"} NaN' in text
+        assert 'weird_values{kind="posinf"} +Inf' in text
+        assert 'weird_values{kind="neginf"} -Inf' in text
