@@ -19,13 +19,15 @@ drives a 10,000-job arrival sweep (plus a malleable mix) over an
 * **per-phase tick profile** — the held/fixed/malleable/observe wall
   split from ``broker.last_reconcile`` and the per-step cost of the
   simulation kernel itself (``sim.enable_profiling``),
-* **instrumentation overhead** — the sweep runs in four flavors:
+* **instrumentation overhead** — the sweep runs in five flavors:
   ``plain`` (poll-mode broker, the gated baseline), ``events``
-  (lifecycle bus attached), ``traced`` (full span pipeline), and
-  ``profiled`` (continuous scope profiler + phase-profile store + SLO
-  tracker).  Scheduling is bit-identical across all four — the DES
-  outputs must not move — and ``traced``/``profiled`` wall time over
-  the cheaper flavors is the advertised instrumentation overhead.
+  (lifecycle bus attached), ``batched`` (lifecycle bus in coalesced
+  batch-delivery mode — the raw-speed tentpole), ``traced`` (full span
+  pipeline), and ``profiled`` (continuous scope profiler +
+  phase-profile store + SLO tracker).  Scheduling is bit-identical
+  across all five — the DES outputs must not move — and
+  ``traced``/``profiled`` wall time over the cheaper flavors is the
+  advertised instrumentation overhead.
 
 ``python -m benchmarks.bench_ablation_scale`` prints the table;
 ``--profile out.prof`` additionally runs the sweep under cProfile and
@@ -111,17 +113,24 @@ def _probe_ms() -> float:
     return best * 1e3
 
 
-def run_c6(traced: str = "plain", _capture: dict | None = None) -> dict:
+def run_c6(
+    traced: str = "plain",
+    _capture: dict | None = None,
+    profile: bool = False,
+) -> dict:
     """One instrumented sweep; returns the tick-cost metrics.
 
     ``traced`` selects the observability flavor: ``"plain"`` (poll-mode
-    broker), ``"events"`` (lifecycle bus attached), ``"traced"`` (full
-    span pipeline), or ``"profiled"`` (scope profiler + phase-profile
-    store + SLO tracker).  ``_capture``, when given, receives the
+    broker), ``"events"`` (lifecycle bus attached), ``"batched"``
+    (lifecycle bus in coalesced batch-delivery mode), ``"traced"``
+    (full span pipeline), or ``"profiled"`` (scope profiler +
+    phase-profile store + SLO tracker).  ``profile=True`` additionally
+    attaches the scope profiler to any flavor (used for the batched
+    profile artifact).  ``_capture``, when given, receives the
     tracer/profiler/profiles/slo and the submitted job ids for
     test/export introspection.
     """
-    if traced not in ("plain", "events", "traced", "profiled"):
+    if traced not in ("plain", "events", "batched", "traced", "profiled"):
         raise ValueError(f"unknown C6 flavor {traced!r}")
     sim, registry, broker, sites = build_federation_stack(
         n_sites=N_SITES,
@@ -132,6 +141,8 @@ def run_c6(traced: str = "plain", _capture: dict | None = None) -> dict:
     tracer = profiler = profiles = slo = None
     if traced == "events":
         broker.attach_events()
+    elif traced == "batched":
+        broker.attach_events(batch=True)
     elif traced == "traced":
         tracer = broker.attach_tracer()
     elif traced == "profiled":
@@ -141,6 +152,8 @@ def run_c6(traced: str = "plain", _capture: dict | None = None) -> dict:
         profiles = broker.attach_profiles()
         slo = SLOTracker()
         slo.attach_bus(broker.events)
+    if profile and profiler is None:
+        profiler = broker.attach_profiler()
     step_profile = sim.enable_profiling()
     # the bench owns the housekeeping loop (instead of
     # spawn_housekeeping) so it can time each reconcile individually
@@ -238,13 +251,18 @@ def run_c6(traced: str = "plain", _capture: dict | None = None) -> dict:
             out[f"stage_{name}_sim_mean_s"] = totals[name] / counts[name]
         out["spans_closed"] = float(sum(counts.values()))
     if profiler is not None:
-        slo.evaluate(sim.now)
+        if slo is not None:
+            slo.evaluate(sim.now)
         snap = profiler.snapshot()
         out["profile_paths"] = float(len(snap))
         out["profile_total_s"] = profiler.total_seconds()
         out["profile_sim_step_calls"] = snap.get(("sim.step",), {}).get("count", 0.0)
-        out["profiled_signatures"] = float(len(profiles.signatures()))
-        out["profiled_jobs"] = float(profiles.summary()["jobs_profiled"])
+        if profiles is not None:
+            out["profiled_signatures"] = float(len(profiles.signatures()))
+            out["profiled_jobs"] = float(profiles.summary()["jobs_profiled"])
+    if traced == "batched":
+        out["bus_flushes"] = float(broker.events.flushes)
+        out["bus_coalesced"] = float(broker.events.coalesced)
     if _capture is not None:
         _capture["tracer"] = tracer
         _capture["profiler"] = profiler
@@ -341,6 +359,25 @@ def test_c6_tracing_is_invisible_to_scheduling():
     assert overhead < 1.25
 
 
+def test_c6_batched_delivery_is_invisible_to_scheduling():
+    """Acceptance for the batched core: coalesced bus delivery (plus
+    the kernel's same-timestamp batch dispatch underneath every flavor)
+    must not move a single deterministic DES output, the bus must
+    actually run in batch mode (flush barriers fired), and the batched
+    sweep must not be slower than the events flavor it supersedes
+    beyond noise (the real speedup is gated by the regression suite
+    against the pre-batching baseline)."""
+    plain = run_c6()
+    events = run_c6(traced="events")
+    batched = run_c6(traced="batched")
+    for key in DETERMINISTIC_KEYS:
+        assert plain[key] == events[key] == batched[key], key
+    assert batched["bus_flushes"] > 0
+    overhead = batched["total_wall_s"] / events["total_wall_s"]
+    print(f"batched bus wall cost: {overhead:.3f}x of events flavor")
+    assert overhead < 1.15
+
+
 def test_c6_profiling_is_invisible_to_scheduling():
     """Acceptance for the profiling plane: the profiled flavor makes
     bit-identical scheduling decisions, every instrumented hot path
@@ -407,6 +444,12 @@ def main(argv=None) -> int:
         default=None,
         help="run a profiled sweep and write the SLO + phase-profile summary JSON to PATH",
     )
+    parser.add_argument(
+        "--batched-profile-report",
+        metavar="PATH",
+        default=None,
+        help="run a batched sweep under the scope profiler and write the top-N + flame report to PATH",
+    )
     args = parser.parse_args(argv)
     if args.profile:
         import cProfile
@@ -421,8 +464,22 @@ def main(argv=None) -> int:
         stats = pstats.Stats(profiler)
         stats.sort_stats("cumulative").print_stats(15)
         print(f"profile written to {args.profile}")
-    elif not (args.trace_out or args.profile_report or args.slo_out):
+    elif not (
+        args.trace_out or args.profile_report or args.slo_out
+        or args.batched_profile_report
+    ):
         _print_report(run_c6())
+    if args.batched_profile_report:
+        capture: dict = {}
+        out = run_c6(traced="batched", _capture=capture, profile=True)
+        _print_report(out, flavor="batched")
+        profiler = capture["profiler"]
+        report = (
+            profiler.report_top(20) + "\n\n" + profiler.render_flame() + "\n"
+        )
+        path = pathlib.Path(args.batched_profile_report)
+        path.write_text(report)
+        print(f"batched profile report written to {path}")
     if args.profile_report or args.slo_out:
         capture: dict = {}
         out = run_c6(traced="profiled", _capture=capture)

@@ -183,6 +183,12 @@ def run_interleave_plan(
 # not rise, ``throughput_*`` must not fall.
 
 
+#: full-mode C6 total-wall/probe ratio of the last pre-batching core
+#: (committed baseline before the batch-oriented kernel + coalesced bus
+#: delivery landed) — the >=1.8x speed contract is measured against it
+_C6_PRE_BATCHING_RATIO = 9094.144
+
+
 def bench_regression_suite() -> dict:
     """Run the federation + malleable + accounting ablation benches;
     returns ``{"mode": ..., "metrics": {name: value}}``."""
@@ -190,7 +196,7 @@ def bench_regression_suite() -> dict:
 
     from benchmarks.bench_ablation_accounting import run_c5_budget, run_c5_fairshare
     from benchmarks.bench_ablation_malleable import run_all, run_c4c
-    from benchmarks.bench_ablation_scale import run_c6
+    from benchmarks.bench_ablation_scale import DETERMINISTIC_KEYS, run_c6
     from benchmarks.bench_fig4_federation import POLICIES, run_policy
 
     metrics: dict[str, float] = {}
@@ -305,6 +311,36 @@ def bench_regression_suite() -> dict:
     metrics["walltime_c6_drained_tick_ratio"] = round(
         c6["drained_tick_ms"] / c6["probe_ms"], 4
     )
+    # batched flavor — the raw-speed tentpole.  Coalesced bus delivery
+    # rides on the same-timestamp kernel batching; scheduling decisions
+    # must be bit-identical to the plain flavor, enforced as a hard stop
+    # (a drift here is a delivery-semantics bug, never a number to
+    # re-baseline).
+    c6_batched = run_c6(traced="batched")
+    for key in DETERMINISTIC_KEYS:
+        if c6[key] != c6_batched[key]:
+            raise RuntimeError(
+                f"C6 {key} drifted under batched bus delivery: "
+                f"plain={c6[key]} batched={c6_batched[key]}"
+            )
+    metrics["walltime_c6_batched_total_s"] = round(
+        c6_batched["total_wall_s"], 3
+    )
+    metrics["walltime_c6_batched_total_ratio"] = round(
+        c6_batched["total_wall_s"] * 1e3 / c6_batched["probe_ms"], 4
+    )
+    # the batched-core speed contract: before the batch-oriented core
+    # landed, the committed full-mode baseline ran C6 at a total/probe
+    # ratio of ~9094.  The contract is a >= 1.8x improvement, held as a
+    # hard ceiling independent of re-baselining (smoke runs sit far
+    # below it by construction).
+    if metrics["walltime_c6_batched_total_ratio"] > _C6_PRE_BATCHING_RATIO / 1.8:
+        raise RuntimeError(
+            f"C6 batched total ratio "
+            f"{metrics['walltime_c6_batched_total_ratio']:.1f} breaks the "
+            f">=1.8x speed contract over the pre-batching core "
+            f"(ceiling {_C6_PRE_BATCHING_RATIO / 1.8:.1f})"
+        )
     # C7 — the scheduling-algorithm sweep.  Every registered algorithm
     # replays one saturated trace through one driver; makespans and
     # utilizations gate the relative claims (EASY < FIFO, elastic <

@@ -179,30 +179,43 @@ class MPSEmulator(EmulatorBackend):
     def sample(
         self, mps: list[np.ndarray], order: np.ndarray, shots: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Sequential conditional sampling; returns (shots, n) bits in
-        *atom* order (inverse of the MPS site permutation)."""
+        """Sequential conditional sampling, vectorized over shots;
+        returns (shots, n) bits in *atom* order (inverse of the MPS
+        site permutation).
+
+        Every shot walks the chain site by site, but all shots advance
+        together: the per-shot prefix vectors form a (shots, chi)
+        matrix, so each site costs two matmuls and a masked select
+        instead of a Python loop per shot.  Uniform variates are drawn
+        as one (shots, n) block up front.
+        """
         n = len(mps)
+        if shots == 0:
+            return np.empty((0, n), dtype=np.uint8)
         right_env = _right_environments(mps)
         samples_chain = np.empty((shots, n), dtype=np.uint8)
-        for shot in range(shots):
-            v = np.ones((1,), dtype=np.complex128)
-            for k, tensor in enumerate(mps):
-                # amplitude vectors for bit 0 / 1 given the prefix
-                v0 = v @ tensor[:, 0, :]
-                v1 = v @ tensor[:, 1, :]
-                r = right_env[k + 1]
-                # P(prefix + b) = v_b R v_b^dagger (v_b is a row vector).
-                p0 = float(np.real(v0 @ r @ v0.conj()))
-                p1 = float(np.real(v1 @ r @ v1.conj()))
-                total = p0 + p1
-                if total <= 0:
-                    bit = 0
-                    v = v0
-                else:
-                    bit = int(rng.random() < (p1 / total))
-                    v = v1 if bit else v0
-                    v = v / np.sqrt(max(p1, 1e-300) if bit else max(p0, 1e-300))
-                samples_chain[shot, k] = bit
+        uniforms = rng.random((shots, n))
+        # prefix amplitude vectors, one row per shot
+        v = np.ones((shots, 1), dtype=np.complex128)
+        for k, tensor in enumerate(mps):
+            # amplitude vectors for bit 0 / 1 given each shot's prefix
+            v0 = v @ tensor[:, 0, :]
+            v1 = v @ tensor[:, 1, :]
+            r = right_env[k + 1]
+            # P(prefix + b) = v_b R v_b^dagger per shot (rows of v_b).
+            p0 = np.einsum("si,ij,sj->s", v0, r, v0.conj()).real
+            p1 = np.einsum("si,ij,sj->s", v1, r, v1.conj()).real
+            total = p0 + p1
+            ok = total > 0
+            bit = np.zeros(shots, dtype=bool)
+            bit[ok] = uniforms[ok, k] < (p1[ok] / total[ok])
+            v = np.where(bit[:, None], v1, v0)
+            # degenerate rows (total <= 0) keep the unnormalized v0
+            chosen = np.where(bit, p1, p0)
+            scale = np.ones(shots)
+            scale[ok] = 1.0 / np.sqrt(np.maximum(chosen[ok], 1e-300))
+            v = v * scale[:, None]
+            samples_chain[:, k] = bit
         # un-permute chain positions back to atom indices
         samples = np.empty_like(samples_chain)
         samples[:, order] = samples_chain

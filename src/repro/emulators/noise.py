@@ -74,6 +74,26 @@ class NoiseModel:
         offset = rng.normal(0.0, self.detuning_std) if self.detuning_std > 0 else 0.0
         return scale, offset
 
+    def draw_realizations(
+        self, rng: np.random.Generator, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample ``count`` (rabi_scale, detuning_offset) pairs in two
+        vectorized draws (all scales, then all offsets) — the batched
+        emulator paths consume whole realization sets at once."""
+        if count < 1:
+            raise EmulatorError(f"realization count must be >= 1, got {count}")
+        if self.amplitude_rel_std > 0:
+            scales = np.maximum(
+                0.0, 1.0 + rng.normal(0.0, self.amplitude_rel_std, count)
+            )
+        else:
+            scales = np.ones(count)
+        if self.detuning_std > 0:
+            offsets = rng.normal(0.0, self.detuning_std, count)
+        else:
+            offsets = np.zeros(count)
+        return scales, offsets
+
     def apply_spam(self, samples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Apply SPAM errors to an (shots, n) 0/1 sample array, vectorized.
 

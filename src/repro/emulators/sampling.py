@@ -53,10 +53,12 @@ def counts_from_samples(samples: np.ndarray) -> dict[str, int]:
     """Histogram an (shots, n) bit array into a counts dict."""
     if samples.shape[0] == 0:
         return {}
-    # Pack rows into integers for fast unique counting.
+    # Pack rows into integers for fast unique counting.  A plain Python
+    # ``1 << 63`` cast through int64 would overflow, so the weights are
+    # built in uint64 from the start; that covers exactly n <= 64.
     n = samples.shape[1]
-    if n <= 63:
-        weights = (1 << np.arange(n - 1, -1, -1)).astype(np.uint64)
+    if n <= 64:
+        weights = np.uint64(1) << np.arange(n - 1, -1, -1, dtype=np.uint64)
         keys = samples.astype(np.uint64) @ weights
         unique, counts = np.unique(keys, return_counts=True)
         result: dict[str, int] = {}
@@ -64,8 +66,7 @@ def counts_from_samples(samples: np.ndarray) -> dict[str, int]:
             bits = format(int(key), f"0{n}b")
             result[bits] = count
         return result
-    strings = bits_to_strings(samples)
-    result = {}
-    for s in strings:
-        result[s] = result.get(s, 0) + 1
-    return result
+    # Beyond 64 qubits no integer key fits a machine word: dedupe whole
+    # rows instead of packing them.
+    unique_rows, counts = np.unique(samples, axis=0, return_counts=True)
+    return dict(zip(bits_to_strings(unique_rows), counts.tolist()))

@@ -62,7 +62,7 @@ class StateVectorEmulator(EmulatorBackend):
 
         e_int = ham.diagonal_energies()
         # popcount per basis state for the detuning term.
-        occ_count = ham.occupation_table().sum(axis=1)
+        occ_count = ham.occupation_counts()
 
         omega = ham.omega * rabi_scale
         delta = ham.delta + detuning_offset
@@ -89,6 +89,86 @@ class StateVectorEmulator(EmulatorBackend):
         psi = self.evolve(ham, rabi_scale, detuning_offset)
         return np.abs(psi) ** 2
 
+    def evolve_many(
+        self,
+        ham: "RydbergHamiltonian",
+        rabi_scales: np.ndarray,
+        detuning_offsets: np.ndarray,
+    ) -> np.ndarray:
+        """Evolve one state per (rabi_scale, detuning_offset) pair in a
+        single batched pass; returns an (R, 2^n) array of final states.
+
+        All realizations share the time grid, so the diagonal half-step
+        phases for every (realization, step) land in one ``exp`` call
+        and the per-step drive rotations become batched 2x2 matmuls —
+        the per-realization Python round-trip the coherent-noise path
+        used to pay is gone.  Numerically identical to calling
+        :meth:`evolve` per pair.
+        """
+        self.check_size(ham)
+        scales = np.atleast_1d(np.asarray(rabi_scales, dtype=np.float64))
+        offsets = np.atleast_1d(np.asarray(detuning_offsets, dtype=np.float64))
+        if scales.shape != offsets.shape:
+            raise EmulatorError(
+                f"rabi_scales {scales.shape} and detuning_offsets "
+                f"{offsets.shape} must align"
+            )
+        n = ham.num_qubits
+        dim = 1 << n
+        reals = scales.shape[0]
+        num_steps = ham.num_steps
+        steps = ham.steps
+
+        e_int = ham.diagonal_energies()
+        occ_count = ham.occupation_counts()
+        delta = ham.delta[None, :] + offsets[:, None]            # (R, K)
+        theta = np.outer(scales, ham.omega) * steps[None, :]     # (R, K)
+        rotate = np.any(theta != 0.0, axis=0)                    # per step
+
+        # drive rotations for every (realization, step) up front
+        c = np.cos(0.5 * theta)
+        s = np.sin(0.5 * theta)
+        eip = np.exp(1j * ham.phase)
+        u = np.empty((reals, num_steps, 2, 2), dtype=np.complex128)
+        u[..., 0, 0] = c
+        u[..., 1, 1] = c
+        u[..., 0, 1] = (-1j * eip)[None, :] * s
+        u[..., 1, 0] = (-1j * eip.conj())[None, :] * s
+
+        psi = np.zeros((reals, dim), dtype=np.complex128)
+        psi[:, 0] = 1.0
+        # all (R, K, dim) half-step diagonal phases in one exp when the
+        # block is small; stream per step otherwise to bound memory
+        bulk = reals * num_steps * dim <= (1 << 22)
+        if bulk:
+            halves = np.exp(
+                (-0.5j * steps)[None, :, None]
+                * (e_int[None, None, :] - delta[:, :, None] * occ_count[None, None, :])
+            )
+        for k in range(num_steps):
+            if bulk:
+                half = halves[:, k, :]
+            else:
+                diag = e_int[None, :] - delta[:, k, None] * occ_count[None, :]
+                half = np.exp(-0.5j * steps[k] * diag)
+            psi *= half
+            if rotate[k]:
+                uk = u[:, k][:, None]  # (R, 1, 2, 2) broadcast over axes
+                for qubit in range(n):
+                    shaped = psi.reshape(reals, 1 << qubit, 2, 1 << (n - qubit - 1))
+                    psi = np.matmul(uk, shaped).reshape(reals, dim)
+            psi *= half
+        return psi
+
+    def probabilities_many(
+        self,
+        ham: "RydbergHamiltonian",
+        rabi_scales: np.ndarray,
+        detuning_offsets: np.ndarray,
+    ) -> np.ndarray:
+        psi = self.evolve_many(ham, rabi_scales, detuning_offsets)
+        return np.abs(psi) ** 2
+
     # -- execution -----------------------------------------------------------
 
     def run(
@@ -107,21 +187,29 @@ class StateVectorEmulator(EmulatorBackend):
             probs = self.probabilities(ham)
             samples = sample_bitstrings(probs, shots, rng, n)
             samples = noise.apply_spam(samples, rng)
+        elif shots == 0:
+            samples = np.zeros((0, n), dtype=np.uint8)
         else:
-            # Split the shot budget across coherent noise realizations.
-            reals = min(noise.noise_realizations, max(1, shots))
+            # Split the shot budget across coherent noise realizations:
+            # one batched evolution, one batched multinomial.  Counts
+            # are order-invariant and SPAM errors are i.i.d. per shot,
+            # so no per-chunk shuffle is needed.
+            reals = min(noise.noise_realizations, shots)
             base, extra = divmod(shots, reals)
-            chunks = []
-            for r in range(reals):
-                chunk_shots = base + (1 if r < extra else 0)
-                if chunk_shots == 0:
-                    continue
-                scale, offset = noise.draw_realization(rng)
-                probs = self.probabilities(ham, scale, offset)
-                chunks.append(sample_bitstrings(probs, chunk_shots, rng, n))
-            samples = (
-                np.concatenate(chunks) if chunks else np.zeros((0, n), dtype=np.uint8)
+            chunk_shots = np.full(reals, base, dtype=np.int64)
+            chunk_shots[:extra] += 1
+            scales, offsets = noise.draw_realizations(rng, reals)
+            probs = self.probabilities_many(ham, scales, offsets)
+            probs = np.clip(probs, 0.0, None)
+            totals = probs.sum(axis=1, keepdims=True)
+            if np.any(totals <= 0):
+                raise EmulatorError("probability vector sums to zero")
+            counts = rng.multinomial(chunk_shots, probs / totals)
+            states = np.repeat(
+                np.arange(1 << n, dtype=np.uint64), counts.sum(axis=0)
             )
+            shifts = np.arange(n - 1, -1, -1, dtype=np.uint64)
+            samples = ((states[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
             samples = noise.apply_spam(samples, rng)
         self._last_fidelity = 1.0
         return EmulationResult(

@@ -249,10 +249,20 @@ class FederationBroker:
     # -- lifecycle events ------------------------------------------------------
 
     def _wire_bus(self, bus: LifecycleBus) -> None:
-        bus.subscribe(self.metrics._on_event)
-        bus.subscribe(self._on_site_event)
+        bus.subscribe(self.metrics._on_event, batch=self.metrics.deliver_batch)
+        bus.subscribe(self._on_site_event, batch=self._on_site_events)
 
-    def attach_events(self, bus: LifecycleBus | None = None) -> LifecycleBus:
+    def _enable_batched_bus(self) -> None:
+        if not self.events.batching:
+            self.events.enable_batching()
+            # end-of-timestamp flush barrier: every same-tick batch the
+            # simulator dispatches ends with a bus flush, so no event
+            # outlives the simulated instant it was published at
+            self.sim.add_flush_hook(self.events.flush)
+
+    def attach_events(
+        self, bus: LifecycleBus | None = None, batch: bool = False
+    ) -> LifecycleBus:
         """Switch the broker to push-based lifecycle tracking.
 
         Wires the broker's lifecycle bus (or ``bus``, which replaces it)
@@ -263,8 +273,15 @@ class FederationBroker:
         per tick.  Idempotent; returns the active bus.  Attach *before*
         submitting work — transitions that happened pre-attach were
         never published.
+
+        ``batch=True`` turns on coalesced bus delivery: events buffer
+        per simulated tick and subscribers hear them at the flush
+        barriers (end of each simulator timestamp batch, top of every
+        reconcile) — see :class:`~repro.federation.events.LifecycleBus`.
         """
         if self._push:
+            if batch:
+                self._enable_batched_bus()
             return self.events
         if bus is not None and bus is not self.events:
             # external bus: re-point broker publishes and subscribers at
@@ -277,6 +294,8 @@ class FederationBroker:
         for name in self.registry.names():
             self.registry.site(name).attach_bus(self.events)
         self.registry.on_register(lambda site: site.attach_bus(self.events))
+        if batch:
+            self._enable_batched_bus()
         return self.events
 
     def attach_tracer(self, tracer: Tracer | None = None) -> Tracer:
@@ -369,6 +388,14 @@ class FederationBroker:
             return
         if event.kind in TERMINAL_TASK_KINDS:
             self._pushed_tasks[key] = dict(event.payload)
+
+    def _on_site_events(self, events: list[JobEvent]) -> None:
+        """Batched-bus delivery: the broker's own task tracking is
+        latest-state per placement (``_pushed_tasks`` / the malleable
+        per-unit index), so replaying the stream in publish order is
+        exactly the synchronous outcome."""
+        for event in events:
+            self._on_site_event(event)
 
     def _track_placement(self, job: FederatedJob) -> None:
         placement = job.placements[-1]
@@ -1016,6 +1043,11 @@ class FederationBroker:
 
     def _reconcile(self) -> None:
         started = time.perf_counter()
+        if self.events.batching:
+            # flush barrier: scheduling decisions must see every task
+            # transition published earlier in this simulated instant,
+            # exactly as synchronous delivery would have shown them
+            self.events.flush()
         scanned = len(self._by_state[JobState.HELD])
         if self.accounting is not None:
             self._release_held({})

@@ -97,7 +97,9 @@ class FederatedSite:
 
     def queue_depth(self) -> int:
         """Brokered-load signal: queued tasks plus the running one."""
-        depth = sum(self.daemon.queue.depth_by_class().values())
+        # queued_count() reads the maintained counters directly — this
+        # runs per site per snapshot refresh, so no dict building here
+        depth = self.daemon.queue.queued_count()
         if self.daemon.scheduler.current is not None:
             depth += 1
         return depth

@@ -18,7 +18,7 @@ and JSC):
   an internal emulator, applying calibration-dependent noise.
 """
 
-from .calibration import CalibrationState, DriftModel, DriftProcess
+from .calibration import CalibrationState, DriftEnsemble, DriftModel, DriftProcess
 from .device import QPUDevice
 from .geometry import Register
 from .hamiltonian import RydbergHamiltonian, interaction_matrix
@@ -42,6 +42,7 @@ __all__ = [
     "CompositeWaveform",
     "ConstantWaveform",
     "DeviceSpecs",
+    "DriftEnsemble",
     "DriftModel",
     "DriftProcess",
     "DriveSegment",

@@ -26,7 +26,7 @@ from ..errors import CalibrationError
 from ..emulators.noise import NoiseModel
 from ..simkernel import Simulator, Timeout
 
-__all__ = ["CalibrationState", "DriftModel", "DriftProcess"]
+__all__ = ["CalibrationState", "DriftEnsemble", "DriftModel", "DriftProcess"]
 
 #: parameters whose mutation bumps :attr:`CalibrationState.version`
 _VERSIONED_FIELDS = frozenset(
@@ -160,27 +160,71 @@ class DriftModel:
         self.jump_rate_per_hour = jump_rate_per_hour
         self.jump_scale = jump_scale
         self.params = dict(params or self.PARAMS)
+        # frozen coefficient vectors for the vectorized step (the params
+        # dict is fixed at construction)
+        self._names = list(self.params)
+        self._theta = np.array([t for t, _, _ in self.params.values()])
+        self._sigma = np.array([s for _, s, _ in self.params.values()])
+        self._direction = np.array(
+            [d for _, _, d in self.params.values()], dtype=np.float64
+        )
 
     def step(self, state: CalibrationState, dt: float, rng: np.random.Generator) -> None:
-        """Advance the drift by ``dt`` simulated seconds."""
+        """Advance the drift by ``dt`` simulated seconds.
+
+        All tracked parameters draw their diffusive shocks in one
+        vectorized normal call; NumPy consumes the bit stream exactly
+        as per-parameter scalar draws would, so stepped trajectories
+        are unchanged from the scalar implementation.
+        """
         if dt <= 0:
             raise CalibrationError(f"drift step dt must be positive, got {dt}")
+        shocks = np.abs(rng.normal(0.0, self._sigma)) * self._direction * np.sqrt(dt)
+        self._apply(state, dt, shocks)
+        # Poisson jump events (sudden degradation, e.g. alignment loss).
+        jump_prob = self.jump_rate_per_hour * dt / 3600.0
+        if rng.random() < jump_prob:
+            self.apply_jump(state, rng)
+
+    def step_many(
+        self, states: list[CalibrationState], dt: float, rng: np.random.Generator
+    ) -> None:
+        """Advance several states sharing a drift cadence in one batched
+        draw: a single ``(len(states), params)`` normal call plus one
+        uniform vector for the jump checks.
+
+        The shared ``rng`` is consumed state-major/parameter-minor, so
+        for a fixed seed the trajectory set is deterministic — but the
+        stream interleaving differs from running per-state :meth:`step`
+        calls against the same generator (those alternate shocks and
+        jump draws per state).
+        """
+        if dt <= 0:
+            raise CalibrationError(f"drift step dt must be positive, got {dt}")
+        if not states:
+            return
+        count = len(states)
+        shocks = (
+            np.abs(rng.normal(0.0, self._sigma, size=(count, len(self._names))))
+            * self._direction
+            * np.sqrt(dt)
+        )
+        jumps = rng.random(count) < (self.jump_rate_per_hour * dt / 3600.0)
+        for i, state in enumerate(states):
+            self._apply(state, dt, shocks[i])
+            if jumps[i]:
+                self.apply_jump(state, rng)
+
+    def _apply(self, state: CalibrationState, dt: float, shocks: np.ndarray) -> None:
         nominal = state.NOMINAL
-        sqrt_dt = np.sqrt(dt)
-        for name, (theta, sigma, direction) in self.params.items():
+        for name, theta, shock in zip(self._names, self._theta, shocks):
             x = getattr(state, name)
-            mu = nominal[name]
-            shock = abs(rng.normal(0.0, sigma)) * direction * sqrt_dt
-            x = x + theta * (mu - x) * dt + shock
+            x = x + theta * (nominal[name] - x) * dt + shock
             if name == "t2_us":
                 x = max(1.0, x)
             elif name != "detuning_offset":
                 x = float(np.clip(x, 0.0, 1.0))
             setattr(state, name, x)
-        # Poisson jump events (sudden degradation, e.g. alignment loss).
-        jump_prob = self.jump_rate_per_hour * dt / 3600.0
-        if rng.random() < jump_prob:
-            self.apply_jump(state, rng)
 
     def apply_jump(self, state: CalibrationState, rng: np.random.Generator) -> None:
         victim = rng.choice(list(self.params.keys()))
@@ -223,3 +267,52 @@ class DriftProcess:
             self.model.step(self.state, self.interval, self.rng)
             if self.on_step is not None:
                 self.on_step(self.state)
+
+
+class DriftEnsemble:
+    """One background process advancing *every* site's calibration on a
+    shared cadence.
+
+    A federation of N sites used to spawn N :class:`DriftProcess`
+    instances — N wakeups per interval, each stepping one state with
+    per-parameter draws.  The ensemble wakes once and steps all member
+    states through :meth:`DriftModel.step_many`: a single batched
+    normal draw covers every (site, parameter) shock.  States may join
+    after the process starts (late-join sites drift from their next
+    shared tick).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: DriftModel,
+        rng: np.random.Generator,
+        interval: float = 60.0,
+        on_step: Callable[[list[CalibrationState]], None] | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise CalibrationError("drift interval must be positive")
+        self.sim = sim
+        self.model = model
+        self.rng = rng
+        self.interval = interval
+        self.on_step = on_step
+        self.states: list[CalibrationState] = []
+        self.ticks = 0
+        self.process = sim.spawn(
+            self._run(), name="calibration-drift-ensemble", background=True
+        )
+
+    def add(self, state: CalibrationState) -> None:
+        """Enroll a state; it drifts from the next shared tick on."""
+        # identity, not ==: distinct sites can hold equal-valued states
+        if not any(existing is state for existing in self.states):
+            self.states.append(state)
+
+    def _run(self):
+        while True:
+            yield Timeout(self.interval)
+            self.model.step_many(self.states, self.interval, self.rng)
+            self.ticks += 1
+            if self.on_step is not None and self.states:
+                self.on_step(self.states)

@@ -60,6 +60,14 @@ class QPUDevice:
         self._sv = StateVectorEmulator(max_qubits=sv_cutoff_qubits)
         self._mps = MPSEmulator(max_bond_dim=twin_bond_dim, max_qubits=self.specs.max_qubits)
         self._maintenance = False
+        # Hot-path caches: schedulers execute the same program object
+        # thousands of times, and the Hamiltonian's grid sampling +
+        # interaction matrix are pure functions of (register, segments,
+        # dt, c6).  Keyed by object identity with strong references
+        # held, so ids cannot be recycled while a key is live.
+        self._ham_cache: dict[tuple, RydbergHamiltonian] = {}
+        self._ham_cache_refs: list[tuple] = []
+        self._noise_cache: tuple[int, object] | None = None
         # telemetry counters
         self.shots_served = 0
         self.tasks_completed = 0
@@ -95,11 +103,33 @@ class QPUDevice:
     def _engine(self, num_qubits: int):
         return self._sv if num_qubits <= self._sv.max_qubits else self._mps
 
+    def _hamiltonian(self, register: Register, segments: list[DriveSegment]) -> RydbergHamiltonian:
+        key = (id(register), tuple(map(id, segments)))
+        ham = self._ham_cache.get(key)
+        if ham is None:
+            ham = RydbergHamiltonian(
+                register, segments, dt=self.dt, c6=self.specs.c6_coefficient
+            )
+            if len(self._ham_cache) >= 64:
+                self._ham_cache.clear()
+                self._ham_cache_refs.clear()
+            self._ham_cache[key] = ham
+            self._ham_cache_refs.append((register, tuple(segments)))
+        return ham
+
+    def _noise_model(self):
+        version = self.calibration.version
+        cached = self._noise_cache
+        if cached is None or cached[0] != version:
+            cached = (version, self.calibration.to_noise_model())
+            self._noise_cache = cached
+        return cached[1]
+
     def _compute_counts(
         self, register: Register, segments: list[DriveSegment], shots: int
     ) -> EmulationResult:
-        ham = RydbergHamiltonian(register, segments, dt=self.dt, c6=self.specs.c6_coefficient)
-        noise = self.calibration.to_noise_model()
+        ham = self._hamiltonian(register, segments)
+        noise = self._noise_model()
         engine = self._engine(register.num_atoms)
         return engine.run(ham, shots, self.rng, noise=noise)
 

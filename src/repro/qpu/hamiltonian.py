@@ -103,6 +103,10 @@ class RydbergHamiltonian:
         self.steps = np.concatenate(step_chunks)
         if np.any(self.omega < -1e-12):
             raise PulseError("Rabi amplitude samples must be non-negative")
+        # lazy dense-backend helper caches (the coefficients above are
+        # fixed at construction, so these never need invalidation)
+        self._diag_cache: np.ndarray | None = None
+        self._occ_cache: np.ndarray | None = None
 
     @property
     def num_qubits(self) -> int:
@@ -125,16 +129,15 @@ class RydbergHamiltonian:
         Vectorized over all 2^n basis states: occupation bit table is
         built once as an (2^n, n) uint8 array.
         """
+        if self._diag_cache is not None:
+            return self._diag_cache
         n = self.num_qubits
         if n > 26:  # 2^26 doubles = 0.5 GB; refuse beyond
             raise RegisterError(f"dense diagonal intractable for n={n}")
-        dim = 1 << n
-        # bits[s, i] = occupation of qubit i in state s (qubit 0 = MSB).
-        states = np.arange(dim, dtype=np.uint64)
-        shifts = np.arange(n - 1, -1, -1, dtype=np.uint64)
-        bits = ((states[:, None] >> shifts[None, :]) & 1).astype(np.float64)
+        bits = self.occupation_table()
         # E_int[s] = sum_{i<j} U_ij b_i b_j  ==  0.5 * (b U b^T) diagonal.
         energy = 0.5 * np.einsum("si,ij,sj->s", bits, self.interactions, bits)
+        self._diag_cache = energy
         return energy
 
     def occupation_table(self) -> np.ndarray:
@@ -144,6 +147,13 @@ class RydbergHamiltonian:
         states = np.arange(dim, dtype=np.uint64)
         shifts = np.arange(n - 1, -1, -1, dtype=np.uint64)
         return ((states[:, None] >> shifts[None, :]) & 1).astype(np.float64)
+
+    def occupation_counts(self) -> np.ndarray:
+        """popcount per basis state (length 2^n), cached — the detuning
+        term's coefficient in the dense backend's diagonal phases."""
+        if self._occ_cache is None:
+            self._occ_cache = self.occupation_table().sum(axis=1)
+        return self._occ_cache
 
     # -- helpers for the MPS backend ---------------------------------------
 

@@ -10,6 +10,7 @@ serializable so the daemon can serve it over REST.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import asdict, dataclass, field, replace
 
 from ..errors import ValidationError
@@ -115,7 +116,16 @@ class DeviceSpecs:
     # -- serialization ----------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        # The dataclass is frozen, so the asdict recursion is paid once;
+        # callers get a fresh top-level dict (and a deep copy of the
+        # mutable ``extra``) each call, as before.
+        cached = getattr(self, "_dict_cache", None)
+        if cached is None:
+            cached = asdict(self)
+            object.__setattr__(self, "_dict_cache", cached)
+        out = dict(cached)
+        out["extra"] = copy.deepcopy(cached["extra"])
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "DeviceSpecs":

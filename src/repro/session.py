@@ -155,8 +155,12 @@ class JobHandle:
 
         job_id, site = self._event_filter()
         handle.append(
+            # latest-state-only consumer: the wake fires on the job's
+            # terminal transition, so superseded same-tick transitions
+            # may be coalesced away under batched delivery
             bus.subscribe(
-                fire, job_id=job_id, kinds=self._terminal_kinds(), site=site
+                fire, job_id=job_id, kinds=self._terminal_kinds(), site=site,
+                coalesce=True,
             )
         )
         # the heartbeat pop also retires the subscription so abandoned

@@ -91,14 +91,32 @@ class ScheduledEvent:
     background: bool = field(default=False, compare=False)
 
 
+#: heaps smaller than this are never compacted — rebuilding a tiny heap
+#: costs more than carrying its dead entries to the top
+_COMPACT_MIN_HEAP = 64
+
+
 class EventQueue:
-    """Deterministic time-ordered event heap with lazy cancellation."""
+    """Deterministic time-ordered event heap with lazy cancellation.
+
+    Cancellation marks entries dead in O(1) and prunes them lazily when
+    they surface at the heap top.  Timeout-heavy workloads (sessions
+    racing heartbeats against completions) can accumulate dead entries
+    deep in the heap, so when more than half the resident entries are
+    cancelled the heap is compacted in one pass.  Compaction preserves
+    the (time, priority, seq) total order exactly — ``seq`` is unique,
+    so pop order is independent of the heap's internal layout.
+    """
 
     def __init__(self) -> None:
         self._heap: list[ScheduledEvent] = []
         self._seq = itertools.count()
         self._live = 0
         self._foreground = 0
+        #: cancelled entries believed resident in the heap (approximate:
+        #: entries drained by pop_batch and cancelled mid-batch overcount
+        #: until the next compaction recomputes the truth)
+        self._dead = 0
 
     def __len__(self) -> int:
         return self._live
@@ -132,6 +150,18 @@ class EventQueue:
             self._live -= 1
             if not entry.background:
                 self._foreground -= 1
+            self._dead += 1
+            if (
+                len(self._heap) >= _COMPACT_MIN_HEAP
+                and self._dead * 2 > len(self._heap)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry in one pass and re-heapify."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def peek_time(self) -> float:
         """Time of the next live entry; raises if the queue is empty."""
@@ -139,6 +169,11 @@ class EventQueue:
         if not self._heap:
             raise SimulationError("event queue is empty")
         return self._heap[0].time
+
+    def peek_entry(self) -> ScheduledEvent | None:
+        """The next live entry without removing it, or None when empty."""
+        self._drop_cancelled()
+        return self._heap[0] if self._heap else None
 
     def pop(self) -> ScheduledEvent:
         """Remove and return the next live entry in (time, priority, seq) order."""
@@ -151,6 +186,45 @@ class EventQueue:
             self._foreground -= 1
         return entry
 
+    def pop_batch(self) -> tuple[float, list[ScheduledEvent]]:
+        """Drain every live entry sharing the next timestamp in one pass.
+
+        Returned entries are in (priority, seq) order but are *not* yet
+        accounted as dispatched — the caller marks each one via
+        :meth:`consume` as it runs callbacks, so ``foreground_count`` /
+        ``__len__`` stay exact mid-batch, and returns any undispatched
+        tail with :meth:`requeue`.  Callbacks may schedule new same-time
+        entries that sort *before* the remaining batch (the interrupt
+        machinery schedules at priority -1); the dispatcher must
+        interleave :meth:`peek_entry` against the batch to preserve the
+        global (time, priority, seq) order.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        heap = self._heap
+        batch_time = heap[0].time
+        batch: list[ScheduledEvent] = []
+        while heap and heap[0].time == batch_time:
+            entry = heapq.heappop(heap)
+            if entry.cancelled:
+                self._dead -= 1
+            else:
+                batch.append(entry)
+        return batch_time, batch
+
+    def consume(self, entry: ScheduledEvent) -> None:
+        """Account a batch-drained entry as dispatched."""
+        self._live -= 1
+        if not entry.background:
+            self._foreground -= 1
+
+    def requeue(self, entries: list[ScheduledEvent]) -> None:
+        """Return undispatched batch entries to the heap."""
+        for entry in entries:
+            heapq.heappush(self._heap, entry)
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._dead -= 1

@@ -223,6 +223,15 @@ class Simulator:
         self._processes: list[Process] = []
         self._profile: dict[str, float] | None = None
         self._scope_profiler = None
+        self._flush_hooks: list[Callable[[], None]] = []
+
+    def add_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callable invoked after each dispatched timestamp
+        batch (and after every single :meth:`step`).  The batched
+        :class:`~repro.federation.events.LifecycleBus` uses this as its
+        end-of-tick flush barrier."""
+        if hook not in self._flush_hooks:
+            self._flush_hooks.append(hook)
 
     def enable_scope_profiling(self, profiler) -> None:
         """Wrap every event dispatch in a ``sim.step`` profiler scope so
@@ -322,12 +331,79 @@ class Simulator:
         if not event.triggered:
             event.trigger(None)
         event.run_callbacks()
+        for hook in self._flush_hooks:
+            hook()
         if sprof is not None:
             sprof.pop()
         if profile is not None:
             profile["steps"] += 1
             profile["wall_s"] += perf_counter() - wall_start
         return entry.time
+
+    def step_batch(self, stop: Callable[[], bool] | None = None) -> tuple[float, int]:
+        """Process every event at the next timestamp: one clock advance,
+        one profiler push/pop, callbacks dispatched in exactly the order
+        repeated :meth:`step` would use.
+
+        Callbacks may schedule *new* same-time entries that sort before
+        the remaining drained batch (interrupt delivery uses priority
+        -1), so each dispatch re-checks the heap top against the next
+        batch entry and takes whichever is globally first.  ``stop`` is
+        evaluated between dispatches (never before the first): when it
+        returns True the undispatched tail is requeued and the method
+        returns early — this reproduces :meth:`run`'s per-event
+        foreground / liveness checks under batching.
+
+        Returns ``(batch_time, events_processed)``.
+        """
+        events = self.events
+        profile = self._profile
+        if profile is not None:
+            wall_start = perf_counter()
+        sprof = self._scope_profiler
+        if sprof is not None:
+            sprof.push("sim.step")
+        batch_time, batch = events.pop_batch()
+        self.clock.advance_to(batch_time)
+        processed = 0
+        i = 0
+        n = len(batch)
+        try:
+            while True:
+                while i < n and batch[i].cancelled:
+                    i += 1
+                nxt = batch[i] if i < n else None
+                head = events.peek_entry()
+                if nxt is None:
+                    if head is None or head.time > batch_time:
+                        break
+                    use_heap = True
+                else:
+                    use_heap = head is not None and head < nxt
+                if processed and stop is not None and stop():
+                    break
+                if use_heap:
+                    entry = events.pop()
+                else:
+                    entry = nxt
+                    i += 1
+                    events.consume(entry)
+                event = entry.event
+                if not event.triggered:
+                    event.trigger(None)
+                event.run_callbacks()
+                processed += 1
+        finally:
+            if i < n:
+                events.requeue(batch[i:])
+            for hook in self._flush_hooks:
+                hook()
+            if sprof is not None:
+                sprof.pop()
+            if profile is not None:
+                profile["steps"] += processed
+                profile["wall_s"] += perf_counter() - wall_start
+        return batch_time, processed
 
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
         """Run until the queue drains or the clock reaches ``until``.
@@ -336,15 +412,19 @@ class Simulator:
         accidental infinite event loops in tests.
         """
         steps = 0
-        while self.events:
-            if until is not None and self.events.peek_time() > until:
+        events = self.events
+        idle = events.foreground_count
+        # mid-batch equivalent of the per-step foreground check below
+        stop = (lambda: idle() == 0) if until is None else None
+        while events:
+            if until is not None and events.peek_time() > until:
                 self.clock.advance_to(until)
                 return self.now
-            if until is None and self.events.foreground_count() == 0:
+            if until is None and idle() == 0:
                 # only perpetual background work (scrapers, drift) left
                 break
-            self.step()
-            steps += 1
+            _, n = self.step_batch(stop=stop)
+            steps += n
             if steps > max_events:
                 raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
         if until is not None and until > self.now:
@@ -354,13 +434,22 @@ class Simulator:
     def run_until_process(self, process: Process, max_events: int = 10_000_000) -> Any:
         """Run until ``process`` completes; returns its value or raises its error."""
         steps = 0
+        events = self.events
+
+        def stop() -> bool:
+            return (
+                not process.alive
+                or not events
+                or events.foreground_count() == 0
+            )
+
         while process.alive:
-            if not self.events or self.events.foreground_count() == 0:
+            if not events or events.foreground_count() == 0:
                 raise SimulationError(
                     f"deadlock: {process.name!r} still alive but no events pending"
                 )
-            self.step()
-            steps += 1
+            _, n = self.step_batch(stop=stop)
+            steps += n
             if steps > max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
         if process.error is not None:

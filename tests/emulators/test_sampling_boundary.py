@@ -1,0 +1,45 @@
+"""counts_from_samples at the uint64 packing boundary (n = 63/64/65)."""
+
+import numpy as np
+import pytest
+
+from repro.emulators.sampling import bits_to_strings, counts_from_samples
+
+
+def _rows(n: int) -> np.ndarray:
+    """A deliberately nasty set of rows: all-zeros, all-ones (sets the
+    sign/top bit when packed), only-MSB, only-LSB, and duplicates."""
+    rows = [
+        np.zeros(n, dtype=np.uint8),
+        np.ones(n, dtype=np.uint8),
+        np.ones(n, dtype=np.uint8),       # duplicate of all-ones
+        np.eye(1, n, 0, dtype=np.uint8)[0],   # MSB only
+        np.eye(1, n, n - 1, dtype=np.uint8)[0],  # LSB only
+    ]
+    return np.stack(rows)
+
+
+@pytest.mark.parametrize("n", [63, 64, 65, 80])
+def test_counts_at_packing_boundary(n):
+    samples = _rows(n)
+    counts = counts_from_samples(samples)
+    assert sum(counts.values()) == samples.shape[0]
+    assert counts["0" * n] == 1
+    assert counts["1" * n] == 2
+    assert counts["1" + "0" * (n - 1)] == 1
+    assert counts["0" * (n - 1) + "1"] == 1
+    assert all(len(key) == n for key in counts)
+
+
+@pytest.mark.parametrize("n", [1, 8, 63, 64, 65])
+def test_counts_match_string_reference(n):
+    rng = np.random.default_rng(7)
+    samples = (rng.random((200, n)) < 0.5).astype(np.uint8)
+    reference: dict[str, int] = {}
+    for key in bits_to_strings(samples):
+        reference[key] = reference.get(key, 0) + 1
+    assert counts_from_samples(samples) == reference
+
+
+def test_counts_empty():
+    assert counts_from_samples(np.zeros((0, 70), dtype=np.uint8)) == {}

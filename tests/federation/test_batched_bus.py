@@ -1,0 +1,165 @@
+"""Coalesced LifecycleBus delivery: batched mode must be
+event-sequence-equivalent to synchronous dispatch for every subscriber
+class, and end-to-end broker runs must be bit-identical under it."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fedutil import build_federation, make_program
+from repro.federation.events import JobEvent, LifecycleBus
+
+_events = st.lists(
+    st.builds(
+        JobEvent,
+        time=st.just(0.0),
+        kind=st.sampled_from(("queued", "running", "completed", "job_placed")),
+        job_id=st.sampled_from(("job-a", "job-b", "job-c")),
+        site=st.sampled_from(("", "site-0", "site-1")),
+        task_id=st.sampled_from(("", "t-1", "t-2")),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class _Recorder:
+    """One subscriber in every delivery class at once: per-event
+    callback, batch handler, or coalescing batch handler."""
+
+    def __init__(self):
+        self.seen: list[JobEvent] = []
+
+    def on_event(self, event):
+        self.seen.append(event)
+
+    def deliver_batch(self, events):
+        self.seen.extend(events)
+
+
+def _subscribe_all(bus, batch: bool):
+    """The subscriber classes under test, mirrored on both buses:
+    wildcard / job-filtered / kind-filtered / site-filtered, each as a
+    per-event callback and (for the batched bus) a batch handler, plus
+    one coalescing latest-state consumer."""
+    recs = {}
+    for name, filters in (
+        ("wildcard", {}),
+        ("by_job", {"job_id": "job-a"}),
+        ("by_kind", {"kinds": ("completed", "job_placed")}),
+        ("by_site", {"job_id": "job-b", "site": "site-0"}),
+    ):
+        rec = _Recorder()
+        bus.subscribe(
+            rec.on_event,
+            batch=rec.deliver_batch if batch else None,
+            **filters,
+        )
+        recs[name] = rec
+        rec_cb = _Recorder()  # per-event callback even in batched mode
+        bus.subscribe(rec_cb.on_event, **filters)
+        recs[name + "_cb"] = rec_cb
+    coal = _Recorder()
+    bus.subscribe(coal.on_event, batch=coal.deliver_batch, coalesce=True)
+    recs["coalesce"] = coal
+    return recs
+
+
+def _key(event):
+    return (event.job_id, event.site, event.task_id)
+
+
+@settings(max_examples=150)
+@given(_events, st.data())
+def test_batched_delivery_equivalent_to_synchronous(events, data):
+    sync_bus = LifecycleBus()
+    batch_bus = LifecycleBus()
+    batch_bus.enable_batching()
+    sync_recs = _subscribe_all(sync_bus, batch=False)
+    batch_recs = _subscribe_all(batch_bus, batch=True)
+
+    for event in events:
+        sync_bus.publish(event)
+        batch_bus.publish(event)
+        if data.draw(st.booleans()):
+            batch_bus.flush()  # flush barriers at arbitrary points
+    batch_bus.flush()
+    assert batch_bus.pending_count() == 0
+
+    for name, sync_rec in sync_recs.items():
+        if name == "coalesce":
+            continue
+        assert batch_recs[name].seen == sync_rec.seen, name
+
+    # the coalescing consumer sees a publish-order subsequence of the
+    # synchronous stream whose final event per (job, site, task) key is
+    # exactly what synchronous delivery would have left it with
+    coal_seen = batch_recs["coalesce"].seen
+    full = sync_recs["coalesce"].seen
+    it = iter(full)
+    assert all(event in it for event in coal_seen), "not a subsequence"
+    assert {(_key(e)): e for e in coal_seen} == {(_key(e)): e for e in full}
+
+
+def test_flush_drains_republished_events():
+    """Events published *during* delivery join the same barrier."""
+    bus = LifecycleBus()
+    bus.enable_batching()
+    seen = []
+
+    def chain(event):
+        seen.append(event.kind)
+        if event.kind == "queued":
+            bus.publish(JobEvent(time=0.0, kind="running", job_id=event.job_id))
+
+    bus.subscribe(chain)
+    bus.publish(JobEvent(time=0.0, kind="queued", job_id="j"))
+    assert seen == []  # buffered, nothing delivered yet
+    assert bus.flush() == 2
+    assert seen == ["queued", "running"]
+    assert bus.pending_count() == 0
+
+
+def test_disable_batching_flushes_first():
+    bus = LifecycleBus()
+    bus.enable_batching()
+    seen = []
+    bus.subscribe(lambda e: seen.append(e.kind))
+    bus.publish(JobEvent(time=0.0, kind="queued", job_id="j"))
+    bus.disable_batching()
+    assert seen == ["queued"]
+    bus.publish(JobEvent(time=0.0, kind="running", job_id="j"))
+    assert seen == ["queued", "running"]  # synchronous again
+
+
+def test_broker_batched_run_is_bit_identical():
+    """End-to-end: a federation run with the bus in batched mode makes
+    the same placements and completions as poll mode and sync-event
+    mode, and the batched bus actually flushed at its barriers."""
+
+    def run(mode):
+        sim, registry, broker, sites = build_federation(n_sites=3, seed=11)
+        if mode == "events":
+            broker.attach_events()
+        elif mode == "batched":
+            broker.attach_events(batch=True)
+        program = make_program(shots=40)
+        ids = [
+            broker.submit(program, shots=40, owner=f"t{i % 2}")
+            for i in range(12)
+        ]
+        sim.run(until=600.0)
+        jobs = [broker.job(j) for j in ids]
+        placements = [
+            tuple(p.site for p in job.placements) for job in jobs
+        ]
+        states = [job.state.value for job in jobs]
+        return broker, placements, states
+
+    _, poll_placements, poll_states = run("poll")
+    _, sync_placements, sync_states = run("events")
+    batched_broker, bat_placements, bat_states = run("batched")
+    assert bat_placements == sync_placements == poll_placements
+    assert bat_states == sync_states == poll_states
+    assert batched_broker.events.batching
+    assert batched_broker.events.flushes > 0
+    assert batched_broker.events.pending_count() == 0

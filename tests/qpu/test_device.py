@@ -280,3 +280,40 @@ class TestQAJob:
         result = QAJob(shots=100).run(device, now=5.0)
         assert set(result.details) >= {"p01", "p10", "p11", "shots"}
         assert result.time == 5.0
+
+
+class TestHotPathCaches:
+    def test_hamiltonian_cached_per_program_identity(self):
+        device = QPUDevice(rng=np.random.default_rng(0))
+        reg, segs = simple_program()
+        first = device._hamiltonian(reg, segs)
+        assert device._hamiltonian(reg, segs) is first
+        # a different register object is a different key, same values or not
+        reg2, segs2 = simple_program()
+        assert device._hamiltonian(reg2, segs2) is not first
+
+    def test_hamiltonian_cache_bounded(self):
+        device = QPUDevice(rng=np.random.default_rng(0))
+        programs = [simple_program() for _ in range(70)]
+        for reg, segs in programs:
+            device._hamiltonian(reg, segs)
+        assert len(device._ham_cache) <= 64
+
+    def test_noise_model_follows_calibration_version(self):
+        device = QPUDevice(rng=np.random.default_rng(0))
+        first = device._noise_model()
+        assert device._noise_model() is first
+        device.calibration.detuning_offset = 0.5  # version bump
+        fresh = device._noise_model()
+        assert fresh is not first
+        assert fresh.detuning_std > first.detuning_std
+
+    def test_specs_to_dict_cache_is_isolated(self):
+        specs = DeviceSpecs(extra={"zone": "a", "tags": ["x"]})
+        first = specs.to_dict()
+        first["name"] = "clobbered"
+        first["extra"]["tags"].append("y")
+        second = specs.to_dict()
+        assert second["name"] == specs.name
+        assert second["extra"] == {"zone": "a", "tags": ["x"]}
+        assert DeviceSpecs.from_dict(second) == specs

@@ -1,0 +1,164 @@
+"""Vectorized calibration drift: stream-identical single-state steps,
+batched multi-site stepping, and the shared DriftEnsemble process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.qpu.calibration import (
+    CalibrationState,
+    DriftEnsemble,
+    DriftModel,
+    DriftProcess,
+)
+from repro.simkernel import Simulator
+
+
+def _scalar_reference_step(model, state, dt, rng):
+    """The pre-vectorization per-parameter loop, draw for draw."""
+    nominal = state.NOMINAL
+    for name, (theta, sigma, direction) in model.params.items():
+        shock = abs(rng.normal(0.0, sigma)) * direction * np.sqrt(dt)
+        x = getattr(state, name)
+        x = x + theta * (nominal[name] - x) * dt + shock
+        if name == "t2_us":
+            x = max(1.0, x)
+        elif name != "detuning_offset":
+            x = float(np.clip(x, 0.0, 1.0))
+        setattr(state, name, x)
+    if rng.random() < model.jump_rate_per_hour * dt / 3600.0:
+        model.apply_jump(state, rng)
+
+
+def test_step_is_stream_identical_to_scalar_loop():
+    """The one-call vectorized normal draw consumes the RNG bit stream
+    exactly as the old per-parameter scalar draws did, so trajectories
+    from a fixed seed are unchanged."""
+    model = DriftModel(jump_rate_per_hour=50.0)  # jumps exercised too
+    vec_state, ref_state = CalibrationState(), CalibrationState()
+    vec_rng = np.random.default_rng(42)
+    ref_rng = np.random.default_rng(42)
+    for _ in range(200):
+        model.step(vec_state, 60.0, vec_rng)
+        _scalar_reference_step(model, ref_state, 60.0, ref_rng)
+    assert vec_state.snapshot() == ref_state.snapshot()
+    # the generators stayed in lockstep throughout
+    assert vec_rng.random() == ref_rng.random()
+
+
+def test_step_many_deterministic_and_clamped():
+    model = DriftModel(jump_rate_per_hour=100.0)
+    states_a = [CalibrationState() for _ in range(5)]
+    states_b = [CalibrationState() for _ in range(5)]
+    rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+    for _ in range(500):
+        model.step_many(states_a, 60.0, rng_a)
+        model.step_many(states_b, 60.0, rng_b)
+    for a, b in zip(states_a, states_b):
+        assert a.snapshot() == b.snapshot()
+        assert a.t2_us >= 1.0
+        for name in (
+            "state_prep_error", "detection_epsilon",
+            "detection_epsilon_prime", "rabi_calibration_error",
+        ):
+            assert 0.0 <= getattr(a, name) <= 1.0
+        assert a.version > 0  # drift bumped the change signal
+
+
+def test_step_many_empty_and_bad_dt():
+    model = DriftModel()
+    model.step_many([], 60.0, np.random.default_rng(0))  # no-op
+    with pytest.raises(CalibrationError):
+        model.step_many([CalibrationState()], 0.0, np.random.default_rng(0))
+    with pytest.raises(CalibrationError):
+        model.step(CalibrationState(), -1.0, np.random.default_rng(0))
+
+
+def test_single_state_step_many_degrades_like_step():
+    """One state through step_many follows the same OU dynamics: the
+    same-seed trajectories agree in distribution-free bounds (error
+    rates rise from nominal, t2 falls)."""
+    model = DriftModel(jump_rate_per_hour=0.0)
+    state = CalibrationState()
+    rng = np.random.default_rng(1)
+    for _ in range(100):
+        model.step_many([state], 60.0, rng)
+    assert state.t2_us < 50.0
+    assert state.state_prep_error > 0.005
+    assert state.fidelity_proxy() < 1.0
+
+
+class TestDriftEnsemble:
+    def test_one_process_steps_every_member(self):
+        sim = Simulator()
+        model = DriftModel(jump_rate_per_hour=0.0)
+        ensemble = DriftEnsemble(
+            sim, model, np.random.default_rng(3), interval=60.0
+        )
+        states = [CalibrationState() for _ in range(4)]
+        for state in states:
+            ensemble.add(state)
+        sim.run(until=600.0)
+        assert ensemble.ticks == 10
+        for state in states:
+            assert state.version > 0
+            assert state.t2_us < 50.0
+
+    def test_add_is_identity_keyed(self):
+        sim = Simulator()
+        ensemble = DriftEnsemble(
+            sim, DriftModel(), np.random.default_rng(0), interval=60.0
+        )
+        state = CalibrationState()
+        twin = CalibrationState()  # equal-valued, distinct site
+        ensemble.add(state)
+        ensemble.add(state)  # duplicate enrollment ignored
+        ensemble.add(twin)
+        assert len(ensemble.states) == 2
+
+    def test_late_join_drifts_from_next_tick(self):
+        sim = Simulator()
+        ensemble = DriftEnsemble(
+            sim, DriftModel(jump_rate_per_hour=0.0),
+            np.random.default_rng(5), interval=60.0,
+        )
+        early, late = CalibrationState(), CalibrationState()
+        ensemble.add(early)
+        sim.run(until=300.0)
+        early_version = early.version
+        assert early_version > 0
+        ensemble.add(late)
+        assert late.version == 0
+        sim.run(until=600.0)
+        assert late.version > 0
+        assert early.version > early_version
+
+    def test_on_step_hook_fires(self):
+        sim = Simulator()
+        seen = []
+        ensemble = DriftEnsemble(
+            sim, DriftModel(), np.random.default_rng(0),
+            interval=60.0, on_step=lambda states: seen.append(len(states)),
+        )
+        ensemble.add(CalibrationState())
+        sim.run(until=180.0)
+        assert seen == [1, 1, 1]
+
+    def test_matches_drift_process_cadence(self):
+        """An ensemble of one state ticks on the same cadence as the
+        per-site DriftProcess it replaces."""
+        sim_a, sim_b = Simulator(), Simulator()
+        state_a, state_b = CalibrationState(), CalibrationState()
+        DriftProcess(
+            sim_a, state_a, DriftModel(jump_rate_per_hour=0.0),
+            np.random.default_rng(9), interval=60.0,
+        )
+        ensemble = DriftEnsemble(
+            sim_b, DriftModel(jump_rate_per_hour=0.0),
+            np.random.default_rng(9), interval=60.0,
+        )
+        ensemble.add(state_b)
+        sim_a.run(until=600.0)
+        sim_b.run(until=600.0)
+        # same number of versioned mutations per tick on both paths
+        assert state_a.version == state_b.version
