@@ -81,7 +81,7 @@ def test_table1_taxonomy_rows(benchmark):
 
     rows = benchmark(classify_all)
     print("\n" + format_table(rows, title="Table 1 — hybrid workload taxonomy (regenerated)"))
-    for row, table_row in zip(rows, PATTERN_TABLE):
+    for row, table_row in zip(rows, PATTERN_TABLE, strict=True):
         assert row["classified_as"] == table_row.pattern.value
 
 

@@ -1,6 +1,26 @@
-"""Analysis helpers for the benchmark harness: statistics + tables."""
+"""Analysis: bench statistics/tables + the archlint static analyzer.
 
+``python -m repro.analysis <paths>`` runs archlint — the AST-based
+architecture-invariant analyzer (see :mod:`repro.analysis.engine` and
+the rule catalog in README "Static analysis")."""
+
+from .baseline import load_baseline, write_baseline
+from .engine import Engine, FileContext, Finding, Report, Rule
+from .rules import default_rules
 from .stats import bootstrap_ci, summary_stats
 from .tables import format_table, markdown_table
 
-__all__ = ["bootstrap_ci", "format_table", "markdown_table", "summary_stats"]
+__all__ = [
+    "Engine",
+    "FileContext",
+    "Finding",
+    "Report",
+    "Rule",
+    "bootstrap_ci",
+    "default_rules",
+    "format_table",
+    "load_baseline",
+    "markdown_table",
+    "summary_stats",
+    "write_baseline",
+]

@@ -1,0 +1,43 @@
+"""Committed-baseline support for archlint.
+
+The baseline is a sorted JSON list of ``{file, rule, message}`` entries
+— findings that predate a rule and were consciously grandfathered
+instead of fixed.  CI runs with ``--baseline archlint_baseline.json``:
+baselined findings don't fail the run, anything new does, and
+``tests/analysis/test_baseline.py`` pins the committed file so the
+baseline cannot grow without the diff saying so in two places.
+
+Entries are line-number-free on purpose: unrelated edits move code, and
+a baseline that churns on every edit stops being reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Iterable
+
+from .engine import Finding
+
+__all__ = ["load_baseline", "write_baseline"]
+
+Fingerprint = tuple[str, str, str]
+
+
+def load_baseline(path: str | Path) -> set[Fingerprint]:
+    """Read a baseline file into the fingerprint set the engine takes.
+    A missing file is an empty baseline, not an error."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    return {(entry["file"], entry["rule"], entry["message"]) for entry in entries}
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Record ``findings`` as the new baseline; returns the entry count.
+    Deduplicates by fingerprint and sorts so the file diffs cleanly."""
+    fingerprints = sorted({f.fingerprint() for f in findings})
+    entries = [{"file": file, "rule": rule, "message": message} for file, rule, message in fingerprints]
+    Path(path).write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

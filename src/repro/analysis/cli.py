@@ -1,0 +1,90 @@
+"""``python -m repro.analysis`` — run archlint over the tree.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis src benchmarks \
+        --baseline archlint_baseline.json --json archlint_report.json
+
+Exit status 0 when every finding is suppressed or baselined, 1 when
+anything new surfaced, 2 on usage errors.  ``--write-baseline``
+records the current findings as the new baseline (use sparingly: the
+committed baseline is pinned by tests/analysis/test_baseline.py, so
+growing it is a reviewed decision, not a side effect).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import load_baseline, write_baseline
+from .engine import Engine
+from .rules import default_rules
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="archlint: AST-based architecture-invariant analyzer",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON of grandfathered findings "
+        "(default: archlint_baseline.json next to the scan root, "
+        "when present)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        help="also write the full report as JSON to this path",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the text report (summary line only)",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path.cwd()
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = root / "archlint_baseline.json"
+        baseline_path = str(candidate) if candidate.exists() else None
+
+    engine = Engine(default_rules(), root=root)
+    baseline = load_baseline(baseline_path) if baseline_path else set()
+    report = engine.run(args.paths, baseline=baseline)
+
+    if args.write_baseline:
+        target = baseline_path or str(root / "archlint_baseline.json")
+        count = write_baseline(target, report.findings + report.baselined)
+        print(f"archlint: wrote {count} baseline entr(ies) to {target}")
+        return 0
+
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8")
+
+    text = report.render_text()
+    print(text.splitlines()[-1] if args.quiet else text)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,403 @@
+"""archlint engine: one AST walk per file, pluggable architecture rules.
+
+Nine PRs of this reproduction accumulated load-bearing invariants —
+deterministic simulation time, the push-only lifecycle plane, indexed
+state-transition points, the bus event vocabulary, the package layering
+and the profiler-scope contract — that equivalence tests only catch
+*after* a regression lands.  archlint makes them machine-checked at
+lint time: the :class:`Engine` parses every target file once, walks the
+tree once (tracking lexical scope and ``TYPE_CHECKING`` blocks), and
+dispatches each node to every registered :class:`Rule` that declared an
+interest in its type.  Whole-program rules (layering, bus-schema)
+accumulate during the walk and report from :meth:`Rule.finalize`.
+
+Two escape hatches, both deliberately noisy:
+
+* **inline suppressions** — ``# archlint: disable=<rule> -- <reason>``
+  on the offending line (or a standalone comment on the line above).
+  The justification is mandatory, mirroring ruff.toml's "no exemption
+  without a comment" policy: a suppression without ``-- reason`` does
+  not suppress anything and is itself reported.
+* **a committed baseline** — grandfathered findings recorded by
+  ``--write-baseline`` (see :mod:`repro.analysis.baseline`).  Baselined
+  findings don't fail the run; *new* findings always do, and the test
+  suite pins the committed baseline so it cannot silently grow.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable
+from typing import Any
+
+__all__ = [
+    "Engine",
+    "FileContext",
+    "Finding",
+    "Report",
+    "Rule",
+    "SUPPRESSION_RULE_ID",
+]
+
+#: rule id under which malformed / unknown suppression comments are
+#: reported (they are findings like any other)
+SUPPRESSION_RULE_ID = "suppression"
+
+_SUPPRESS_RE = re.compile(r"#\s*archlint:\s*disable=([A-Za-z0-9_,\s-]+?)(?:\s*--\s*(.*?))?\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    file: str  # posix path, as reported
+    line: int
+    rule: str
+    message: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used by the baseline (line numbers
+        drift with unrelated edits; file/rule/message do not)."""
+        return (self.file, self.rule, self.message)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may want to know about the file being walked."""
+
+    path: Path
+    #: path as reported in findings (posix, relative to the scan cwd)
+    display: str
+    #: path relative to the ``repro`` package root when the file lives
+    #: inside it (``federation/broker.py``), else same as ``display`` —
+    #: rules scope themselves on this, so fixture trees under any
+    #: ``.../repro/`` directory exercise them identically
+    arch_path: str
+    tree: ast.Module
+    source: str
+    lines: list[str] = field(default_factory=list)
+    #: innermost-last stack of enclosing ClassDef/FunctionDef nodes,
+    #: maintained by the engine during the walk
+    scope: list[ast.AST] = field(default_factory=list)
+    #: > 0 while walking inside an ``if TYPE_CHECKING:`` block
+    type_checking: int = 0
+
+    def enclosing_function(self) -> ast.AST | None:
+        for node in reversed(self.scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    def qualname(self, node: ast.AST | None = None) -> str:
+        parts = [s.name for s in self.scope if hasattr(s, "name")]
+        if node is not None and hasattr(node, "name"):
+            parts.append(node.name)  # type: ignore[attr-defined]
+        return ".".join(parts)
+
+    @property
+    def deferred(self) -> bool:
+        """True where an import would not run at module import time
+        (inside a function body or a ``TYPE_CHECKING`` block) — the
+        sanctioned lazy escape hatch the layering rule tolerates."""
+        return self.type_checking > 0 or self.enclosing_function() is not None
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``description`` and receive
+    every node whose type appears in ``interests`` during the single
+    walk.  Findings are appended to :attr:`findings` (location-bearing
+    ones during the walk, whole-program ones from :meth:`finalize`)."""
+
+    id: str = ""
+    description: str = ""
+    #: AST node classes this rule wants to see (empty = none)
+    interests: tuple[type, ...] = ()
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+
+    # -- hooks ---------------------------------------------------------
+    def begin_file(self, ctx: FileContext) -> None:  # pragma: no cover
+        pass
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:  # pragma: no cover
+        pass
+
+    def end_file(self, ctx: FileContext) -> None:  # pragma: no cover
+        pass
+
+    def finalize(self) -> None:
+        """Called once after every file was walked; cross-file rules
+        emit their findings here."""
+
+    # -- helpers -------------------------------------------------------
+    def emit(self, ctx: FileContext, node: ast.AST | int, message: str) -> None:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        self.findings.append(Finding(ctx.display, line, self.id, message))
+
+    def emit_at(self, file: str, line: int, message: str) -> None:
+        self.findings.append(Finding(file, line, self.id, message))
+
+
+@dataclass
+class Report:
+    """Outcome of one engine run, JSON- and text-renderable."""
+
+    findings: list[Finding]  # new (actionable) findings
+    baselined: list[Finding]
+    suppressed: list[Finding]
+    stale_baseline: list[tuple[str, str, str]]
+    files_scanned: int
+    rule_ids: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "rules": self.rule_ids,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "stale_baseline": [list(fp) for fp in self.stale_baseline],
+            "summary": {
+                "new": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "ok": self.ok,
+            },
+        }
+
+    def render_text(self) -> str:
+        out: list[str] = []
+        for finding in self.findings:
+            out.append(finding.render())
+        for finding in self.baselined:
+            out.append(f"{finding.render()}  (baselined)")
+        for fp in self.stale_baseline:
+            out.append(f"note: baseline entry no longer found " f"(remove it): {fp[0]} [{fp[1]}] {fp[2]}")
+        out.append(
+            f"archlint: {len(self.findings)} finding(s) "
+            f"({len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed) "
+            f"across {self.files_scanned} file(s)"
+        )
+        return "\n".join(out)
+
+
+def _arch_path(posix: str) -> str:
+    """Path relative to the innermost ``repro/`` package directory, or
+    the display path unchanged for files outside one."""
+    marker = "/repro/"
+    if posix.startswith("repro/"):
+        return posix[len("repro/"):]
+    idx = posix.rfind(marker)
+    if idx >= 0:
+        return posix[idx + len(marker):]
+    return posix
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    names = {
+        n.id if isinstance(n, ast.Name) else getattr(n, "attr", "")
+        for n in ast.walk(test)
+        if isinstance(n, (ast.Name, ast.Attribute))
+    }
+    return "TYPE_CHECKING" in names
+
+
+class Engine:
+    """Parses + walks each file once, dispatching to the rules."""
+
+    def __init__(self, rules: Iterable[Rule], root: Path | None = None) -> None:
+        self.rules = list(rules)
+        self.root = Path(root) if root is not None else Path.cwd()
+        self._by_interest: dict[type, list[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.interests:
+                self._by_interest.setdefault(node_type, []).append(rule)
+
+    # -- discovery -----------------------------------------------------
+    def discover(self, paths: Iterable[str | Path]) -> list[Path]:
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = self.root / path
+            if path.is_dir():
+                files.extend(
+                    p
+                    for p in sorted(path.rglob("*.py"))
+                    if "__pycache__" not in p.parts
+                    and not any(part.startswith(".") for part in p.parts[1:])
+                )
+            elif path.suffix == ".py":
+                files.append(path)
+        # stable order, no duplicates
+        seen: set[Path] = set()
+        unique = []
+        for f in files:
+            if f not in seen:
+                seen.add(f)
+                unique.append(f)
+        return unique
+
+    # -- run -----------------------------------------------------------
+    def run(
+        self,
+        paths: Iterable[str | Path],
+        baseline: set[tuple[str, str, str]] | None = None,
+    ) -> Report:
+        files = self.discover(paths)
+        suppress_notes: list[Finding] = []
+        allow: dict[str, dict[int, set[str]]] = {}
+        known_ids = {rule.id for rule in self.rules} | {SUPPRESSION_RULE_ID}
+
+        for path in files:
+            display = self._display(path)
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as err:
+                suppress_notes.append(
+                    Finding(
+                        display,
+                        err.lineno or 1,
+                        SUPPRESSION_RULE_ID,
+                        f"file does not parse: {err.msg}",
+                    )
+                )
+                continue
+            ctx = FileContext(
+                path=path,
+                display=display,
+                arch_path=_arch_path(display),
+                tree=tree,
+                source=source,
+                lines=source.splitlines(),
+            )
+            allow[display] = self._suppressions(ctx, known_ids, suppress_notes)
+            for rule in self.rules:
+                rule.begin_file(ctx)
+            self._walk(ctx, tree)
+            for rule in self.rules:
+                rule.end_file(ctx)
+
+        for rule in self.rules:
+            rule.finalize()
+
+        collected: list[Finding] = list(suppress_notes)
+        for rule in self.rules:
+            collected.extend(rule.findings)
+        collected.sort(key=lambda f: (f.file, f.line, f.rule, f.message))
+
+        active: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in collected:
+            if finding.rule in allow.get(finding.file, {}).get(finding.line, ()):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+
+        baseline = baseline or set()
+        new = [f for f in active if f.fingerprint() not in baseline]
+        baselined = [f for f in active if f.fingerprint() in baseline]
+        matched = {f.fingerprint() for f in baselined}
+        stale = sorted(baseline - matched)
+
+        return Report(
+            findings=new,
+            baselined=baselined,
+            suppressed=suppressed,
+            stale_baseline=stale,
+            files_scanned=len(files),
+            rule_ids=sorted(r.id for r in self.rules),
+        )
+
+    # -- internals -----------------------------------------------------
+    def _display(self, path: Path) -> str:
+        try:
+            return path.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _suppressions(
+        self,
+        ctx: FileContext,
+        known_ids: set[str],
+        notes: list[Finding],
+    ) -> dict[int, set[str]]:
+        """Per-line rule ids disabled by ``# archlint: disable=`` comments.
+
+        A suppression on a standalone comment line also covers the next
+        line; one missing its ``-- reason`` suppresses nothing and is
+        reported, enforcing the no-exemption-without-a-comment policy.
+        """
+        allow: dict[int, set[str]] = {}
+        for lineno, text in enumerate(ctx.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            reason = (match.group(2) or "").strip()
+            if not reason:
+                notes.append(
+                    Finding(
+                        ctx.display,
+                        lineno,
+                        SUPPRESSION_RULE_ID,
+                        "suppression missing justification: write "
+                        "'# archlint: disable=<rule> -- <reason>'",
+                    )
+                )
+                continue
+            unknown = ids - known_ids
+            for rule_id in sorted(unknown):
+                notes.append(
+                    Finding(
+                        ctx.display,
+                        lineno,
+                        SUPPRESSION_RULE_ID,
+                        f"suppression names unknown rule {rule_id!r}",
+                    )
+                )
+            ids &= known_ids
+            if not ids:
+                continue
+            allow.setdefault(lineno, set()).update(ids)
+            if text.lstrip().startswith("#"):
+                allow.setdefault(lineno + 1, set()).update(ids)
+        return allow
+
+    def _walk(self, ctx: FileContext, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            scoped = isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            type_checked = isinstance(child, ast.If) and _is_type_checking_test(child.test)
+            for rule in self._by_interest.get(type(child), ()):
+                rule.visit(ctx, child)
+            if scoped:
+                ctx.scope.append(child)
+            if type_checked:
+                ctx.type_checking += 1
+            self._walk(ctx, child)
+            if type_checked:
+                ctx.type_checking -= 1
+            if scoped:
+                ctx.scope.pop()

@@ -1,0 +1,268 @@
+"""bus-schema: every published/subscribed event kind is declared.
+
+The :class:`LifecycleBus` is stringly-typed by design — cheap, and the
+dispatch path stays trivial — which means a typo'd kind
+(``"job_compelted"``) publishes into the void and every subscriber
+silently under-counts.  ``EVENT_SCHEMAS`` in ``federation/events.py``
+is the declared vocabulary: this rule collects every literal kind at
+``bus.publish(JobEvent(kind=...))`` / ``broker._publish("kind", ...)``
+call sites, every ``subscribe(kinds=(...))`` filter, and every
+``kind == "literal"`` branch in subscriber handlers, and fails on any
+kind the registry doesn't declare — plus on payload keys the kind's
+schema never listed.  Dynamic kinds (f-strings, variables) are outside
+a static check's reach and are skipped.
+
+The registry is read from the *AST* of ``federation/events.py`` during
+the same walk (or injected via the constructor for fixture tests), so
+the analysis package imports nothing above ``errors`` and cannot be
+broken by the code it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Mapping
+
+from ..engine import FileContext, Rule
+
+__all__ = ["BusSchemaRule"]
+
+#: the module that must declare the registry
+REGISTRY_FILE = "federation/events.py"
+
+#: JobEvent constructor fields that are not payload keys
+_EVENT_FIELDS = ("time", "kind", "job_id", "site", "task_id", "payload")
+
+#: _publish(...) keyword args that map to JobEvent fields, not payload
+_PUBLISH_FIELD_KWARGS = {"site", "task_id"}
+
+#: directories whose ``kind == "..."`` comparisons are subscriber
+#: handlers (elsewhere ``.kind`` means Decision.kind and the like)
+_HANDLER_DIRS = ("federation/", "observability/")
+
+
+def _kind_literals(node: ast.AST) -> list[tuple[str, int]] | None:
+    """Literal kind strings (with lines) for an expression, or None if
+    the expression is dynamic and unverifiable statically."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [(node.value, node.lineno)]
+    if isinstance(node, ast.IfExp):
+        body = _kind_literals(node.body)
+        orelse = _kind_literals(node.orelse)
+        if body is not None and orelse is not None:
+            return body + orelse
+    return None
+
+
+def _str_elements(node: ast.AST) -> list[tuple[str, int]] | None:
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out: list[tuple[str, int]] = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                out.append((element.value, element.lineno))
+            else:
+                return None
+        return out
+    return None
+
+
+class BusSchemaRule(Rule):
+    id = "bus-schema"
+    description = (
+        "published/subscribed event kinds and payload keys must match "
+        "the EVENT_SCHEMAS registry in federation/events.py"
+    )
+    interests = (ast.Call, ast.Compare, ast.Assign, ast.AnnAssign)
+
+    def __init__(self, schemas: Mapping[str, tuple[str, ...]] | None = None) -> None:
+        super().__init__()
+        self._injected = schemas is not None
+        self._schemas: dict[str, tuple[str, ...]] = dict(schemas) if schemas else {}
+        #: (file, line, kind, context) sites awaiting the registry
+        self._kind_sites: list[tuple[str, int, str, str]] = []
+        #: (file, line, kind, key) payload keys awaiting the registry
+        self._payload_sites: list[tuple[str, int, str, str]] = []
+        #: module-level tuple constants in the registry file
+        self._symbols: dict[str, tuple[str, ...]] = {}
+
+    # -- walk ----------------------------------------------------------
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            if ctx.arch_path == REGISTRY_FILE and not self._injected:
+                self._collect_registry(node)
+            return
+        if isinstance(node, ast.Compare):
+            self._visit_compare(ctx, node)
+            return
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "JobEvent":
+            self._visit_job_event(ctx, node)
+        elif isinstance(func, ast.Attribute) and func.attr == "_publish":
+            self._visit_publish_helper(ctx, node)
+        elif isinstance(func, ast.Attribute) and func.attr == "subscribe":
+            self._visit_subscribe(ctx, node)
+
+    def _collect_registry(self, node: ast.Assign | ast.AnnAssign) -> None:
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+                return
+            name, value = node.targets[0].id, node.value
+        else:
+            if not isinstance(node.target, ast.Name):
+                return
+            name, value = node.target.id, node.value
+        if value is None:
+            return
+        elements = _str_elements(value)
+        if elements is not None:
+            self._symbols[name] = tuple(v for v, _ in elements)
+            return
+        if name != "EVENT_SCHEMAS" or not isinstance(value, ast.Dict):
+            return
+        for key, entry in zip(value.keys, value.values, strict=True):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            keys = _str_elements(entry)
+            if keys is not None:
+                self._schemas[key.value] = tuple(v for v, _ in keys)
+            elif isinstance(entry, ast.Name) and entry.id in self._symbols:
+                self._schemas[key.value] = self._symbols[entry.id]
+            else:
+                self._schemas[key.value] = ()
+
+    def _visit_job_event(self, ctx: FileContext, node: ast.Call) -> None:
+        kind_expr: ast.AST | None = None
+        payload_expr: ast.AST | None = None
+        for idx, arg in enumerate(node.args):
+            if idx == 1:
+                kind_expr = arg
+            elif idx == 5:
+                payload_expr = arg
+        for kw in node.keywords:
+            if kw.arg == "kind":
+                kind_expr = kw.value
+            elif kw.arg == "payload":
+                payload_expr = kw.value
+        kinds = _kind_literals(kind_expr) if kind_expr is not None else None
+        if kinds is None:
+            return  # dynamic kind: statically unverifiable
+        for kind, line in kinds:
+            self._kind_sites.append((ctx.display, line, kind, "JobEvent(kind=...)"))
+        if isinstance(payload_expr, ast.Dict):
+            for key in payload_expr.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    for kind, _ in kinds:
+                        self._payload_sites.append((ctx.display, key.lineno, kind, key.value))
+
+    def _visit_publish_helper(self, ctx: FileContext, node: ast.Call) -> None:
+        if not node.args:
+            return
+        kinds = _kind_literals(node.args[0])
+        if kinds is None:
+            return
+        for kind, line in kinds:
+            self._kind_sites.append((ctx.display, line, kind, "_publish(...)"))
+        for kw in node.keywords:
+            if kw.arg is None or kw.arg in _PUBLISH_FIELD_KWARGS:
+                continue
+            for kind, _ in kinds:
+                self._payload_sites.append((ctx.display, kw.value.lineno, kind, kw.arg))
+
+    def _visit_subscribe(self, ctx: FileContext, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg != "kinds":
+                continue
+            elements = _str_elements(kw.value)
+            if elements is None:
+                continue
+            for kind, line in elements:
+                self._kind_sites.append((ctx.display, line, kind, "subscribe(kinds=...)"))
+
+    def _visit_compare(self, ctx: FileContext, node: ast.Compare) -> None:
+        if not ctx.arch_path.startswith(_HANDLER_DIRS):
+            return
+        left = node.left
+        if (
+            isinstance(left, ast.Attribute)
+            and left.attr == "kind"
+            and isinstance(left.value, ast.Name)
+            and left.value.id == "event"
+        ):
+            is_kind = True
+        elif isinstance(left, ast.Name) and left.id == "kind":
+            # a bare `kind` is only an *event* kind when the enclosing
+            # handler bound it from event.kind — resize actions and
+            # Decision.kind locals share the name but not the registry
+            is_kind = self._binds_event_kind(ctx.enclosing_function())
+        else:
+            is_kind = False
+        if not is_kind:
+            return
+        if not all(isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)) for op in node.ops):
+            return
+        for comparator in node.comparators:
+            literals = (
+                [(comparator.value, comparator.lineno)]
+                if isinstance(comparator, ast.Constant)
+                and isinstance(comparator.value, str)
+                else _str_elements(comparator)
+            )
+            if literals is None:
+                continue
+            for kind, line in literals:
+                self._kind_sites.append((ctx.display, line, kind, "subscriber handler"))
+
+    @staticmethod
+    def _binds_event_kind(func: ast.AST | None) -> bool:
+        if func is None:
+            return False
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "kind"
+                    for t in node.targets
+                )
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "kind"
+                and isinstance(node.value.value, ast.Name)
+                and node.value.value.id == "event"
+            ):
+                return True
+        return False
+
+    # -- verdicts ------------------------------------------------------
+    def finalize(self) -> None:
+        if not self._schemas:
+            if self._kind_sites:
+                file, line, _, _ = self._kind_sites[0]
+                self.emit_at(
+                    file,
+                    line,
+                    "event kinds are used but no EVENT_SCHEMAS registry "
+                    f"was found in {REGISTRY_FILE} (is it in the scan "
+                    "paths?)",
+                )
+            return
+        for file, line, kind, context in self._kind_sites:
+            if kind not in self._schemas:
+                self.emit_at(
+                    file,
+                    line,
+                    f"unknown event kind {kind!r} at {context} — declare "
+                    f"it (and its payload keys) in EVENT_SCHEMAS "
+                    f"({REGISTRY_FILE}) first",
+                )
+        for file, line, kind, key in self._payload_sites:
+            allowed = self._schemas.get(kind)
+            if allowed is None:
+                continue  # unknown kind already reported above
+            if key not in allowed:
+                self.emit_at(
+                    file,
+                    line,
+                    f"payload key {key!r} not declared for event kind "
+                    f"{kind!r} in EVENT_SCHEMAS — subscribers can't rely "
+                    "on undeclared keys",
+                )

@@ -1,0 +1,163 @@
+"""sim-determinism: no wall clock, no global RNG in the sim plane.
+
+Scheduling decisions replay bit-for-bit only because every timestamp
+comes from the simulation clock and every random draw from a named,
+seeded :class:`numpy.random.Generator` stream
+(:mod:`repro.simkernel.rng`).  One stray ``time.time()`` or legacy
+``np.random.rand()`` in the sim plane silently breaks the
+bit-identical-scheduling guarantees the C6/C7 benches gate — and the
+ROADMAP's sharded-broker arc multiplies that surface across shards.
+
+Scope: ``simkernel/``, ``federation/``, ``scheduling/``, ``emulators/``.
+The daemon/observability wall-clock edges (span wall fields, scope
+profiler, scrape timing) are deliberately outside the scope — that is
+the allowlist.  ``time.perf_counter`` is allowed everywhere: wall
+*measurement* that never feeds a scheduling decision is the profiling
+plane's sanctioned business.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule
+
+__all__ = ["SimDeterminismRule"]
+
+#: package-relative directories forming the deterministic sim plane
+SIM_SCOPED_DIRS = ("simkernel/", "federation/", "scheduling/", "emulators/")
+
+#: wall-clock calls that leak host time into simulated decisions
+_BANNED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.localtime",
+    "time.gmtime",
+}
+
+#: ``datetime``-flavoured wall clocks (matched on the trailing segments
+#: so both ``datetime.now()`` and ``datetime.datetime.now()`` hit)
+_BANNED_DATETIME_TAILS = (
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: the only attributes of the legacy ``random`` module that don't touch
+#: its hidden global state (seeded instances are fine)
+_RANDOM_ALLOWED = {"Random", "SystemRandom", "getstate", "setstate"}
+
+#: np.random attributes that construct explicit generators/seeds rather
+#: than drawing from the legacy global RandomState
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "RandomState",  # explicit instance: seeded at construction
+}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for attribute chains rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class SimDeterminismRule(Rule):
+    id = "sim-determinism"
+    description = (
+        "sim-plane code must use the simulation clock and seeded "
+        "Generator streams — no wall clock, no global RNG"
+    )
+    interests = (ast.Call, ast.ImportFrom)
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        return ctx.arch_path.startswith(SIM_SCOPED_DIRS)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if not self._in_scope(ctx):
+            return
+        if isinstance(node, ast.ImportFrom):
+            self._check_import(ctx, node)
+            return
+        assert isinstance(node, ast.Call)
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        if dotted in _BANNED_CALLS:
+            self.emit(
+                ctx,
+                node,
+                f"wall clock {dotted}() in sim-scoped code — use the "
+                "simulation clock (sim.now); wall measurement belongs to "
+                "the profiling plane (perf_counter) or outside "
+                f"{'/'.join(d.rstrip('/') for d in SIM_SCOPED_DIRS)}",
+            )
+            return
+        if dotted.endswith(_BANNED_DATETIME_TAILS):
+            self.emit(
+                ctx,
+                node,
+                f"wall clock {dotted}() in sim-scoped code — simulated "
+                "time comes from the clock, not the host calendar",
+            )
+            return
+        if dotted.startswith("random."):
+            tail = dotted.split(".", 1)[1]
+            if tail.split(".")[0] not in _RANDOM_ALLOWED:
+                self.emit(
+                    ctx,
+                    node,
+                    f"global-state RNG {dotted}() in sim-scoped code — "
+                    "draw from a named seeded stream "
+                    "(simkernel.rng / random.Random(seed))",
+                )
+            return
+        for prefix in ("np.random.", "numpy.random."):
+            if dotted.startswith(prefix):
+                tail = dotted[len(prefix):].split(".")[0]
+                if tail not in _NP_RANDOM_ALLOWED:
+                    self.emit(
+                        ctx,
+                        node,
+                        f"legacy numpy global RNG {dotted}() in sim-scoped "
+                        "code — use np.random.default_rng / a passed-in "
+                        "Generator",
+                    )
+                return
+
+    def _check_import(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in ("time", "monotonic", "time_ns", "monotonic_ns"):
+                    self.emit(
+                        ctx,
+                        node,
+                        f"'from time import {alias.name}' in sim-scoped code "
+                        "— wall clocks don't belong in the sim plane",
+                    )
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name not in _RANDOM_ALLOWED:
+                    self.emit(
+                        ctx,
+                        node,
+                        f"'from random import {alias.name}' in sim-scoped "
+                        "code — global-state RNG breaks replay; use seeded "
+                        "Generator streams",
+                    )

@@ -1,0 +1,191 @@
+"""layering: the package import graph honors its contracts, acyclically.
+
+The stack is layered: ``simkernel`` at the bottom knows nothing of what
+runs on it; ``spec`` is a leaf every door can consume; ``observability``
+watches the daemon without ever importing it.  Those contracts are what
+keep the ROADMAP's sharded-broker arc tractable — a shard must be able
+to load the sim core and the spec without dragging in the whole
+federation.  This rule records every ``repro``-internal import edge
+(noting whether it is *deferred* — inside a function body or a
+``TYPE_CHECKING`` block, the sanctioned lazy escape hatch), checks the
+per-package contracts, and rejects any cycle in the module-import-time
+package graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..engine import FileContext, Rule
+
+__all__ = ["LayeringRule", "DEFAULT_CONTRACTS", "Contract"]
+
+
+@dataclass(frozen=True)
+class Contract:
+    """Allowed ``repro``-internal import targets for one package.
+
+    ``include_deferred=True`` makes the contract absolute: even a lazy
+    function-local import of anything outside ``allowed`` is a finding.
+    ``False`` polices only module-import-time edges (``spec`` defers its
+    per-backend adapters inside ``validate()`` by design).
+    """
+
+    allowed: frozenset[str]
+    include_deferred: bool = False
+
+
+#: package -> contract; packages not listed are bound only by the
+#: cycle check.  "errors" is the universal leaf and always allowed.
+DEFAULT_CONTRACTS: dict[str, Contract] = {
+    # the sim core is the foundation: nothing above it, ever
+    "simkernel": Contract(frozenset(), include_deferred=True),
+    # the declarative submission surface is a leaf at import time;
+    # validate() lazily pulls adapters (daemon priority classes,
+    # algorithm registry) — that deferral is the sanctioned design
+    "spec": Contract(frozenset()),
+    # observability watches everything through buses and snapshots —
+    # it never imports the daemon/federation it observes
+    "observability": Contract(frozenset({"simkernel"}), include_deferred=True),
+    # emulators are physics + numerics; qpu owns the device model
+    "emulators": Contract(frozenset({"qpu"}), include_deferred=True),
+    # accounting is ledger arithmetic over plain records
+    "accounting": Contract(frozenset(), include_deferred=True),
+    # the linter must stay a leaf so the code it checks can't break it
+    "analysis": Contract(frozenset(), include_deferred=True),
+}
+
+
+@dataclass(frozen=True)
+class _Edge:
+    src: str
+    dst: str
+    deferred: bool
+    file: str
+    line: int
+
+
+class LayeringRule(Rule):
+    id = "layering"
+    description = "repro package import graph: per-package contracts plus no cycles at module import time"
+    interests = (ast.Import, ast.ImportFrom)
+
+    def __init__(self, contracts: Mapping[str, Contract] | None = None) -> None:
+        super().__init__()
+        self.contracts = dict(DEFAULT_CONTRACTS if contracts is None else contracts)
+        self._edges: list[_Edge] = []
+
+    # -- walk ----------------------------------------------------------
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if ctx.arch_path == ctx.display:
+            return  # not inside a repro package tree
+        src = ctx.arch_path.split("/")[0].removesuffix(".py")
+        for dst, line in self._targets(ctx, node):
+            if dst and dst != src:
+                self._edges.append(_Edge(src, dst, ctx.deferred, ctx.display, line))
+
+    def _targets(self, ctx: FileContext, node: ast.AST) -> list[tuple[str, int]]:
+        out: list[tuple[str, int]] = []
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    out.append((parts[1], node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                parts = (node.module or "").split(".")
+                if parts[0] == "repro":
+                    if len(parts) > 1:
+                        out.append((parts[1], node.lineno))
+                    else:  # from repro import x, y
+                        out.extend((alias.name, node.lineno) for alias in node.names)
+            else:
+                # relative import: resolve against the file's location
+                # inside the repro package
+                anchor = ctx.arch_path.split("/")[:-1]
+                up = node.level - 1
+                if up > len(anchor):
+                    return out  # escapes the package: not ours to judge
+                base = anchor[: len(anchor) - up]
+                module_parts = node.module.split(".") if node.module else []
+                full = base + module_parts
+                if full:
+                    out.append((full[0].removesuffix(".py"), node.lineno))
+                else:  # from .. import x  at the package root
+                    out.extend((alias.name, node.lineno) for alias in node.names)
+        return out
+
+    # -- verdicts ------------------------------------------------------
+    def finalize(self) -> None:
+        self._check_contracts()
+        self._check_cycles()
+
+    def _check_contracts(self) -> None:
+        for edge in self._edges:
+            contract = self.contracts.get(edge.src)
+            if contract is None:
+                continue
+            if edge.dst == "errors":
+                continue
+            if edge.deferred and not contract.include_deferred:
+                continue
+            if edge.dst in contract.allowed:
+                continue
+            how = "deferred import of" if edge.deferred else "imports"
+            self.emit_at(
+                edge.file,
+                edge.line,
+                f"layering contract: {edge.src!r} {how} {edge.dst!r} "
+                f"(allowed: errors"
+                + (
+                    ", " + ", ".join(sorted(contract.allowed))
+                    if contract.allowed
+                    else ""
+                )
+                + ")",
+            )
+
+    def _check_cycles(self) -> None:
+        graph: dict[str, set[str]] = {}
+        where: dict[tuple[str, str], tuple[str, int]] = {}
+        for edge in self._edges:
+            if edge.deferred:
+                continue  # lazy imports don't run at module import time
+            graph.setdefault(edge.src, set()).add(edge.dst)
+            where.setdefault((edge.src, edge.dst), (edge.file, edge.line))
+
+        state: dict[str, int] = {}  # 0 visiting, 1 done
+        stack: list[str] = []
+        reported: set[frozenset[str]] = set()
+
+        def dfs(pkg: str) -> None:
+            state[pkg] = 0
+            stack.append(pkg)
+            for dst in sorted(graph.get(pkg, ())):
+                if state.get(dst) == 1:
+                    continue
+                if state.get(dst) == 0:
+                    cycle = stack[stack.index(dst):] + [dst]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        file, line = where[(pkg, dst)]
+                        self.emit_at(
+                            file,
+                            line,
+                            "package import cycle at module import time: "
+                            + " -> ".join(cycle)
+                            + " — defer one edge (function-local or "
+                            "TYPE_CHECKING import) or invert the "
+                            "dependency",
+                        )
+                    continue
+                dfs(dst)
+            stack.pop()
+            state[pkg] = 1
+
+        for pkg in sorted(graph):
+            if pkg not in state:
+                dfs(pkg)

@@ -1,0 +1,49 @@
+"""no-poll: the broker's reconcile paths must not resurrect polling.
+
+PR 5 replaced the per-job/per-unit ``task_status`` sweep with the
+:class:`~repro.federation.events.LifecycleBus` push plane — sites
+publish transitions, the refresh paths consume what was pushed.  A
+reintroduced poll call site costs O(live placements) daemon round trips
+per tick and silently diverges from the event-driven flavors the C6
+bench holds bit-identical.  The one sanctioned exception is the legacy
+non-push fallback kept for brokers that never called
+``attach_events()``; those sites carry inline suppressions with that
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule
+
+__all__ = ["NoPollRule"]
+
+#: the reconcile-path modules where a task_status call means polling
+POLL_SCOPED_FILES = (
+    "federation/broker.py",
+    "federation/malleable.py",
+)
+
+
+class NoPollRule(Rule):
+    id = "no-poll"
+    description = (
+        "broker/malleable reconcile paths consume pushed lifecycle "
+        "events — task_status polling is banned there"
+    )
+    interests = (ast.Call,)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if ctx.arch_path not in POLL_SCOPED_FILES:
+            return
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "task_status":
+            self.emit(
+                ctx,
+                node,
+                "task_status poll in a reconcile path — task transitions "
+                "arrive on the LifecycleBus (attach_events); polling "
+                "belongs only behind the legacy non-push fallback",
+            )

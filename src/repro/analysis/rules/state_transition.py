@@ -1,0 +1,74 @@
+"""state-transition: job/task state moves only through blessed points.
+
+PR 4 made broker and malleable job tables state-indexed: ``_set_state``
+moves the record between per-state dicts as it flips ``job.state``.  A
+direct ``job.state = ...`` write anywhere else leaves the job filed
+under its old state — reconcile then sweeps a terminal job forever (or
+never sees a live one), and nothing crashes.  The daemon queue's
+:class:`QueuedTask` guards itself with a ``__setattr__`` transition
+hook and the cluster's :class:`Job` has ``transition()``, so their own
+modules are blessed; everyone else goes through the API.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule
+
+__all__ = ["StateTransitionRule"]
+
+#: directories whose ``.state =`` writes this rule polices
+STATE_SCOPED_DIRS = ("federation/", "daemon/", "cluster/")
+
+#: arch_path -> function names allowed to assign ``.state`` there
+#: (``None`` = the whole module is a blessed transition owner)
+BLESSED: dict[str, frozenset[str] | None] = {
+    # the single indexed-table transition points (PR 4)
+    "federation/broker.py": frozenset({"_set_state"}),
+    "federation/malleable.py": frozenset({"_set_state"}),
+    # QueuedTask.__setattr__ maintains the queued-count index on every
+    # assignment, so the queue machinery itself is safe by construction
+    "daemon/queue.py": None,
+    "daemon/scheduler.py": None,
+    # cluster jobs route through Job.transition(); nodes own their enum
+    "cluster/job.py": frozenset({"__init__", "transition"}),
+    "cluster/node.py": None,
+}
+
+
+class StateTransitionRule(Rule):
+    id = "state-transition"
+    description = (
+        "job/task .state assignments outside the blessed _set_state "
+        "transition points corrupt the state-indexed tables"
+    )
+    interests = (ast.Assign, ast.AnnAssign, ast.AugAssign)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if not ctx.arch_path.startswith(STATE_SCOPED_DIRS):
+            return
+        targets: list[ast.AST]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        else:
+            targets = [node.target]  # type: ignore[attr-defined]
+        hits = [t for t in targets if isinstance(t, ast.Attribute) and t.attr == "state"]
+        if not hits:
+            return
+        allowed = BLESSED.get(ctx.arch_path, frozenset())
+        if allowed is None:
+            return  # whole module blessed
+        func = ctx.enclosing_function()
+        if func is not None and func.name in allowed:
+            return
+        for target in hits:
+            owner = ast.unparse(target.value)
+            self.emit(
+                ctx,
+                node,
+                f"direct state write {owner}.state = ... outside a "
+                "blessed transition point — route through _set_state "
+                "(or the owning object's transition API) so the "
+                "state-indexed tables stay consistent",
+            )

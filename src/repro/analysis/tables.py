@@ -18,10 +18,7 @@ def format_table(rows: list[dict], title: str = "") -> str:
     if not rows:
         raise ReproError("no rows to format")
     columns = list(rows[0].keys())
-    widths = {
-        col: max(len(col), *(len(_stringify(r.get(col, ""))) for r in rows))
-        for col in columns
-    }
+    widths = {col: max(len(col), *(len(_stringify(r.get(col, ""))) for r in rows)) for col in columns}
     lines = []
     if title:
         lines.append(title)
@@ -29,9 +26,7 @@ def format_table(rows: list[dict], title: str = "") -> str:
     lines.append(header)
     lines.append("  ".join("-" * widths[col] for col in columns))
     for row in rows:
-        lines.append(
-            "  ".join(_stringify(row.get(col, "")).ljust(widths[col]) for col in columns)
-        )
+        lines.append("  ".join(_stringify(row.get(col, "")).ljust(widths[col]) for col in columns))
     return "\n".join(lines)
 
 

@@ -114,7 +114,7 @@ class AccountingDB:
         if waits.size == 0:
             return {p: float("nan") for p in percentiles}
         values = np.percentile(waits, percentiles)
-        return dict(zip(percentiles, map(float, values)))
+        return dict(zip(percentiles, map(float, values), strict=True))
 
     def total_cpu_seconds(self, user: str | None = None) -> float:
         records = self._records if user is None else self.by_user(user)

@@ -76,7 +76,7 @@ class _Route:
         if len(parts) != len(self.segments):
             return None
         params: dict[str, str] = {}
-        for seg, part in zip(self.segments, parts):
+        for seg, part in zip(self.segments, parts, strict=True):
             if seg.startswith("{") and seg.endswith("}"):
                 params[seg[1:-1]] = part
             elif seg != part:

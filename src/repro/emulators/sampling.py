@@ -62,11 +62,11 @@ def counts_from_samples(samples: np.ndarray) -> dict[str, int]:
         keys = samples.astype(np.uint64) @ weights
         unique, counts = np.unique(keys, return_counts=True)
         result: dict[str, int] = {}
-        for key, count in zip(unique.tolist(), counts.tolist()):
+        for key, count in zip(unique.tolist(), counts.tolist(), strict=True):
             bits = format(int(key), f"0{n}b")
             result[bits] = count
         return result
     # Beyond 64 qubits no integer key fits a machine word: dedupe whole
     # rows instead of packing them.
     unique_rows, counts = np.unique(samples, axis=0, return_counts=True)
-    return dict(zip(bits_to_strings(unique_rows), counts.tolist()))
+    return dict(zip(bits_to_strings(unique_rows), counts.tolist(), strict=True))

@@ -925,6 +925,7 @@ class FederationBroker:
                 return
         else:
             try:
+                # archlint: disable=no-poll -- legacy fallback for brokers that never called attach_events(); the poll-spy test proves push-mode runs never reach it
                 status = site.task_status(job.owner, placement.task_id)
             except Exception as err:
                 # the site answers but won't serve us (e.g. our session

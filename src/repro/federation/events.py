@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = [
+    "EVENT_SCHEMAS",
     "JobEvent",
     "LifecycleBus",
     "TERMINAL_JOB_KINDS",
@@ -62,6 +63,43 @@ TERMINAL_TASK_KINDS = ("completed", "failed", "cancelled")
 
 #: broker-job kinds that end a federated job's life
 TERMINAL_JOB_KINDS = ("job_completed", "job_failed")
+
+#: payload keys shared by every site task transition (see
+#: :func:`publish_task_transition` — the one publisher of these kinds)
+_TASK_PAYLOAD = ("state", "started_at", "finished_at", "priority")
+
+#: The declared event vocabulary: every ``kind`` the federation may
+#: publish, mapped to the payload keys that kind is allowed to carry
+#: (``site``/``task_id``/``job_id`` ride as :class:`JobEvent` fields,
+#: not payload).  This registry is the contract archlint's *bus-schema*
+#: rule enforces statically: a ``publish``/``_publish`` call site or a
+#: subscriber ``kinds=`` filter naming a kind absent here fails lint,
+#: as does a payload key the kind never declared.  Add the kind (and
+#: its keys) HERE, next to the bus, before publishing it anywhere.
+EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
+    # -- site task transitions (kind = TaskState.value) ----------------
+    "queued": _TASK_PAYLOAD,
+    "running": _TASK_PAYLOAD,
+    "completed": _TASK_PAYLOAD,
+    "failed": _TASK_PAYLOAD,
+    "cancelled": _TASK_PAYLOAD,
+    "preempted": _TASK_PAYLOAD,
+    # -- broker job lifecycle ------------------------------------------
+    "job_submitted": ("tenant", "program", "qubits"),
+    "job_held": ("tenant", "program", "qubits"),
+    "job_placed": (),
+    "job_completed": ("error",),
+    "job_failed": ("error",),
+    "job_rerouted": ("reason", "unit"),
+    "job_converted": ("units", "shots_per_unit", "tenant"),
+    "admission": ("decision",),
+    "jobs_evicted": ("count",),
+    # -- malleable resize plane ----------------------------------------
+    "resize": ("action", "unit", "reason", "weight_before", "weight_after"),
+    "rebalance": (),
+    "unit_completed": ("unit",),
+    "slots_agreed": ("transfers",),
+}
 
 
 @dataclass(frozen=True)

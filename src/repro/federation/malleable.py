@@ -566,6 +566,7 @@ class MalleableManager:
             else:
                 try:
                     site = self.broker.registry.site(dispatch.site)
+                    # archlint: disable=no-poll -- legacy fallback for non-push brokers; push-mode sweeps take the pushed branch above (poll-spy tested)
                     status = site.task_status(job.owner, dispatch.task_id)
                     if status["state"] == "completed":
                         result = self._fetch_result(job, dispatch)

@@ -175,7 +175,7 @@ class Histogram(_Instrument):
         for key in sorted(self._counts):
             labels = dict(key)
             cumulative = 0
-            for bucket, count in zip(self.buckets, self._counts[key][:-1]):
+            for bucket, count in zip(self.buckets, self._counts[key][:-1], strict=True):
                 cumulative += int(count)
                 out.append(("_bucket", {**labels, "le": repr(bucket)}, float(cumulative)))
             out.append(("_bucket", {**labels, "le": "+Inf"}, float(self._totals[key])))

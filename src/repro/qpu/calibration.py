@@ -217,7 +217,7 @@ class DriftModel:
 
     def _apply(self, state: CalibrationState, dt: float, shocks: np.ndarray) -> None:
         nominal = state.NOMINAL
-        for name, theta, shock in zip(self._names, self._theta, shocks):
+        for name, theta, shock in zip(self._names, self._theta, shocks, strict=True):
             x = getattr(state, name)
             x = x + theta * (nominal[name] - x) * dt + shock
             if name == "t2_us":

@@ -124,7 +124,7 @@ class Register:
         d = self.distances()
         i_idx, j_idx = np.triu_indices(self.num_atoms, k=1)
         mask = d[i_idx, j_idx] <= cutoff
-        return list(zip(i_idx[mask].tolist(), j_idx[mask].tolist()))
+        return list(zip(i_idx[mask].tolist(), j_idx[mask].tolist(), strict=True))
 
     def to_dict(self) -> dict:
         return {

@@ -122,7 +122,7 @@ class MalleablePool:
                 if not grew:
                     break
             return
-        for task, grant in zip(live, grants):
+        for task, grant in zip(live, grants, strict=True):
             task.cpus = grant
 
     def run(

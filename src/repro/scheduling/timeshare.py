@@ -18,8 +18,18 @@ Two cooperating pieces:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..errors import SchedulerError
-from ..daemon.queue import QueuedTask, TaskState
+
+if TYPE_CHECKING:
+    from ..daemon.queue import QueuedTask
+
+#: the one task-state value this policy inspects — matched by string so
+#: ``scheduling`` stays below ``daemon`` in the import graph (daemon
+#: imports scheduling.algorithms; a module-scope import here closed a
+#: package cycle that archlint's layering rule now forbids)
+_QUEUED = "queued"
 
 __all__ = ["TimeshareAllocator", "WeightedFairPolicy"]
 
@@ -103,7 +113,7 @@ class WeightedFairPolicy:
     def __call__(self, eligible: list[QueuedTask], now: float) -> QueuedTask | None:
         """Selection-policy signature for SecondLevelScheduler."""
         self._accrue(now)
-        eligible = [t for t in eligible if t.state is TaskState.QUEUED]
+        eligible = [t for t in eligible if t.state.value == _QUEUED]
         if not eligible:
             return None
         by_tenant: dict[str, list[QueuedTask]] = {}

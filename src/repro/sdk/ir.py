@@ -92,7 +92,7 @@ class AnalogProgram:
             "register": self.register.to_dict(),
             "segments": [seg.to_dict() for seg in self.segments],
         }
-        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
 
     def __eq__(self, other: object) -> bool:

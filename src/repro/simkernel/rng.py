@@ -41,7 +41,7 @@ class RngRegistry:
         """
         full = self._full_name(name)
         if full not in self._streams:
-            digest = zlib.crc32(full.encode("utf-8"))
+            digest = zlib.crc32(full.encode())
             seq = np.random.SeedSequence(
                 entropy=self.root_seed, spawn_key=(digest, len(full))
             )

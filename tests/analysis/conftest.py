@@ -1,0 +1,39 @@
+"""Shared fixtures for the archlint test suite.
+
+Fixture trees are written under ``tmp_path/"repro"/...`` — the engine's
+``arch_path`` normalization resolves any path containing a ``repro/``
+component against that package root, so directory-scoped rules
+(sim-determinism, state-transition, layering, ...) behave on tmp
+fixtures exactly as they do on ``src/repro``.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Engine
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Write a fixture tree and run the given rules over it.
+
+    ``files`` maps tmp-relative paths (``"repro/simkernel/x.py"``) to
+    source text (dedented automatically).  Returns the Report.
+    """
+
+    def _run(files, rules, paths=("repro",), baseline=None):
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source), encoding="utf-8")
+        engine = Engine(rules, root=tmp_path)
+        return engine.run(list(paths), baseline=baseline)
+
+    return _run
+
+
+@pytest.fixture(scope="session")
+def repo_root():
+    return Path(__file__).resolve().parents[2]

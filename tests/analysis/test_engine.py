@@ -1,0 +1,247 @@
+"""Engine mechanics: suppression comments, baseline, report, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import load_baseline, write_baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import SUPPRESSION_RULE_ID
+from repro.analysis.rules.determinism import SimDeterminismRule
+from repro.analysis.rules.no_poll import NoPollRule
+
+BAD_SIM = """
+    import time
+
+
+    def stamp():
+        return time.time()
+"""
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/x.py": """
+                    import time
+
+
+                    def stamp():
+                        return time.time()  # archlint: disable=sim-determinism -- fixture wants wall time
+                """
+            },
+            [SimDeterminismRule()],
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "sim-determinism"
+
+    def test_line_above_suppression(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/x.py": """
+                    import time
+
+
+                    def stamp():
+                        # archlint: disable=sim-determinism -- fixture wants wall time
+                        return time.time()
+                """
+            },
+            [SimDeterminismRule()],
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_missing_reason_does_not_suppress(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/x.py": """
+                    import time
+
+
+                    def stamp():
+                        return time.time()  # archlint: disable=sim-determinism
+                """
+            },
+            [SimDeterminismRule()],
+        )
+        # the original finding survives AND the bare suppression is
+        # itself reported — no exemption without a justification
+        assert not report.ok
+        rules = sorted(f.rule for f in report.findings)
+        assert rules == ["sim-determinism", SUPPRESSION_RULE_ID]
+        by_rule = {f.rule: f for f in report.findings}
+        assert "missing justification" in by_rule[SUPPRESSION_RULE_ID].message
+
+    def test_unknown_rule_id_is_reported(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/x.py": """
+                    X = 1  # archlint: disable=no-such-rule -- misguided
+                """
+            },
+            [SimDeterminismRule()],
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == SUPPRESSION_RULE_ID
+        assert "unknown rule 'no-such-rule'" in report.findings[0].message
+
+    def test_multi_rule_suppression(self, lint):
+        report = lint(
+            {
+                "repro/federation/broker.py": """
+                    import time
+
+
+                    def refresh(self, site, task_id):
+                        # archlint: disable=sim-determinism,no-poll -- fixture exercises both
+                        return site.task_status("o", task_id), time.time()
+                """
+            },
+            [SimDeterminismRule(), NoPollRule()],
+        )
+        assert report.ok
+        assert sorted(f.rule for f in report.suppressed) == [
+            "no-poll",
+            "sim-determinism",
+        ]
+
+    def test_suppression_only_covers_its_line(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/x.py": """
+                    import time
+
+
+                    def stamp():
+                        a = time.time()  # archlint: disable=sim-determinism -- just this one
+                        b = time.time()
+                        return a + b
+                """
+            },
+            [SimDeterminismRule()],
+        )
+        assert len(report.findings) == 1
+        assert len(report.suppressed) == 1
+
+
+class TestEngineBasics:
+    def test_syntax_error_is_a_finding_not_a_crash(self, lint):
+        report = lint(
+            {"repro/simkernel/broken.py": "def oops(:\n"},
+            [SimDeterminismRule()],
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == SUPPRESSION_RULE_ID
+        assert "does not parse" in report.findings[0].message
+
+    def test_files_outside_repro_get_no_arch_scope(self, lint):
+        # benchmarks/ sits outside the package: dir-scoped rules like
+        # sim-determinism must not apply there
+        report = lint(
+            {"benchmarks/bench_x.py": BAD_SIM},
+            [SimDeterminismRule()],
+            paths=("benchmarks",),
+        )
+        assert report.ok
+        assert report.files_scanned == 1
+
+    def test_report_to_dict_shape(self, lint):
+        report = lint({"repro/simkernel/x.py": BAD_SIM}, [SimDeterminismRule()])
+        payload = report.to_dict()
+        assert payload["version"] == 1
+        assert payload["summary"]["new"] == 1
+        assert payload["summary"]["ok"] is False
+        assert payload["findings"][0]["rule"] == "sim-determinism"
+        assert "sim-determinism" in payload["rules"]
+
+    def test_render_text_summary_line(self, lint):
+        report = lint({"repro/simkernel/x.py": BAD_SIM}, [SimDeterminismRule()])
+        text = report.render_text()
+        assert text.splitlines()[-1].startswith("archlint: 1 finding(s)")
+
+
+class TestBaseline:
+    def test_baselined_finding_does_not_fail(self, lint, tmp_path):
+        report = lint({"repro/simkernel/x.py": BAD_SIM}, [SimDeterminismRule()])
+        assert not report.ok
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report.findings)
+
+        again = lint({}, [SimDeterminismRule()], baseline=load_baseline(path))
+        assert again.ok
+        assert len(again.baselined) == 1
+        assert again.findings == []
+
+    def test_new_finding_fails_despite_baseline(self, lint, tmp_path):
+        report = lint({"repro/simkernel/x.py": BAD_SIM}, [SimDeterminismRule()])
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report.findings)
+
+        grown = lint(
+            {
+                "repro/simkernel/y.py": """
+                    import time
+
+
+                    def other():
+                        return time.monotonic()
+                """
+            },
+            [SimDeterminismRule()],
+            baseline=load_baseline(path),
+        )
+        assert not grown.ok
+        assert len(grown.findings) == 1
+        assert grown.findings[0].file.endswith("y.py")
+
+    def test_stale_entries_are_reported(self, lint):
+        stale = {("repro/simkernel/gone.py", "sim-determinism", "old msg")}
+        report = lint({}, [SimDeterminismRule()], baseline=stale)
+        assert report.ok  # stale entries don't fail, they nag
+        assert report.stale_baseline == sorted(stale)
+        assert "no longer found" in report.render_text()
+
+    def test_load_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_write_baseline_sorted_and_deduped(self, lint, tmp_path):
+        report = lint(
+            {
+                "repro/simkernel/b.py": BAD_SIM,
+                "repro/simkernel/a.py": BAD_SIM,
+            },
+            [SimDeterminismRule()],
+        )
+        path = tmp_path / "baseline.json"
+        count = write_baseline(path, report.findings + report.findings)
+        assert count == 2
+        entries = json.loads(path.read_text())
+        assert [e["file"] for e in entries] == sorted(e["file"] for e in entries)
+
+
+class TestCli:
+    @pytest.fixture
+    def bad_tree(self, tmp_path, monkeypatch):
+        target = tmp_path / "repro" / "simkernel" / "x.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_exit_one_on_findings_and_json_report(self, bad_tree, capsys):
+        rc = main(["repro", "--json", "report.json"])
+        assert rc == 1
+        payload = json.loads((bad_tree / "report.json").read_text())
+        assert any(f["rule"] == "sim-determinism" for f in payload["findings"])
+        assert "sim-determinism" in capsys.readouterr().out
+
+    def test_write_baseline_then_clean_run(self, bad_tree, capsys):
+        assert main(["repro", "--write-baseline"]) == 0
+        assert (bad_tree / "archlint_baseline.json").exists()
+        # the auto-detected baseline now grandfathers everything
+        assert main(["repro", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out.splitlines()[-1]

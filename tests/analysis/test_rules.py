@@ -1,0 +1,472 @@
+"""Per-rule good/bad fixture tests: each archlint rule fires on the bad
+snippet and stays silent on the good one."""
+
+from repro.analysis.rules import default_rules
+from repro.analysis.rules.bus_schema import BusSchemaRule
+from repro.analysis.rules.determinism import SimDeterminismRule
+from repro.analysis.rules.layering import Contract, LayeringRule
+from repro.analysis.rules.no_direct_metrics import NoDirectMetricsRule
+from repro.analysis.rules.no_poll import NoPollRule
+from repro.analysis.rules.profiler_scope import ProfilerScopeRule
+from repro.analysis.rules.state_transition import StateTransitionRule
+
+
+def rules_of(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+class TestDefaultRules:
+    def test_seven_rules_with_unique_ids(self):
+        rules = default_rules()
+        ids = [r.id for r in rules]
+        assert len(ids) == 7
+        assert len(set(ids)) == 7
+
+    def test_fresh_instances_each_call(self):
+        first, second = default_rules(), default_rules()
+        assert first[0] is not second[0]
+
+
+class TestSimDeterminism:
+    def test_bad_wall_clock_and_global_rng(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/bad.py": """
+                    import random
+                    import time
+
+                    import numpy as np
+
+
+                    def stamp():
+                        return time.time()
+
+
+                    def jitter():
+                        return random.random() + np.random.rand()
+                """
+            },
+            [SimDeterminismRule()],
+        )
+        found = rules_of(report, "sim-determinism")
+        assert len(found) == 3
+        assert any("time.time" in f.message for f in found)
+        assert any("random.random" in f.message for f in found)
+        assert any("np.random.rand" in f.message for f in found)
+
+    def test_bad_from_imports(self, lint):
+        report = lint(
+            {
+                "repro/federation/bad.py": """
+                    from random import choice
+                    from time import monotonic
+                """
+            },
+            [SimDeterminismRule()],
+        )
+        assert len(rules_of(report, "sim-determinism")) == 2
+
+    def test_good_seeded_streams_and_perf_counter(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/good.py": """
+                    import random
+                    import time
+
+                    import numpy as np
+
+
+                    def draws(seed):
+                        rng = np.random.default_rng(seed)
+                        local = random.Random(seed)
+                        t0 = time.perf_counter()
+                        return rng.random(), local.random(), t0
+                """
+            },
+            [SimDeterminismRule()],
+        )
+        assert rules_of(report, "sim-determinism") == []
+
+    def test_out_of_scope_dir_is_ignored(self, lint):
+        report = lint(
+            {
+                "repro/daemon/walltime.py": """
+                    import time
+
+
+                    def now():
+                        return time.time()
+                """
+            },
+            [SimDeterminismRule()],
+        )
+        assert rules_of(report, "sim-determinism") == []
+
+
+class TestNoPoll:
+    def test_bad_poll_in_broker(self, lint):
+        report = lint(
+            {
+                "repro/federation/broker.py": """
+                    def refresh(self, site, task_id):
+                        return site.task_status("owner", task_id)
+                """
+            },
+            [NoPollRule()],
+        )
+        assert len(rules_of(report, "no-poll")) == 1
+
+    def test_good_push_consumption(self, lint):
+        report = lint(
+            {
+                "repro/federation/broker.py": """
+                    def refresh(self):
+                        return self._drain_pushed()
+                """,
+                # same call outside the reconcile-path modules is fine
+                "repro/daemon/client.py": """
+                    def check(self, site, task_id):
+                        return site.task_status("owner", task_id)
+                """,
+            },
+            [NoPollRule()],
+        )
+        assert rules_of(report, "no-poll") == []
+
+
+class TestNoDirectMetrics:
+    def test_bad_record_call(self, lint):
+        report = lint(
+            {
+                "repro/federation/broker.py": """
+                    def place(self, job):
+                        self.metrics.record_placement(job)
+                """
+            },
+            [NoDirectMetricsRule()],
+        )
+        found = rules_of(report, "no-direct-metrics")
+        assert len(found) == 1
+        assert "record_placement" in found[0].message
+
+    def test_good_inside_metrics_module_and_non_metrics(self, lint):
+        report = lint(
+            {
+                # the bus-subscription fold itself may record
+                "repro/federation/metrics.py": """
+                    def _on_event(self, event):
+                        self.record_transition(event)
+                """,
+                # record_from_result is jobmeta bookkeeping, not metrics
+                "repro/daemon/jobmeta.py": """
+                    def fold(self, meta, result):
+                        meta.record_from_result(result)
+                """,
+            },
+            [NoDirectMetricsRule()],
+        )
+        assert rules_of(report, "no-direct-metrics") == []
+
+
+class TestStateTransition:
+    def test_bad_direct_write(self, lint):
+        report = lint(
+            {
+                "repro/federation/broker.py": """
+                    def sweep(self, job):
+                        job.state = "completed"
+                """
+            },
+            [StateTransitionRule()],
+        )
+        found = rules_of(report, "state-transition")
+        assert len(found) == 1
+        assert "job.state" in found[0].message
+
+    def test_good_blessed_function_and_module(self, lint):
+        report = lint(
+            {
+                "repro/federation/broker.py": """
+                    def _set_state(self, job, state):
+                        job.state = state
+                """,
+                # daemon/queue.py is blessed wholesale (__setattr__ hook)
+                "repro/daemon/queue.py": """
+                    def requeue(self, task):
+                        task.state = "queued"
+                """,
+                # a local variable named state is not an attribute write
+                "repro/federation/malleable.py": """
+                    def classify(self, job):
+                        state = job.state
+                        return state
+                """,
+            },
+            [StateTransitionRule()],
+        )
+        assert rules_of(report, "state-transition") == []
+
+
+class TestBusSchema:
+    SCHEMAS = {"job_placed": (), "resize": ("action", "unit")}
+
+    def test_bad_unknown_kind_and_payload_key(self, lint):
+        report = lint(
+            {
+                "repro/federation/broker.py": """
+                    def announce(self, job):
+                        self._publish("job_compelted", job.job_id)
+                        self._publish("resize", job.job_id, action="grow", wat=1)
+                """
+            },
+            [BusSchemaRule(schemas=self.SCHEMAS)],
+        )
+        found = rules_of(report, "bus-schema")
+        assert len(found) == 2
+        assert any("job_compelted" in f.message for f in found)
+        assert any("'wat'" in f.message for f in found)
+
+    def test_bad_job_event_and_subscribe_literals(self, lint):
+        report = lint(
+            {
+                "repro/federation/metrics.py": """
+                    def attach(self, bus):
+                        bus.subscribe(self._on, kinds=("job_placed", "job_lost"))
+
+                    def emit(self, t):
+                        return JobEvent(time=t, kind="resise", payload={"axn": 1})
+                """
+            },
+            [BusSchemaRule(schemas=self.SCHEMAS)],
+        )
+        found = rules_of(report, "bus-schema")
+        assert any("'job_lost'" in f.message for f in found)
+        assert any("'resise'" in f.message for f in found)
+
+    def test_good_declared_kinds(self, lint):
+        report = lint(
+            {
+                "repro/federation/broker.py": """
+                    def announce(self, job, unit):
+                        self._publish("job_placed", job.job_id)
+                        self._publish("resize", job.job_id, action="grow", unit=unit)
+
+                    def handle(self, event):
+                        if event.kind == "job_placed":
+                            return True
+                        kind = event.kind
+                        return kind in ("resize",)
+                """
+            },
+            [BusSchemaRule(schemas=self.SCHEMAS)],
+        )
+        assert rules_of(report, "bus-schema") == []
+
+    def test_good_bare_kind_local_not_treated_as_event(self, lint):
+        # `kind` that was NOT bound from event.kind (e.g. a resize
+        # action) must not be checked against the registry
+        report = lint(
+            {
+                "repro/federation/malleable.py": """
+                    def resize(self, weight, before):
+                        kind = "grow" if weight > before else "shrink"
+                        if kind == "grow":
+                            return 1
+                        return -1
+                """
+            },
+            [BusSchemaRule(schemas=self.SCHEMAS)],
+        )
+        assert rules_of(report, "bus-schema") == []
+
+    def test_registry_parsed_from_events_py_ast(self, lint):
+        # no injected schemas: the rule reads EVENT_SCHEMAS out of the
+        # fixture's federation/events.py, resolving shared tuple symbols
+        report = lint(
+            {
+                "repro/federation/events.py": """
+                    _COMMON = ("state", "priority")
+                    EVENT_SCHEMAS = {
+                        "queued": _COMMON,
+                        "job_placed": (),
+                    }
+                """,
+                "repro/federation/broker.py": """
+                    def announce(self, job):
+                        self._publish("queued", job.job_id, state="queued")
+                        self._publish("job_vanished", job.job_id)
+                """,
+            },
+            [BusSchemaRule()],
+        )
+        found = rules_of(report, "bus-schema")
+        assert len(found) == 1
+        assert "job_vanished" in found[0].message
+
+    def test_missing_registry_is_a_finding(self, lint):
+        report = lint(
+            {
+                "repro/federation/broker.py": """
+                    def announce(self, job):
+                        self._publish("job_placed", job.job_id)
+                """
+            },
+            [BusSchemaRule()],
+        )
+        found = rules_of(report, "bus-schema")
+        assert len(found) == 1
+        assert "no EVENT_SCHEMAS registry" in found[0].message
+
+
+class TestLayering:
+    def test_bad_contract_violation(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/clock.py": """
+                    from repro.federation.broker import FederationBroker
+                """
+            },
+            [LayeringRule()],
+        )
+        found = rules_of(report, "layering")
+        assert len(found) == 1
+        assert "'simkernel'" in found[0].message
+
+    def test_bad_deferred_still_flagged_when_contract_absolute(self, lint):
+        # simkernel's contract has include_deferred=True: even a lazy
+        # function-local import of the federation is a finding
+        report = lint(
+            {
+                "repro/simkernel/clock.py": """
+                    def load(self):
+                        from repro.federation import broker
+
+                        return broker
+                """
+            },
+            [LayeringRule()],
+        )
+        assert len(rules_of(report, "layering")) == 1
+
+    def test_bad_import_cycle(self, lint):
+        report = lint(
+            {
+                "repro/scheduling/alpha.py": """
+                    from ..daemon import queue
+                """,
+                "repro/daemon/beta.py": """
+                    from ..scheduling import alpha
+                """,
+            },
+            [LayeringRule()],
+        )
+        found = rules_of(report, "layering")
+        assert len(found) == 1
+        assert "cycle" in found[0].message
+
+    def test_good_deferred_edge_breaks_cycle(self, lint):
+        report = lint(
+            {
+                "repro/scheduling/alpha.py": """
+                    from typing import TYPE_CHECKING
+
+                    if TYPE_CHECKING:
+                        from ..daemon.queue import QueuedTask
+
+
+                    def pick(self):
+                        from ..daemon import queue
+
+                        return queue
+                """,
+                "repro/daemon/beta.py": """
+                    from ..scheduling import alpha
+                """,
+            },
+            [LayeringRule()],
+        )
+        assert rules_of(report, "layering") == []
+
+    def test_good_errors_always_allowed(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/clock.py": """
+                    from repro.errors import ReproError
+                """,
+                "repro/spec/session.py": """
+                    from ..errors import SpecError
+                """,
+            },
+            [LayeringRule()],
+        )
+        assert rules_of(report, "layering") == []
+
+    def test_custom_contract_injection(self, lint):
+        contracts = {"qpu": Contract(frozenset(), include_deferred=True)}
+        report = lint(
+            {
+                "repro/qpu/device.py": """
+                    from repro.emulators import sampling
+                """
+            },
+            [LayeringRule(contracts=contracts)],
+        )
+        assert len(rules_of(report, "layering")) == 1
+
+
+class TestProfilerScope:
+    MANIFEST = (("simkernel/process.py", "Simulator.step", "sim.step"),)
+
+    def test_bad_missing_scope(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/process.py": """
+                    class Simulator:
+                        def step(self):
+                            return self._advance()
+                """
+            },
+            [ProfilerScopeRule(manifest=self.MANIFEST)],
+        )
+        found = rules_of(report, "profiler-scope")
+        assert len(found) == 1
+        assert "sim.step" in found[0].message
+
+    def test_bad_manifest_drift(self, lint):
+        report = lint(
+            {
+                "repro/simkernel/process.py": """
+                    class Simulator:
+                        def advance(self):
+                            return 1
+                """
+            },
+            [ProfilerScopeRule(manifest=self.MANIFEST)],
+        )
+        found = rules_of(report, "profiler-scope")
+        assert len(found) == 1
+        assert "manifest drift" in found[0].message
+
+    def test_good_with_scope_and_push_forms(self, lint):
+        manifest = self.MANIFEST + (
+            ("simkernel/process.py", "Simulator.step_batch", "sim.step"),
+        )
+        report = lint(
+            {
+                "repro/simkernel/process.py": """
+                    class Simulator:
+                        def step(self):
+                            with self.profiler.scope("sim.step"):
+                                return self._advance()
+
+                        def step_batch(self, n):
+                            self.profiler.push("sim.step")
+                            try:
+                                return [self._advance() for _ in range(n)]
+                            finally:
+                                self.profiler.pop()
+                """
+            },
+            [ProfilerScopeRule(manifest=manifest)],
+        )
+        assert rules_of(report, "profiler-scope") == []

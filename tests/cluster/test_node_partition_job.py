@@ -70,7 +70,7 @@ class TestNode:
         node = make_node(gres={"qpu": 1})
         node.allocate(1, 1, 100, [GresRequest("qpu", 1)])
         # Second job asks for gres that is taken: whole allocation must roll back.
-        with pytest.raises(Exception):
+        with pytest.raises(ResourceUnavailable):
             node.allocate(2, 1, 100, [GresRequest("qpu", 1)])
         assert node.cpus_allocated == 1  # job 2 left no residue
         node.release(1)

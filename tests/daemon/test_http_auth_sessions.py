@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import AuthError, QueueError, SessionError
+from repro.errors import AuthError, DaemonError, QueueError, SessionError
 from repro.daemon import (
     PriorityClass,
     Request,
@@ -62,7 +62,7 @@ class TestRouter:
     def test_duplicate_route_rejected(self):
         router = Router()
         router.add("GET", "/x", lambda r: Response())
-        with pytest.raises(Exception):
+        with pytest.raises(DaemonError):
             router.add("GET", "/x", lambda r: Response())
 
     def test_bearer_token_parsing(self):

@@ -124,7 +124,7 @@ class TestNoiseModel:
     def test_draw_realization_statistics(self):
         noise = NoiseModel(amplitude_rel_std=0.1, detuning_std=0.5)
         rng = np.random.default_rng(0)
-        scales, offsets = zip(*(noise.draw_realization(rng) for _ in range(2000)))
+        scales, offsets = zip(*(noise.draw_realization(rng) for _ in range(2000)), strict=True)
         assert np.mean(scales) == pytest.approx(1.0, abs=0.02)
         assert np.std(offsets) == pytest.approx(0.5, abs=0.05)
 

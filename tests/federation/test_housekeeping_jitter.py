@@ -40,7 +40,7 @@ class TestHousekeepingJitter:
         sim.run(until=400.0)
         gaps = [
             b - a
-            for a, b in zip(broker.reconcile_times, broker.reconcile_times[1:])
+            for a, b in zip(broker.reconcile_times, broker.reconcile_times[1:], strict=False)
         ]
         assert all(10.0 <= gap <= 20.0 for gap in gaps)
         assert len(set(gaps)) > 1  # actually jittered, not a constant offset

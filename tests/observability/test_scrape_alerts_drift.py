@@ -4,7 +4,7 @@ and per-job metadata."""
 import numpy as np
 import pytest
 
-from repro.errors import ObservabilityError
+from repro.errors import AlertError, ObservabilityError
 from repro.observability import (
     AlertManager,
     AlertRule,
@@ -239,7 +239,7 @@ class TestAlerts:
         assert len(mgr.names()) == 3
 
     def test_invalid_operator(self):
-        with pytest.raises(Exception):
+        with pytest.raises(AlertError):
             AlertRule("x", "m", op="!=")
 
 

@@ -54,7 +54,7 @@ def test_step_many_deterministic_and_clamped():
     for _ in range(500):
         model.step_many(states_a, 60.0, rng_a)
         model.step_many(states_b, 60.0, rng_b)
-    for a, b in zip(states_a, states_b):
+    for a, b in zip(states_a, states_b, strict=True):
         assert a.snapshot() == b.snapshot()
         assert a.t2_us >= 1.0
         for name in (

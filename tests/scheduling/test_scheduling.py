@@ -188,7 +188,7 @@ class TestTimeshare:
             for user in ("alice", "bob"):
                 queue.submit("s", user, make_program(), PriorityClass.TEST, "qpu", now)
         # drain 30 selections, 10 simulated seconds apart
-        for i in range(30):
+        for _ in range(30):
             task = policy([t for t in queue.all_tasks() if t.state.value == "queued"], now)
             assert task is not None
             task.state = task.state.__class__.COMPLETED

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ProcessError, SimulationError
 from repro.simkernel import Interrupt, Simulator, Timeout, Wait
 from repro.simkernel.events import Event
 
@@ -192,7 +192,7 @@ def test_interrupt_finished_process_raises():
 
     proc = sim.spawn(quick())
     sim.run()
-    with pytest.raises(Exception):
+    with pytest.raises(ProcessError):
         proc.interrupt()
 
 
@@ -203,7 +203,7 @@ def test_unsupported_yield_kills_process():
         yield "not-a-command"
 
     proc = sim.spawn(bad())
-    with pytest.raises(Exception):
+    with pytest.raises(ProcessError):
         sim.run_until_process(proc)
 
 

@@ -70,7 +70,7 @@ class TestOneSpecThreeBackends:
             for backend in ("daemon", "federation", "cloud")
         ]
         results = [drive(sim, h.wait(poll_interval=2.0)) for h in handles]
-        for handle, result in zip(handles, results):
+        for handle, result in zip(handles, results, strict=True):
             assert isinstance(result, RunResult)
             assert result.shots == 60
             assert sum(result.counts.values()) == 60

@@ -21,7 +21,7 @@ class TestRecordReplay:
     def test_jobs_reconstructed_identically(self):
         trace = make_trace()
         jobs = trace.jobs()
-        for (arrival, job), entry in zip(jobs, trace.entries):
+        for (arrival, job), entry in zip(jobs, trace.entries, strict=True):
             assert job.name == entry.name
             assert job.pattern.value == entry.pattern
             assert arrival == entry.arrival_s

@@ -85,7 +85,7 @@ class TestQAA:
         top = result.most_frequent()
         occupations = [int(b) for b in top]
         assert sum(occupations) == 3
-        assert all(not (a and b) for a, b in zip(occupations, occupations[1:]))
+        assert all(not (a and b) for a, b in zip(occupations, occupations[1:], strict=False))
 
 
 class TestSQD:
